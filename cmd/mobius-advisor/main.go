@@ -1,0 +1,55 @@
+// Command mobius-advisor ranks hardware options for fine-tuning a model:
+// the question the paper's introduction opens with. For each candidate
+// server it simulates the best available system (Mobius on commodity
+// boxes, DeepSpeed on NVLink fabrics) and ranks by throughput per dollar.
+//
+// Usage:
+//
+//	mobius-advisor -model 15B
+//	mobius-advisor -model 51B -steps 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobius/internal/advisor"
+	"mobius/internal/model"
+)
+
+func main() {
+	modelName := flag.String("model", "15B", "model: 3B, 8B, 15B, 51B")
+	steps := flag.Int("steps", 20000, "fine-tuning job length for the cost projection")
+	flag.Parse()
+
+	var m model.Config
+	found := false
+	for _, c := range model.Table3() {
+		if c.Name == *modelName {
+			m, found = c, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("hardware advisor for %s (job: %d steps)\n\n", m, *steps)
+	recs, err := advisor.Advise(m, advisor.DefaultOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	for i, r := range recs {
+		fmt.Printf("%d. %s\n", i+1, r)
+		if !r.OOM {
+			fmt.Printf("     job: %.1f h, $%.0f total\n",
+				r.StepTime*float64(*steps)/3600, r.PricePerStep*float64(*steps))
+		}
+	}
+	if f := advisor.Fastest(recs); f != nil {
+		fmt.Printf("\nfastest: %s (%s)\ncheapest per sample: %s (%s)\n",
+			f.Label(), f.System, recs[0].Label(), recs[0].System)
+	}
+}

@@ -1,0 +1,95 @@
+// Command mobius-plan prints the Mobius execution plan — profile
+// summary, MIP partition and cross mapping — for a model on a topology.
+//
+// Usage:
+//
+//	mobius-plan -model 15B -topo 2+2
+//	mobius-plan -model 51B -topo 4+4 -algo min-stage -mapping sequential
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobius/internal/core"
+	"mobius/internal/hw"
+	"mobius/internal/mapping"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func parseModel(name string) model.Config {
+	for _, m := range model.Table3() {
+		if m.Name == name {
+			return m
+		}
+	}
+	fail("unknown model %q (want 3B, 8B, 15B or 51B)", name)
+	return model.Config{}
+}
+
+func parseTopo(spec string) *hw.Topology {
+	topo, err := hw.ParseSpec(spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	return topo
+}
+
+func main() {
+	modelName := flag.String("model", "15B", "model: 3B, 8B, 15B, 51B")
+	topoSpec := flag.String("topo", "2+2", "GPUs per root complex (e.g. 4, 2+2, 1+3) or 'dc'")
+	algo := flag.String("algo", partition.AlgoMIP, "partition algorithm: mip, max-stage, min-stage")
+	scheme := flag.String("mapping", mapping.SchemeCross, "mapping scheme: cross, sequential")
+	mbs := flag.Int("mbs", 0, "microbatch size override (0 = Table 3 default)")
+	asJSON := flag.Bool("json", false, "emit the plan as JSON instead of text")
+	flag.Parse()
+
+	m := parseModel(*modelName)
+	if *mbs > 0 {
+		m = m.WithMicrobatch(*mbs)
+	}
+	topo := parseTopo(*topoSpec)
+
+	opts := core.Options{
+		Model:         m,
+		Topology:      topo,
+		PartitionAlgo: *algo,
+		MappingScheme: *scheme,
+	}
+	plan, err := core.PlanMobius(opts)
+	if err != nil {
+		fail("planning failed: %v", err)
+	}
+
+	if *asJSON {
+		data, err := core.MarshalPlan(plan, opts)
+		if err != nil {
+			fail("serialize: %v", err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	fmt.Printf("model:     %s\n", m)
+	fmt.Printf("topology:  %s\n", topo)
+	fmt.Printf("profile:   %d layers, %d similarity groups, cost %.2fs\n",
+		plan.Profile.NumLayers(), plan.Profile.GroupsProfiled, plan.Profile.Cost)
+	if plan.MIPStats != nil {
+		fmt.Printf("MIP:       tried S=%v, %d nodes, %v solve time\n",
+			plan.MIPStats.TriedStageCounts, plan.MIPStats.Nodes, plan.MIPStats.SolveTime.Round(1e6))
+	}
+	fmt.Printf("partition: %d stages (%s)\n", plan.Partition.NumStages(), plan.Partition.Algorithm)
+	for j, s := range plan.Partition.Stages {
+		fmt.Printf("  stage %2d -> gpu %d  layers [%2d..%2d]  params %6.2f GB  fwd %6.3fs  bwd %6.3fs\n",
+			j, plan.Mapping.GPUOf(j), s.First, s.Last, s.ParamBytes/1e9, s.FwdTime, s.BwdTime)
+	}
+	fmt.Printf("mapping:   %s\n", plan.Mapping)
+	fmt.Printf("predicted: %.3f s/step\n", plan.PredictedStep)
+}

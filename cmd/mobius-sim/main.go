@@ -1,0 +1,103 @@
+// Command mobius-sim simulates one training step of any evaluated system
+// and prints the measured metrics plus an ASCII timeline.
+//
+// Usage:
+//
+//	mobius-sim -model 15B -topo 2+2 -system mobius
+//	mobius-sim -model 8B -topo 4 -system ds-hetero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobius/internal/core"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	modelName := flag.String("model", "15B", "model: 3B, 8B, 15B, 51B")
+	topoSpec := flag.String("topo", "2+2", "GPUs per root complex (e.g. 4, 2+2, 1+3) or 'dc'")
+	topoFile := flag.String("topo-file", "", "JSON topology description (overrides -topo)")
+	system := flag.String("system", "mobius", "system: mobius, gpipe, ds-pipeline, ds-hetero, zero-offload, zero-nvme")
+	width := flag.Int("width", 100, "timeline width in characters")
+	csvPath := flag.String("csv", "", "write the full event trace as CSV to this path")
+	flag.Parse()
+
+	var m model.Config
+	found := false
+	for _, c := range model.Table3() {
+		if c.Name == *modelName {
+			m, found = c, true
+		}
+	}
+	if !found {
+		fail("unknown model %q", *modelName)
+	}
+
+	var topo *hw.Topology
+	var err error
+	if *topoFile != "" {
+		data, rerr := os.ReadFile(*topoFile)
+		if rerr != nil {
+			fail("%v", rerr)
+		}
+		topo, err = hw.ParseJSON(data)
+	} else {
+		topo, err = hw.ParseSpec(*topoSpec)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	sys := map[string]core.System{
+		"mobius":       core.SystemMobius,
+		"gpipe":        core.SystemGPipe,
+		"ds-pipeline":  core.SystemDSPipeline,
+		"ds-hetero":    core.SystemDSHetero,
+		"zero-offload": core.SystemZeROOffload,
+		"zero-nvme":    core.SystemZeRONVMe,
+	}[*system]
+	if sys == "" {
+		fail("unknown system %q", *system)
+	}
+
+	report, err := core.Run(sys, core.Options{Model: m, Topology: topo})
+	if err != nil {
+		fail("simulation failed: %v", err)
+	}
+	fmt.Println(report)
+	if report.OOM {
+		return
+	}
+	fmt.Printf("\nbandwidth CDF (all transfers):\n%s\n", report.BandwidthCDF.Render(13.1e9, 60))
+	if report.Server != nil {
+		fmt.Println("root complex utilization over the step:")
+		for i, rc := range report.Server.RootComplexes {
+			fmt.Printf("  rc%d: %5.1f%%  (%.1f GB carried)\n", i,
+				rc.Utilization(report.StepTime)*100, rc.Carried()/1e9)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("timeline:\n%s", report.Recorder.RenderGantt(topo.NumGPUs(), report.StepTime, *width))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail("csv: %v", err)
+		}
+		defer f.Close()
+		if err := report.Recorder.WriteCSV(f); err != nil {
+			fail("csv: %v", err)
+		}
+		fmt.Printf("\ntrace written to %s (%d flows, %d computes)\n", *csvPath,
+			len(report.Recorder.Flows), len(report.Recorder.Computes))
+	}
+}

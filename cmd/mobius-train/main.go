@@ -1,0 +1,22 @@
+// Command mobius-train runs the convergence experiment (Figure 13) on
+// the real pure-Go GPT substrate: the same model fine-tuned under the
+// GPipe execution order and the Mobius execution order (stage swapping
+// through simulated DRAM, checkpoint recomputation, gradient flush).
+//
+// Usage:
+//
+//	mobius-train -steps 200
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mobius/internal/experiments"
+)
+
+func main() {
+	steps := flag.Int("steps", 150, "training steps")
+	flag.Parse()
+	fmt.Println(experiments.Figure13(*steps).String())
+}

@@ -1,0 +1,54 @@
+package mobius_test
+
+import (
+	"fmt"
+
+	"mobius"
+)
+
+// The quickstart: simulate one Mobius fine-tuning step of a Table 3
+// model on the paper's "Topo 2+2" commodity server.
+func Example() {
+	topo := mobius.Commodity(mobius.RTX3090Ti, 2, 2)
+	report, err := mobius.Run(mobius.SystemMobius, mobius.Options{
+		Model:    mobius.GPT15B,
+		Topology: topo,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("OOM=%v stages=%d\n", report.OOM, report.Plan.Partition.NumStages())
+}
+
+// Planning without simulating: inspect the MIP partition and the cross
+// mapping Mobius would use.
+func ExamplePlanMobius() {
+	plan, err := mobius.PlanMobius(mobius.Options{
+		Model:    mobius.GPT8B,
+		Topology: mobius.Commodity(mobius.RTX3090Ti, 1, 3),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Partition.NumStages(), plan.Mapping.Scheme)
+}
+
+// Comparing systems: the OOM behaviour of Figure 5.
+func ExampleRun_baselines() {
+	topo := mobius.Commodity(mobius.RTX3090Ti, 4)
+	for _, sys := range mobius.Systems() {
+		r, err := mobius.Run(sys, mobius.Options{Model: mobius.GPT51B, Topology: topo})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(sys, r.OOM)
+	}
+}
+
+// Pricing a fine-tuning job on different hardware.
+func ExamplePricePerStep() {
+	commodity := mobius.Commodity(mobius.RTX3090Ti, 2, 2)
+	dc := mobius.DataCenter(mobius.V100, 4, 300*mobius.GB)
+	fmt.Printf("commodity $%.2f/h, data center $%.2f/h\n",
+		mobius.HourlyPrice(commodity), mobius.HourlyPrice(dc))
+}

@@ -1,0 +1,52 @@
+// Topology explorer: how do GPU allocation and PCIe layout change
+// training performance? Sweeps the paper's topologies plus scaling from
+// 2 to 8 GPUs, for Mobius and DeepSpeed-hetero.
+//
+// This reproduces the situation of §4 "GPU topologies": on a shared
+// server your job may be handed GPUs that all sit under one CPU root
+// complex (Topo 4) or nicely spread ones (Topo 2+2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobius"
+)
+
+func main() {
+	m := mobius.GPT15B
+
+	fmt.Println("-- contention: 4 GPUs under different root-complex layouts --")
+	layouts := [][]int{{2, 2}, {1, 3}, {4}}
+	for _, groups := range layouts {
+		topo := mobius.Commodity(mobius.RTX3090Ti, groups...)
+		mob, err := mobius.Run(mobius.SystemMobius, mobius.Options{Model: m, Topology: topo})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := mobius.Run(mobius.SystemDSHetero, mobius.Options{Model: m, Topology: topo})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s Mobius %6.2fs   DeepSpeed %6.2fs   speedup %.1fx\n",
+			topo.Name, mob.StepTime, ds.StepTime, ds.StepTime/mob.StepTime)
+	}
+
+	fmt.Println("\n-- scaling: 2 to 8 GPUs, half per root complex, batch grows with GPUs --")
+	mb1 := m.WithMicrobatch(1)
+	var base float64
+	for _, n := range []int{2, 4, 6, 8} {
+		topo := mobius.Commodity(mobius.RTX3090Ti, n/2, n-n/2)
+		r, err := mobius.Run(mobius.SystemMobius, mobius.Options{Model: mb1, Topology: topo})
+		if err != nil {
+			log.Fatal(err)
+		}
+		thr := float64(n) / r.StepTime
+		if n == 2 {
+			base = thr
+		}
+		fmt.Printf("%d GPUs: %6.2fs/step  throughput %5.2f samples/s  scaling %.2fx (ideal %.1fx)\n",
+			n, r.StepTime, thr, thr/base, float64(n)/2)
+	}
+}

@@ -1,0 +1,55 @@
+// What-if: capacity planning with the simulator. Before buying or
+// renting hardware, sweep the knobs that matter — root-complex bandwidth
+// (PCIe generation), GPU memory, and GPU grouping — and see how Mobius'
+// step time responds for your model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobius"
+)
+
+func run(topo *mobius.Topology) float64 {
+	r, err := mobius.Run(mobius.SystemMobius, mobius.Options{Model: mobius.GPT15B, Topology: topo})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r.OOM {
+		return -1
+	}
+	return r.StepTime
+}
+
+func main() {
+	fmt.Println("-- what if the PCIe fabric were faster? (15B, 4 GPUs, 2+2) --")
+	for _, bw := range []float64{8, 13.1, 26, 52} { // PCIe 3 x8 .. PCIe 5 x16-ish
+		topo := mobius.Commodity(mobius.RTX3090Ti, 2, 2)
+		for i := range topo.RootComplexBW {
+			topo.RootComplexBW[i] = bw * 1e9
+		}
+		topo.Name = fmt.Sprintf("2+2 @ %.1f GB/s", bw)
+		fmt.Printf("root complex %5.1f GB/s: %6.2f s/step\n", bw, run(topo))
+	}
+
+	fmt.Println("\n-- what if the GPUs had more memory? --")
+	for _, gb := range []float64{12, 16, 24, 48} {
+		spec := mobius.RTX3090Ti
+		spec.MemBytes = gb * mobius.GB
+		topo := mobius.Commodity(spec, 2, 2)
+		topo.Name = fmt.Sprintf("2+2 %gGB", gb)
+		t := run(topo)
+		if t < 0 {
+			fmt.Printf("%4.0f GB GPUs: OOM (a single transformer block no longer fits)\n", gb)
+			continue
+		}
+		fmt.Printf("%4.0f GB GPUs: %6.2f s/step\n", gb, t)
+	}
+
+	fmt.Println("\n-- what does the job cost at each design point? --")
+	base := mobius.Commodity(mobius.RTX3090Ti, 2, 2)
+	t := run(base)
+	fmt.Printf("today's server: %.2f s/step, $%.5f/step, $%.0f for a 20k-step fine-tune\n",
+		t, mobius.PricePerStep(base, t), mobius.PricePerStep(base, t)*20000)
+}

@@ -1,0 +1,3 @@
+module mobius
+
+go 1.22

@@ -1,0 +1,120 @@
+// Package advisor answers the practitioner question the paper's
+// introduction opens with: given a model to fine-tune and a set of
+// hardware options (commodity servers of various shapes, a data-center
+// instance), which one finishes the job fastest — and which one is
+// cheapest? It simulates the best system per option (Mobius on
+// commodity, the better of Mobius/DeepSpeed elsewhere) and ranks the
+// results.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"mobius/internal/core"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+// Recommendation is one evaluated hardware option.
+type Recommendation struct {
+	// Topology is the evaluated server.
+	Topology *hw.Topology
+	// System is the fastest feasible training system on it.
+	System core.System
+	// StepTime is the simulated seconds per training step.
+	StepTime float64
+	// PricePerStep is dollars per step at the rental price model.
+	PricePerStep float64
+	// SamplesPerDollar is throughput per dollar, the ranking key.
+	SamplesPerDollar float64
+	// OOM marks options that cannot train the model at all.
+	OOM bool
+}
+
+// Label names the option unambiguously (topology plus GPU model).
+func (r Recommendation) Label() string {
+	return fmt.Sprintf("%s %s", r.Topology.Name, r.Topology.GPUs[0].Spec.Name)
+}
+
+func (r Recommendation) String() string {
+	if r.OOM {
+		return fmt.Sprintf("%-28s cannot train the model (OOM)", r.Label())
+	}
+	return fmt.Sprintf("%-28s %-20s %7.2fs/step  $%.5f/step  %6.1f samples/$",
+		r.Label(), r.System, r.StepTime, r.PricePerStep, r.SamplesPerDollar)
+}
+
+// DefaultOptions returns a representative hardware menu: the paper's
+// commodity shapes, bigger commodity boxes, and the data-center
+// instance.
+func DefaultOptions() []*hw.Topology {
+	return []*hw.Topology{
+		hw.Commodity(hw.RTX3090Ti, 2, 2),
+		hw.Commodity(hw.RTX3090Ti, 4),
+		hw.Commodity(hw.RTX3090Ti, 4, 4),
+		hw.Commodity(hw.A6000, 2, 2),
+		hw.DataCenter(hw.V100, 4, 300*hw.GB),
+	}
+}
+
+// systemsFor lists the candidate systems per topology: Mobius always;
+// DeepSpeed-hetero as the alternative (it wins on NVLink fabrics).
+func systemsFor() []core.System {
+	return []core.System{core.SystemMobius, core.SystemDSHetero}
+}
+
+// Advise evaluates every option for the model and returns feasible
+// recommendations sorted by samples-per-dollar (descending), followed by
+// the infeasible ones.
+func Advise(m model.Config, options []*hw.Topology) ([]Recommendation, error) {
+	if len(options) == 0 {
+		options = DefaultOptions()
+	}
+	var out []Recommendation
+	for _, topo := range options {
+		rec := Recommendation{Topology: topo, OOM: true}
+		for _, sys := range systemsFor() {
+			r, err := core.Run(sys, core.Options{Model: m, Topology: topo})
+			if err != nil {
+				return nil, fmt.Errorf("advisor: %s on %s: %w", sys, topo.Name, err)
+			}
+			if r.OOM {
+				continue
+			}
+			if rec.OOM || r.StepTime < rec.StepTime {
+				rec.OOM = false
+				rec.System = sys
+				rec.StepTime = r.StepTime
+			}
+		}
+		if !rec.OOM {
+			rec.PricePerStep = core.PricePerStep(topo, rec.StepTime)
+			samplesPerStep := float64(topo.NumGPUs() * m.MicrobatchSize) // M = N
+			rec.SamplesPerDollar = samplesPerStep / rec.PricePerStep
+		}
+		out = append(out, rec)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].OOM != out[j].OOM {
+			return !out[i].OOM
+		}
+		return out[i].SamplesPerDollar > out[j].SamplesPerDollar
+	})
+	return out, nil
+}
+
+// Fastest returns the feasible recommendation with the lowest step time,
+// or nil when nothing can train the model.
+func Fastest(recs []Recommendation) *Recommendation {
+	var best *Recommendation
+	for i := range recs {
+		if recs[i].OOM {
+			continue
+		}
+		if best == nil || recs[i].StepTime < best.StepTime {
+			best = &recs[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,69 @@
+package advisor
+
+import (
+	"testing"
+
+	"mobius/internal/core"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+func TestAdviseRanksAndFiltersOOM(t *testing.T) {
+	options := []*hw.Topology{
+		hw.Commodity(hw.RTX3090Ti, 2, 2),
+		hw.DataCenter(hw.V100, 4, 300*hw.GB),
+	}
+	recs, err := Advise(model.GPT15B, options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recommendations: %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.OOM {
+			t.Fatalf("%s: both options must train 15B", r.Topology.Name)
+		}
+		if r.StepTime <= 0 || r.PricePerStep <= 0 || r.SamplesPerDollar <= 0 {
+			t.Fatalf("bad recommendation: %+v", r)
+		}
+		if r.String() == "" {
+			t.Fatal("empty render")
+		}
+	}
+	// Ranked by samples per dollar, descending.
+	if recs[0].SamplesPerDollar < recs[1].SamplesPerDollar {
+		t.Fatalf("ranking broken: %v", recs)
+	}
+	// On commodity, Mobius must be the chosen system; on the NVLink
+	// server, DeepSpeed.
+	for _, r := range recs {
+		if r.Topology.HasP2P() && r.System != core.SystemDSHetero {
+			t.Errorf("DC option should pick DeepSpeed, got %s", r.System)
+		}
+		if !r.Topology.HasP2P() && r.System != core.SystemMobius {
+			t.Errorf("commodity option should pick Mobius, got %s", r.System)
+		}
+	}
+}
+
+func TestFastestSkipsOOM(t *testing.T) {
+	recs := []Recommendation{
+		{OOM: true},
+		{StepTime: 5},
+		{StepTime: 3},
+	}
+	f := Fastest(recs)
+	if f == nil || f.StepTime != 3 {
+		t.Fatalf("fastest: %+v", f)
+	}
+	if Fastest([]Recommendation{{OOM: true}}) != nil {
+		t.Fatal("all-OOM must return nil")
+	}
+}
+
+func TestAdviseDefaultMenu(t *testing.T) {
+	if len(DefaultOptions()) < 4 {
+		t.Fatal("menu too small")
+	}
+}

@@ -1,0 +1,326 @@
+// Package core is the top-level orchestration API of the Mobius
+// reproduction: it profiles a model, plans a Mobius execution (MIP
+// partition + cross mapping, §3.2-3.3), runs any of the four evaluated
+// systems on a simulated topology, and returns a StepReport with the
+// metrics every figure of the paper's evaluation is built from.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mobius/internal/hw"
+	"mobius/internal/mapping"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+	"mobius/internal/pipeline"
+	"mobius/internal/profile"
+	"mobius/internal/trace"
+	"mobius/internal/zero"
+)
+
+// System identifies one of the evaluated training systems.
+type System string
+
+// The four systems of the paper's evaluation (§4, Figure 5).
+const (
+	SystemMobius     System = "Mobius"
+	SystemGPipe      System = "GPipe"
+	SystemDSPipeline System = "DeepSpeed (pipeline)"
+	SystemDSHetero   System = "DeepSpeed (hetero)"
+)
+
+// Related-work systems from §5, for the extended comparison.
+const (
+	// SystemZeROOffload replicates FP16 parameters on every GPU and
+	// offloads gradients/optimizer to the CPU; model scale is bounded by
+	// one GPU's memory.
+	SystemZeROOffload System = "ZeRO-Offload"
+	// SystemZeRONVMe is ZeRO-Infinity with parameter shards and
+	// gradients on the NVMe tier.
+	SystemZeRONVMe System = "ZeRO-Infinity (NVMe)"
+)
+
+// Systems lists all four in the paper's presentation order.
+func Systems() []System {
+	return []System{SystemGPipe, SystemDSPipeline, SystemDSHetero, SystemMobius}
+}
+
+// UsableMemFraction is the share of device memory available to the
+// scheduler after CUDA context and allocator fragmentation overheads.
+const UsableMemFraction = 0.92
+
+// Options configure a planning + simulation run.
+type Options struct {
+	// Model is the workload (Table 3).
+	Model model.Config
+	// Topology is the simulated server.
+	Topology *hw.Topology
+	// Microbatches is M per training step; defaults to the GPU count,
+	// as in the paper.
+	Microbatches int
+	// PartitionAlgo selects partition.AlgoMIP (default), AlgoMaxStage,
+	// AlgoMinStage or AlgoBalanced (with BalancedStages).
+	PartitionAlgo string
+	// BalancedStages is the stage count for AlgoBalanced.
+	BalancedStages int
+	// MappingScheme selects mapping.SchemeCross (default) or
+	// mapping.SchemeSequential.
+	MappingScheme string
+	// DisablePrefetchPriority turns off the paper's prefetch priority
+	// policy (ablation).
+	DisablePrefetchPriority bool
+	// DisablePrefetch turns off stage prefetching entirely (ablation):
+	// no communication/computation overlap.
+	DisablePrefetch bool
+	// MIP bounds the partition solver.
+	MIP partition.MIPOptions
+	// ProfileOptions control layer profiling.
+	ProfileOptions profile.Options
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Topology == nil {
+		return o, fmt.Errorf("core: topology is required")
+	}
+	if err := o.Model.Validate(); err != nil {
+		return o, fmt.Errorf("core: %w", err)
+	}
+	if o.Microbatches <= 0 {
+		o.Microbatches = o.Topology.NumGPUs()
+	}
+	if o.PartitionAlgo == "" {
+		o.PartitionAlgo = partition.AlgoMIP
+	}
+	if o.MappingScheme == "" {
+		o.MappingScheme = mapping.SchemeCross
+	}
+	return o, nil
+}
+
+// PlanBandwidth returns the average effective transfer bandwidth B used
+// by the partition MIP: the narrower of a GPU link and its root complex.
+func PlanBandwidth(topo *hw.Topology) float64 {
+	b := topo.GPUs[0].Spec.LinkBW
+	for _, rc := range topo.RootComplexBW {
+		if rc < b {
+			b = rc
+		}
+	}
+	return b
+}
+
+// Plan is a complete Mobius execution plan for a model on a topology.
+type Plan struct {
+	Profile   *profile.Profile
+	Partition *partition.Partition
+	Mapping   *mapping.Mapping
+	// MIPStats is non-nil when the MIP partition algorithm ran.
+	MIPStats *partition.MIPStats
+	// CrossMapTime is the wall-clock time of the mapping search
+	// (Figure 12's "cross mapping" overhead bar).
+	CrossMapTime time.Duration
+	// PredictedStep is the analytic step-time estimate of the partition
+	// evaluator.
+	PredictedStep float64
+}
+
+// PlanMobius profiles the model and computes partition and mapping.
+func PlanMobius(opts Options) (*Plan, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.Run(opts.Model, opts.Topology.GPUs[0].Spec, opts.ProfileOptions)
+	if err != nil {
+		return nil, err
+	}
+	params := partition.Params{
+		Profile:      prof,
+		NumGPUs:      opts.Topology.NumGPUs(),
+		Microbatches: opts.Microbatches,
+		GPUMem:       opts.Topology.GPUMem(0) * UsableMemFraction,
+		Bandwidth:    PlanBandwidth(opts.Topology),
+		Latency:      opts.Topology.TransferLatency,
+	}
+
+	plan := &Plan{Profile: prof}
+	switch opts.PartitionAlgo {
+	case partition.AlgoMIP:
+		part, stats, err := partition.MIP(params, opts.MIP)
+		if err != nil {
+			return nil, err
+		}
+		plan.Partition, plan.MIPStats = part, stats
+	case partition.AlgoMaxStage:
+		plan.Partition, err = partition.MaxStage(params)
+	case partition.AlgoMinStage:
+		plan.Partition, err = partition.MinStage(params)
+	case partition.AlgoBalanced:
+		plan.Partition, err = partition.Balanced(params, opts.BalancedStages)
+	default:
+		return nil, fmt.Errorf("core: unknown partition algorithm %q", opts.PartitionAlgo)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	switch opts.MappingScheme {
+	case mapping.SchemeCross:
+		plan.Mapping, err = mapping.Cross(opts.Topology, plan.Partition.NumStages())
+	case mapping.SchemeSequential:
+		plan.Mapping, err = mapping.Sequential(opts.Topology, plan.Partition.NumStages())
+	default:
+		return nil, fmt.Errorf("core: unknown mapping scheme %q", opts.MappingScheme)
+	}
+	plan.CrossMapTime = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	if t, err := partition.StepTime(params, plan.Partition); err == nil {
+		plan.PredictedStep = t
+	}
+	return plan, nil
+}
+
+// StepReport is the measured outcome of simulating one training step.
+type StepReport struct {
+	System   System
+	Model    model.Config
+	Topology *hw.Topology
+
+	// StepTime is the simulated step duration; meaningless when OOM.
+	StepTime float64
+	// OOM reports the schedule did not fit in GPU memory.
+	OOM bool
+	// TrafficBytes is the total data moved during the step (Figure 6).
+	TrafficBytes float64
+	// BandwidthCDF is the byte-weighted achieved-bandwidth distribution
+	// over all transfers (Figures 2, 7, 11).
+	BandwidthCDF trace.CDF
+	// HostLinkCDF restricts the CDF to GPU<->DRAM transfers (Figure 16).
+	HostLinkCDF trace.CDF
+	// NonOverlapFraction is the share of step time spent on
+	// communication not hidden by compute, averaged over GPUs (Figure 8).
+	NonOverlapFraction float64
+	// Plan holds the Mobius plan when System == SystemMobius.
+	Plan *Plan
+	// Recorder exposes the raw trace.
+	Recorder *trace.Recorder
+	// Server exposes the simulated hardware (resource utilization,
+	// memory peaks) after the run.
+	Server *hw.Server
+}
+
+// Run plans (when needed) and simulates one training step of the given
+// system.
+func Run(system System, opts Options) (*StepReport, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	report := &StepReport{System: system, Model: opts.Model, Topology: opts.Topology}
+
+	// Heterogeneous-memory systems keep the full model states in DRAM;
+	// the paper assumes pretrained models fit there (§3.1).
+	if states := opts.Model.ModelStatesBytes(); states > opts.Topology.DRAMBytes {
+		return nil, fmt.Errorf("core: model states (%.0f GB) exceed DRAM capacity (%.0f GB)",
+			states/1e9, opts.Topology.DRAMBytes/1e9)
+	}
+
+	var res *pipeline.Result
+	switch system {
+	case SystemMobius:
+		plan, err := PlanMobius(opts)
+		if err != nil {
+			return nil, err
+		}
+		report.Plan = plan
+		res, err = pipeline.RunMobius(opts.Topology, pipeline.MobiusConfig{
+			Partition:               plan.Partition,
+			Mapping:                 plan.Mapping,
+			Microbatches:            opts.Microbatches,
+			DisablePrefetchPriority: opts.DisablePrefetchPriority,
+			DisablePrefetch:         opts.DisablePrefetch,
+		})
+		if err != nil {
+			return nil, err
+		}
+	case SystemGPipe:
+		prof, err := profile.Run(opts.Model, opts.Topology.GPUs[0].Spec, opts.ProfileOptions)
+		if err != nil {
+			return nil, err
+		}
+		res, err = pipeline.RunGPipe(opts.Topology, pipeline.GPipeConfig{Profile: prof, Microbatches: opts.Microbatches})
+		if err != nil {
+			return nil, err
+		}
+	case SystemDSPipeline:
+		prof, err := profile.Run(opts.Model, opts.Topology.GPUs[0].Spec, opts.ProfileOptions)
+		if err != nil {
+			return nil, err
+		}
+		res, err = zero.RunPipelineMode(opts.Topology, prof, opts.Microbatches)
+		if err != nil {
+			return nil, err
+		}
+	case SystemDSHetero:
+		prof, err := profile.Run(opts.Model, opts.Topology.GPUs[0].Spec, opts.ProfileOptions)
+		if err != nil {
+			return nil, err
+		}
+		res, err = zero.Run(opts.Topology, zero.Config{Profile: prof})
+		if err != nil {
+			return nil, err
+		}
+	case SystemZeROOffload:
+		prof, err := profile.Run(opts.Model, opts.Topology.GPUs[0].Spec, opts.ProfileOptions)
+		if err != nil {
+			return nil, err
+		}
+		res, err = zero.RunOffload(opts.Topology, zero.Config{Profile: prof})
+		if err != nil {
+			return nil, err
+		}
+	case SystemZeRONVMe:
+		prof, err := profile.Run(opts.Model, opts.Topology.GPUs[0].Spec, opts.ProfileOptions)
+		if err != nil {
+			return nil, err
+		}
+		topo := opts.Topology
+		if !topo.HasSSD() {
+			// Attach the default commodity NVMe tier; ZeRO-Infinity's
+			// defining trait is offloading to it.
+			clone := *topo
+			topo = (&clone).WithSSD(hw.CommoditySSDBW, hw.CommoditySSDBytes)
+		}
+		res, err = zero.RunInfinityNVMe(topo, zero.Config{Profile: prof})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown system %q", system)
+	}
+
+	report.StepTime = res.StepTime
+	report.OOM = res.OOM
+	report.Recorder = res.Recorder
+	report.Server = res.Server
+	if !res.OOM && res.Recorder != nil {
+		report.TrafficBytes = res.Recorder.TotalBytes(nil)
+		report.BandwidthCDF = res.Recorder.BandwidthCDF(nil)
+		report.HostLinkCDF = res.Recorder.BandwidthCDF(func(tag trace.Tag) bool { return tag.PeerGPU < 0 })
+		report.NonOverlapFraction = res.Recorder.NonOverlappedCommFraction(opts.Topology.NumGPUs(), res.StepTime)
+	}
+	return report, nil
+}
+
+func (r *StepReport) String() string {
+	if r.OOM {
+		return fmt.Sprintf("%-22s %-4s %-10s OOM", r.System, r.Model.Name, r.Topology.Name)
+	}
+	return fmt.Sprintf("%-22s %-4s %-10s %8.2fs/step  %7.1f GB moved  %4.0f%% comm exposed",
+		r.System, r.Model.Name, r.Topology.Name, r.StepTime, r.TrafficBytes/1e9, r.NonOverlapFraction*100)
+}

@@ -1,0 +1,30 @@
+package core
+
+import "mobius/internal/hw"
+
+// Hourly rental prices used by the Figure 15b cost analysis, following
+// the paper's sources: Amazon EC2 P3.8xlarge for the data center server
+// [1] and immers.cloud-style commodity GPU rental [8].
+const (
+	// DCPricePerGPUHour is the per-GPU hourly price of a P3.8xlarge
+	// ($12.24/h for 4 V100s).
+	DCPricePerGPUHour = 12.24 / 4
+	// CommodityPricePerGPUHour is the hourly rental of one 3090-class
+	// GPU on a commodity cloud (immers.cloud-style pricing).
+	CommodityPricePerGPUHour = 1.05
+)
+
+// HourlyPrice returns the topology's rental price per hour.
+func HourlyPrice(topo *hw.Topology) float64 {
+	per := CommodityPricePerGPUHour
+	if topo.HasP2P() {
+		per = DCPricePerGPUHour
+	}
+	return per * float64(topo.NumGPUs())
+}
+
+// PricePerStep converts a measured step time into dollars per training
+// step on the given topology (Figure 15b).
+func PricePerStep(topo *hw.Topology, stepTime float64) float64 {
+	return HourlyPrice(topo) * stepTime / 3600
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mobius/internal/core"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/trace"
+)
+
+// The experiment tests assert the headline *shape* claims of each paper
+// figure on the simulated substrate; EXPERIMENTS.md records the numbers.
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "t", Header: []string{"a", "bbbb"}}
+	tab.Add("x", "y")
+	tab.Addf("z", 1.5)
+	tab.Note("n=%d", 1)
+	s := tab.String()
+	for _, want := range []string{"== t ==", "bbbb", "1.500", "note: n=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable1And3Shapes(t *testing.T) {
+	if got := len(Table1().Rows); got != 4 {
+		t.Errorf("table1 rows: %d", got)
+	}
+	if got := len(Table3Models().Rows); got != 4 {
+		t.Errorf("table3 rows: %d", got)
+	}
+}
+
+func TestFigure2ShowsContention(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	r := mustRun(core.SystemDSHetero, core.Options{Model: model.GPT15B, Topology: topo})
+	// The motivating observation: DeepSpeed's median transfer runs at or
+	// below ~half the root complex bandwidth.
+	if med := r.BandwidthCDF.Median(); med > 7.5e9 {
+		t.Errorf("DeepSpeed median bandwidth %.2f GB/s, expected heavy contention", med/1e9)
+	}
+	if tab := Figure2(); len(tab.Rows) == 0 {
+		t.Error("empty figure 2 table")
+	}
+}
+
+func TestFigure6TrafficRatios(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	for _, m := range []model.Config{model.GPT15B} {
+		ds := mustRun(core.SystemDSHetero, core.Options{Model: m, Topology: topo})
+		mob := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo})
+		dsRatio := ds.TrafficBytes / m.ParamBytesFP32()
+		mobRatio := mob.TrafficBytes / m.ParamBytesFP32()
+		if dsRatio < 5 || dsRatio > 9 {
+			t.Errorf("%s: DeepSpeed traffic ratio %.2f outside [5,9]", m.Name, dsRatio)
+		}
+		if mobRatio < 1.1 || mobRatio > 2.3 {
+			t.Errorf("%s: Mobius traffic ratio %.2f outside [1.1,2.3]", m.Name, mobRatio)
+		}
+		if dsRatio/mobRatio < 3 {
+			t.Errorf("%s: traffic gap %.2f below ~N", m.Name, dsRatio/mobRatio)
+		}
+	}
+}
+
+func TestFigure5SpeedupBand(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 4) // most contended
+	ds := mustRun(core.SystemDSHetero, core.Options{Model: model.GPT15B, Topology: topo})
+	mob := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo})
+	sp := ds.StepTime / mob.StepTime
+	if sp < 2.5 {
+		t.Errorf("15B/Topo4 speedup %.2f, want >= 2.5 (paper: up to 5.1)", sp)
+	}
+}
+
+func TestFigure8OverlapGap(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	ds := mustRun(core.SystemDSHetero, core.Options{Model: model.GPT15B, Topology: topo})
+	mob := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo})
+	if ds.NonOverlapFraction < 0.5 {
+		t.Errorf("DeepSpeed non-overlap %.2f, paper reports ~0.7-0.8", ds.NonOverlapFraction)
+	}
+	if mob.NonOverlapFraction >= ds.NonOverlapFraction {
+		t.Error("Mobius must hide more communication than DeepSpeed")
+	}
+}
+
+func TestFigure9MIPNeverWorse(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	m := model.GPT8B
+	mip := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: "mip"})
+	maxS := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: "max-stage"})
+	minS := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: "min-stage"})
+	if mip.StepTime > maxS.StepTime*1.02 {
+		t.Errorf("MIP %.2f worse than max-stage %.2f", mip.StepTime, maxS.StepTime)
+	}
+	if mip.StepTime > minS.StepTime*1.02 {
+		t.Errorf("MIP %.2f worse than min-stage %.2f", mip.StepTime, minS.StepTime)
+	}
+	if maxS.StepTime < mip.StepTime*1.2 {
+		t.Errorf("max-stage should be clearly worse (no prefetch room): %.2f vs %.2f", maxS.StepTime, mip.StepTime)
+	}
+}
+
+func TestFigure10CrossHelpsOn8GPUs(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 4, 4)
+	m := model.GPT15B.WithMicrobatch(1)
+	seq := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: "sequential"})
+	cross := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: "cross"})
+	if cross.StepTime > seq.StepTime*1.01 {
+		t.Errorf("cross %.3f must not lose to sequential %.3f", cross.StepTime, seq.StepTime)
+	}
+}
+
+func TestFigure14NearLinear(t *testing.T) {
+	m := model.GPT15B.WithMicrobatch(1)
+	r2 := mustRun(core.SystemMobius, core.Options{Model: m, Topology: hw.Commodity(hw.RTX3090Ti, 1, 1)})
+	r8 := mustRun(core.SystemMobius, core.Options{Model: m, Topology: hw.Commodity(hw.RTX3090Ti, 4, 4)})
+	thr2 := 2.0 / r2.StepTime
+	thr8 := 8.0 / r8.StepTime
+	if sc := thr8 / thr2; sc < 3.0 {
+		t.Errorf("scaling 2->8 GPUs %.2fx, want near 4x", sc)
+	}
+}
+
+func TestFigure15ShapeHolds(t *testing.T) {
+	commodity := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	dc := hw.DataCenter(hw.V100, 4, 300*hw.GB)
+	m := model.GPT15B.WithMicrobatch(2)
+	mobC := mustRun(core.SystemMobius, core.Options{Model: m, Topology: commodity})
+	dsDC := mustRun(core.SystemDSHetero, core.Options{Model: m, Topology: dc})
+	mobDC := mustRun(core.SystemMobius, core.Options{Model: m, Topology: dc})
+	if mobC.StepTime <= dsDC.StepTime {
+		t.Errorf("commodity Mobius (%.2f) should be slower than DC DeepSpeed (%.2f)", mobC.StepTime, dsDC.StepTime)
+	}
+	if dsDC.StepTime >= mobDC.StepTime {
+		t.Errorf("on the DC server DeepSpeed (%.2f) must beat Mobius (%.2f)", dsDC.StepTime, mobDC.StepTime)
+	}
+	if core.PricePerStep(commodity, mobC.StepTime) >= core.PricePerStep(dc, dsDC.StepTime) {
+		t.Error("commodity Mobius must be cheaper per step than DC DeepSpeed")
+	}
+}
+
+func TestFigure13Converges(t *testing.T) {
+	tab := Figure13(20)
+	if len(tab.Rows) == 0 {
+		t.Fatal("no convergence rows")
+	}
+	for _, row := range tab.Rows {
+		if row[1] != row[2] {
+			t.Fatalf("GPipe and Mobius losses differ at step %s: %s vs %s", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestTrafficByKindDecomposes(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	r := mustRun(core.SystemMobius, core.Options{Model: model.GPT8B, Topology: topo})
+	kinds := TrafficByKind(r)
+	var sum float64
+	for _, v := range kinds {
+		sum += v
+	}
+	if sum <= 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if kinds[trace.KindParamUpload] <= 0 || kinds[trace.KindGradFlush] <= 0 {
+		t.Error("param uploads and gradient flushes must both appear")
+	}
+	if kinds[trace.KindCollective] != 0 {
+		t.Error("Mobius must not use collectives")
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	all := All()
+	for _, id := range Order() {
+		if all[id] == nil {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(all) != len(Order()) {
+		t.Errorf("registry size %d != order size %d", len(all), len(Order()))
+	}
+}
+
+func TestAblationPrefetchHelps(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	off := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, DisablePrefetch: true})
+	on := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo})
+	if on.StepTime > off.StepTime*1.005 {
+		t.Errorf("prefetching must not slow the step: %.3f vs %.3f", on.StepTime, off.StepTime)
+	}
+	if off.StepTime < on.StepTime*1.03 {
+		t.Errorf("disabling prefetch should cost noticeably: %.3f vs %.3f", off.StepTime, on.StepTime)
+	}
+}
+
+func TestAblationPriorityNeverHurts(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 4)
+	off := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, DisablePrefetchPriority: true})
+	on := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo})
+	if on.StepTime > off.StepTime*1.02 {
+		t.Errorf("priority must not hurt: %.3f vs %.3f", on.StepTime, off.StepTime)
+	}
+}
+
+func TestAblationMicrobatchAmortization(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	m2 := mustRun2(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, Microbatches: 2})
+	m8 := mustRun2(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, Microbatches: 8})
+	if m8.StepTime/8 >= m2.StepTime/2 {
+		t.Errorf("per-sample time must improve with more microbatches: %.3f vs %.3f",
+			m8.StepTime/8, m2.StepTime/2)
+	}
+}
+
+func TestDRAMCapacityEnforced(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	topo.DRAMBytes = 64e9 // too small for 15B model states
+	if _, err := core.Run(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo}); err == nil {
+		t.Fatal("model states exceeding DRAM must error")
+	}
+}
+
+func TestChartsRenderWellFormedSVG(t *testing.T) {
+	// The cheap charts (cached runs) must emit parseable SVG documents.
+	for _, name := range []string{"figure2-cdf", "figure5-bars", "figure7-cdf", "figure14-scaling"} {
+		svg := Charts()[name]()
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+			t.Errorf("%s: not an SVG document", name)
+		}
+		if len(svg) < 500 {
+			t.Errorf("%s: suspiciously small (%d bytes)", name, len(svg))
+		}
+	}
+}
+
+func TestRelatedWorkShape(t *testing.T) {
+	tab := RelatedWork()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// 15B row: ZeRO-Offload OOM, everything else trains.
+	row := tab.Rows[2]
+	if row[0] != "15B" || row[1] != "OOM" {
+		t.Fatalf("15B row: %v", row)
+	}
+	for i := 2; i < 5; i++ {
+		if row[i] == "OOM" {
+			t.Fatalf("column %d must train 15B: %v", i, row)
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "b"}}
+	tab.Add("1", "2")
+	tab.Note("n")
+	md := tab.Markdown()
+	for _, want := range []string{"### T", "| a | b |", "| --- | --- |", "| 1 | 2 |", "_n_"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

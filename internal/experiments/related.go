@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"mobius/internal/core"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+// RelatedWork extends the evaluation with the §5 scale-up baselines:
+// ZeRO-Offload (parameters replicated per GPU, CPU optimizer) and
+// ZeRO-Infinity with NVMe offload. It demonstrates the two design points
+// Mobius argues against: bounding the model scale by a single GPU's
+// memory, and extending memory with an SSD whose bandwidth bottlenecks
+// training (§3.1).
+func RelatedWork() *Table {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	t := &Table{
+		Title:  "Related work (§5): scale-up baselines on Topo 2+2",
+		Header: []string{"model", "ZeRO-Offload", "ZeRO-Infinity NVMe", "DS-hetero (DRAM)", "Mobius"},
+	}
+	for _, m := range []model.Config{model.GPT3B, model.GPT8B, model.GPT15B} {
+		cells := []string{m.Name}
+		for _, sys := range []core.System{core.SystemZeROOffload, core.SystemZeRONVMe, core.SystemDSHetero, core.SystemMobius} {
+			r := mustRun(sys, core.Options{Model: m, Topology: topo})
+			if r.OOM {
+				cells = append(cells, "OOM")
+				continue
+			}
+			cells = append(cells, secs(r.StepTime))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	t.Note("ZeRO-Offload's replicated FP16 parameters cap the model at one GPU's memory;")
+	t.Note("NVMe offload trains everything but pays the SSD's %.1f GB/s on every gather", hw.CommoditySSDBW/1e9)
+	return t
+}

@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§4) on the simulated substrate. Each function
+// returns a formatted Table whose rows correspond to the bars, lines or
+// cells of the original plot; the root-level benchmark suite and
+// cmd/mobius-bench print them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row built from the given cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends a row formatted cell-by-cell: each argument is rendered
+// with %v.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends an annotation line printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// secs formats seconds.
+func secs(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// gb formats bytes as gigabytes.
+func gb(v float64) string { return fmt.Sprintf("%.1f", v/1e9) }
+
+// ratio formats a unitless ratio.
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// Markdown renders the table as GitHub-flavored markdown, for pasting
+// experiment results into reports like EXPERIMENTS.md.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %s |", c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n_%s_\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,23 @@
+package hw
+
+import "testing"
+
+// FuzzParseSpec ensures the topology-spec parser never panics and that
+// every accepted spec yields a valid topology.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{"4", "2+2", "1+3", "4+4", "dc", "dc8", "", "++", "-1", "dc0", "2+0", "9999999999"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		topo, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if topo.NumGPUs() <= 0 {
+			t.Fatalf("accepted %q but produced %d GPUs", spec, topo.NumGPUs())
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("accepted %q but invalid: %v", spec, err)
+		}
+	})
+}

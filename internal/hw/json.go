@@ -1,0 +1,112 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// topologyJSON is the on-disk description of a custom server, so users
+// can model their own machine with cmd/mobius-sim -topo-file.
+//
+//	{
+//	  "name": "my box",
+//	  "gpu": {"name": "RTX 3090-Ti", "mem_gb": 24, "fp16_tflops": 160,
+//	          "efficiency": 0.05, "link_gbps": 16, "price_usd": 2000},
+//	  "groups": [2, 2],
+//	  "root_complex_gbps": 13.1,
+//	  "dram_gb": 1500,
+//	  "transfer_latency_ms": 5,
+//	  "nvlink_gbps": 0
+//	}
+type topologyJSON struct {
+	Name              string  `json:"name"`
+	GPU               gpuJSON `json:"gpu"`
+	Groups            []int   `json:"groups"`
+	RootComplexGBps   float64 `json:"root_complex_gbps"`
+	DRAMGB            float64 `json:"dram_gb"`
+	TransferLatencyMS float64 `json:"transfer_latency_ms"`
+	NVLinkGBps        float64 `json:"nvlink_gbps"`
+	SSDGBps           float64 `json:"ssd_gbps"`
+	SSDGB             float64 `json:"ssd_gb"`
+}
+
+type gpuJSON struct {
+	Name       string  `json:"name"`
+	MemGB      float64 `json:"mem_gb"`
+	FP16TFLOPS float64 `json:"fp16_tflops"`
+	Efficiency float64 `json:"efficiency"`
+	LinkGBps   float64 `json:"link_gbps"`
+	PriceUSD   float64 `json:"price_usd"`
+	P2P        bool    `json:"p2p"`
+}
+
+// ParseJSON builds a topology from a JSON description. Missing optional
+// fields fall back to commodity defaults.
+func ParseJSON(data []byte) (*Topology, error) {
+	var tj topologyJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("hw: bad topology JSON: %w", err)
+	}
+	if len(tj.Groups) == 0 {
+		return nil, fmt.Errorf("hw: topology JSON needs at least one GPU group")
+	}
+	total := 0
+	for _, g := range tj.Groups {
+		if g <= 0 {
+			return nil, fmt.Errorf("hw: non-positive GPU group in %v", tj.Groups)
+		}
+		total += g
+	}
+	if total > maxSpecGPUs {
+		return nil, fmt.Errorf("hw: topology JSON exceeds %d GPUs", maxSpecGPUs)
+	}
+
+	spec := GPUSpec{
+		Name:       orStr(tj.GPU.Name, RTX3090Ti.Name),
+		MemBytes:   orF(tj.GPU.MemGB, 24) * GB,
+		FP16TFLOPS: orF(tj.GPU.FP16TFLOPS, RTX3090Ti.FP16TFLOPS),
+		Efficiency: orF(tj.GPU.Efficiency, RTX3090Ti.Efficiency),
+		LinkBW:     orF(tj.GPU.LinkGBps, 16) * GBps,
+		PriceUSD:   orF(tj.GPU.PriceUSD, RTX3090Ti.PriceUSD),
+		P2P:        tj.GPU.P2P,
+	}
+	t := Commodity(spec, tj.Groups...)
+	if tj.Name != "" {
+		t.Name = tj.Name
+	}
+	if tj.RootComplexGBps > 0 {
+		for i := range t.RootComplexBW {
+			t.RootComplexBW[i] = tj.RootComplexGBps * GBps
+		}
+	}
+	if tj.DRAMGB > 0 {
+		t.DRAMBytes = tj.DRAMGB * GB
+	}
+	if tj.TransferLatencyMS > 0 {
+		t.TransferLatency = tj.TransferLatencyMS / 1000
+	}
+	if tj.NVLinkGBps > 0 {
+		t.NVLinkBW = tj.NVLinkGBps * GBps
+	}
+	if tj.SSDGBps > 0 {
+		t.WithSSD(tj.SSDGBps*GBps, orF(tj.SSDGB, 4000)*GB)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func orStr(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func orF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

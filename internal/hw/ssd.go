@@ -1,0 +1,82 @@
+package hw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NVMe defaults for the storage tier referenced by §3.1 and §5: Mobius
+// deliberately extends GPU memory with DRAM only, because NVMe bandwidth
+// (a few GB/s) bottlenecks training; ZeRO-Infinity offloads model states
+// there anyway. These values let the related-work experiments quantify
+// that trade-off.
+const (
+	// CommoditySSDBW is the sustained NVMe bandwidth of a commodity
+	// server in B/s.
+	CommoditySSDBW = 3.5 * GBps
+	// CommoditySSDBytes is the NVMe capacity.
+	CommoditySSDBytes = 4e12
+)
+
+// WithSSD returns the topology with an NVMe tier attached.
+func (t *Topology) WithSSD(bw, capacity float64) *Topology {
+	t.SSDBW = bw
+	t.SSDBytes = capacity
+	return t
+}
+
+// HasSSD reports whether the topology has an NVMe tier.
+func (t *Topology) HasSSD() bool { return t.SSDBW > 0 && t.SSDBytes > 0 }
+
+// SSDEnd is the NVMe endpoint for routing. Transfers between a GPU and
+// the SSD cross the GPU link, its root complex, the DRAM bus (bounce
+// buffer) and the SSD itself; DRAM<->SSD transfers cross the DRAM bus
+// and the SSD.
+var SSDEnd = Endpoint{gpu: -2}
+
+// IsSSD reports whether the endpoint is the NVMe tier.
+func (e Endpoint) IsSSD() bool { return e.gpu == -2 }
+
+// ParseSpec parses a topology specification string shared by the CLIs:
+//
+//	"4"      one root complex with 4 GPUs        (Topo 4)
+//	"2+2"    two root complexes with 2 GPUs each (Topo 2+2)
+//	"1+3"    asymmetric split                    (Topo 1+3)
+//	"dc"     the 4xV100 NVLink data-center server
+//	"dc8"    an 8xV100 NVLink server
+func ParseSpec(spec string) (*Topology, error) {
+	spec = strings.TrimSpace(strings.ToLower(spec))
+	if spec == "dc" {
+		return DataCenter(V100, 4, 300*GB), nil
+	}
+	if strings.HasPrefix(spec, "dc") {
+		n, err := strconv.Atoi(spec[2:])
+		if err != nil || n <= 0 || n > maxSpecGPUs {
+			return nil, fmt.Errorf("hw: bad data-center spec %q", spec)
+		}
+		return DataCenter(V100, n, 300*GB), nil
+	}
+	var groups []int
+	total := 0
+	for _, part := range strings.Split(spec, "+") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 || n > maxSpecGPUs {
+			return nil, fmt.Errorf("hw: bad topology spec %q (want e.g. 4, 2+2, 1+3, dc)", spec)
+		}
+		total += n
+		if total > maxSpecGPUs {
+			return nil, fmt.Errorf("hw: topology spec %q exceeds %d GPUs", spec, maxSpecGPUs)
+		}
+		groups = append(groups, n)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("hw: empty topology spec")
+	}
+	return Commodity(RTX3090Ti, groups...), nil
+}
+
+// maxSpecGPUs bounds parsed topologies: a single server tops out far
+// below this, and it keeps hostile specs from allocating absurd
+// topologies.
+const maxSpecGPUs = 64

@@ -1,0 +1,200 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  A·x {<=,=,>=} b
+//	            lo <= x <= hi   (lo >= 0)
+//
+// It is the linear-programming core underneath internal/milp, which
+// together replace the Gurobi Optimizer the paper uses to solve the MIP
+// partition problem (§3.2).
+//
+// The implementation is a textbook tableau simplex with Dantzig pricing,
+// a Bland's-rule fallback to escape degenerate cycling, and a two-phase
+// start (artificial variables) for infeasible initial bases.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	GE            // >=
+	EQ            // ==
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+type constraint struct {
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Problem is a linear program under construction. All variables are
+// non-negative by default with infinite upper bound.
+type Problem struct {
+	n           int
+	objective   []float64
+	constraints []constraint
+	lower       []float64
+	upper       []float64
+}
+
+// NewProblem creates a problem with n non-negative variables.
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		n:         n,
+		objective: make([]float64, n),
+		lower:     make([]float64, n),
+		upper:     make([]float64, n),
+	}
+	for i := range p.upper {
+		p.upper[i] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// SetObjectiveCoeff sets the cost of variable i (minimization).
+func (p *Problem) SetObjectiveCoeff(i int, c float64) { p.objective[i] = c }
+
+// AddConstraint appends Σ terms rel rhs. Terms with duplicate variables
+// are summed.
+func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) {
+	own := make([]Term, len(terms))
+	copy(own, terms)
+	p.constraints = append(p.constraints, constraint{terms: own, rel: rel, rhs: rhs})
+}
+
+// SetBounds sets lo <= x_i <= hi. lo must be >= 0.
+func (p *Problem) SetBounds(i int, lo, hi float64) {
+	if lo < 0 {
+		panic("lp: negative lower bounds are not supported")
+	}
+	p.lower[i] = lo
+	p.upper[i] = hi
+}
+
+// Bounds returns the bounds of variable i.
+func (p *Problem) Bounds(i int) (lo, hi float64) { return p.lower[i], p.upper[i] }
+
+// NumConstraints returns the number of explicit constraints.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// Clone returns an independent copy of the problem (constraint rows are
+// shared: they are immutable after AddConstraint).
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		n:           p.n,
+		objective:   append([]float64(nil), p.objective...),
+		constraints: append([]constraint(nil), p.constraints...),
+		lower:       append([]float64(nil), p.lower...),
+		upper:       append([]float64(nil), p.upper...),
+	}
+	return q
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	eps      = 1e-9
+	pivotEps = 1e-8
+)
+
+// ErrBadProblem reports a structurally invalid problem.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+// Solve runs the two-phase simplex and returns a solution. The Status
+// field distinguishes optimal, infeasible and unbounded outcomes; Solve
+// returns a non-nil error only for structurally invalid input.
+func (p *Problem) Solve() (*Solution, error) {
+	for _, c := range p.constraints {
+		for _, t := range c.terms {
+			if t.Var < 0 || t.Var >= p.n {
+				return nil, fmt.Errorf("%w: term references variable %d of %d", ErrBadProblem, t.Var, p.n)
+			}
+		}
+	}
+	for i := 0; i < p.n; i++ {
+		if p.lower[i] > p.upper[i]+eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+	}
+
+	t := newTableau(p)
+	st := t.phase1()
+	if st != Optimal {
+		return &Solution{Status: st}, nil
+	}
+	st = t.phase2()
+	sol := &Solution{Status: st}
+	if st == Optimal || st == IterLimit {
+		sol.X = t.extract()
+		sol.Objective = dot(p.objective, sol.X)
+	}
+	return sol, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,312 @@
+package lp
+
+import "math"
+
+// tableau is the dense simplex working state. Structural variables are
+// shifted by their lower bounds (y = x - lo >= 0); finite upper bounds
+// become explicit rows. Column layout: [0,n) structural, [n, n+slacks)
+// slack/surplus, [n+slacks, total) artificial; the last column is the RHS.
+type tableau struct {
+	p *Problem
+
+	m     int // rows
+	total int // columns excluding RHS
+	nArt  int
+	artAt int // first artificial column
+
+	a     []float64 // m x (total+1), row-major
+	obj   []float64 // total+1: reduced costs, last = -objValue
+	basis []int     // basic variable per row
+
+	banned []bool // artificial columns banned in phase 2
+
+	iter    int
+	maxIter int
+}
+
+func (t *tableau) at(r, c int) float64     { return t.a[r*(t.total+1)+c] }
+func (t *tableau) set(r, c int, v float64) { t.a[r*(t.total+1)+c] = v }
+
+type rowSpec struct {
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+func newTableau(p *Problem) *tableau {
+	// Gather rows: explicit constraints plus upper-bound rows, with lower
+	// bounds substituted out.
+	var rows []rowSpec
+	for _, c := range p.constraints {
+		rhs := c.rhs
+		for _, tm := range c.terms {
+			rhs -= tm.Coeff * p.lower[tm.Var]
+		}
+		rows = append(rows, rowSpec{terms: c.terms, rel: c.rel, rhs: rhs})
+	}
+	for i := 0; i < p.n; i++ {
+		if !math.IsInf(p.upper[i], 1) {
+			rows = append(rows, rowSpec{
+				terms: []Term{{Var: i, Coeff: 1}},
+				rel:   LE,
+				rhs:   p.upper[i] - p.lower[i],
+			})
+		}
+	}
+
+	m := len(rows)
+	// Count columns: one slack per inequality; artificials per GE/EQ row
+	// after sign normalization.
+	nSlack, nArt := 0, 0
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			// Flip the row so RHS >= 0.
+			flipped := make([]Term, len(rows[i].terms))
+			for k, tm := range rows[i].terms {
+				flipped[k] = Term{Var: tm.Var, Coeff: -tm.Coeff}
+			}
+			rows[i].terms = flipped
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].rel {
+			case LE:
+				rows[i].rel = GE
+			case GE:
+				rows[i].rel = LE
+			}
+		}
+		switch rows[i].rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	total := p.n + nSlack + nArt
+	t := &tableau{
+		p:       p,
+		m:       m,
+		total:   total,
+		nArt:    nArt,
+		artAt:   p.n + nSlack,
+		a:       make([]float64, m*(total+1)),
+		obj:     make([]float64, total+1),
+		basis:   make([]int, m),
+		banned:  make([]bool, total),
+		maxIter: 200 * (m + p.n + 10),
+	}
+
+	slack := p.n
+	art := t.artAt
+	for r, row := range rows {
+		for _, tm := range row.terms {
+			t.set(r, tm.Var, t.at(r, tm.Var)+tm.Coeff)
+		}
+		t.set(r, total, row.rhs)
+		switch row.rel {
+		case LE:
+			t.set(r, slack, 1)
+			t.basis[r] = slack
+			slack++
+		case GE:
+			t.set(r, slack, -1)
+			slack++
+			t.set(r, art, 1)
+			t.basis[r] = art
+			art++
+		case EQ:
+			t.set(r, art, 1)
+			t.basis[r] = art
+			art++
+		}
+	}
+	return t
+}
+
+// phase1 minimizes the sum of artificial variables to find a feasible
+// basis.
+func (t *tableau) phase1() Status {
+	if t.nArt == 0 {
+		return Optimal
+	}
+	// Objective: sum of artificials. Price out the artificial basics.
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := t.artAt; j < t.total; j++ {
+		t.obj[j] = 1
+	}
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] >= t.artAt {
+			t.subtractRow(r, 1)
+		}
+	}
+	st := t.iterate()
+	if st == Unbounded {
+		// Phase-1 objective is bounded below by zero; treat as numeric
+		// trouble and report infeasible.
+		return Infeasible
+	}
+	if st != Optimal {
+		return st
+	}
+	if -t.obj[t.total] > 1e-6 {
+		return Infeasible
+	}
+	// Drive any zero-level artificial out of the basis if possible, then
+	// ban artificial columns from re-entering.
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < t.artAt {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artAt; j++ {
+			if math.Abs(t.at(r, j)) > pivotEps {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: leave the artificial basic at zero.
+			t.set(r, t.total, 0)
+		}
+	}
+	for j := t.artAt; j < t.total; j++ {
+		t.banned[j] = true
+	}
+	return Optimal
+}
+
+// phase2 optimizes the real objective from the feasible basis.
+func (t *tableau) phase2() Status {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := 0; j < t.p.n; j++ {
+		t.obj[j] = t.p.objective[j]
+	}
+	for r := 0; r < t.m; r++ {
+		b := t.basis[r]
+		if b < t.p.n && t.p.objective[b] != 0 {
+			t.subtractRow(r, t.p.objective[b])
+		}
+	}
+	return t.iterate()
+}
+
+// subtractRow does obj -= factor * row r (pricing out a basic column).
+func (t *tableau) subtractRow(r int, factor float64) {
+	row := t.a[r*(t.total+1) : (r+1)*(t.total+1)]
+	for j := range t.obj {
+		t.obj[j] -= factor * row[j]
+	}
+}
+
+// iterate runs simplex pivots until optimality, unboundedness or the
+// iteration limit. Dantzig pricing with a Bland fallback under prolonged
+// degeneracy guards against cycling.
+func (t *tableau) iterate() Status {
+	degenerate := 0
+	for ; t.iter < t.maxIter; t.iter++ {
+		bland := degenerate > 2*(t.m+1)
+
+		enter := -1
+		best := -eps
+		for j := 0; j < t.total; j++ {
+			if t.banned[j] {
+				continue
+			}
+			rc := t.obj[j]
+			if rc < -eps {
+				if bland {
+					enter = j
+					break
+				}
+				if rc < best {
+					best = rc
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := 0; r < t.m; r++ {
+			arj := t.at(r, enter)
+			if arj <= pivotEps {
+				continue
+			}
+			ratio := t.at(r, t.total) / arj
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave < 0 || t.basis[r] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = r
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		if bestRatio < eps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		t.pivot(leave, enter)
+	}
+	return IterLimit
+}
+
+// pivot makes column c basic in row r.
+func (t *tableau) pivot(r, c int) {
+	w := t.total + 1
+	prow := t.a[r*w : (r+1)*w]
+	pv := prow[c]
+	inv := 1 / pv
+	for j := range prow {
+		prow[j] *= inv
+	}
+	prow[c] = 1 // exact
+
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		row := t.a[i*w : (i+1)*w]
+		f := row[c]
+		if f == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[c] = 0
+	}
+	f := t.obj[c]
+	if f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * prow[j]
+		}
+		t.obj[c] = 0
+	}
+	t.basis[r] = c
+}
+
+// extract reads the structural solution, undoing the lower-bound shift.
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.p.n)
+	copy(x, t.p.lower)
+	for r := 0; r < t.m; r++ {
+		b := t.basis[r]
+		if b < t.p.n {
+			x[b] += t.at(r, t.total)
+		}
+	}
+	return x
+}

@@ -1,0 +1,152 @@
+// Package mapping implements Mobius' stage-to-GPU mapping (§3.3): the
+// PCIe-topology-aware cross mapping that minimizes communication
+// contention at shared CPU root complexes, and the sequential mapping
+// baseline of the Figure 10 ablation.
+//
+// A mapping is a permutation of the GPUs applied round-robin: stage j
+// (0-based) runs on Perm[j mod N], so stages j and j+N always share a GPU
+// as the Mobius pipeline requires. Cross mapping searches all
+// permutations for the one minimizing the paper's contention degree
+//
+//	contention(i, j) = shared(i, j) / |i - j|        (Eq. 12)
+//
+// summed over all stage pairs (Eq. 13), where shared(i, j) is the number
+// of GPUs under the root complex both stages' GPUs hang off (zero when
+// they use different root complexes).
+package mapping
+
+import (
+	"fmt"
+
+	"mobius/internal/hw"
+)
+
+// Scheme names.
+const (
+	SchemeSequential = "sequential"
+	SchemeCross      = "cross"
+)
+
+// Mapping assigns pipeline stages to GPUs round-robin through Perm.
+type Mapping struct {
+	// Perm is the GPU visit order within each round of stages.
+	Perm []int
+	// NumStages is the pipeline stage count the mapping was scored for.
+	NumStages int
+	// Scheme records how the mapping was constructed.
+	Scheme string
+	// Contention is the scheme's contention degree (Eq. 13).
+	Contention float64
+}
+
+// GPUOf returns the GPU executing stage (0-based).
+func (m *Mapping) GPUOf(stage int) int { return m.Perm[stage%len(m.Perm)] }
+
+// UploadPriority returns the DMA priority for prefetching a stage's data:
+// stages that execute earlier get strictly higher priority, implementing
+// the paper's cudaStreamCreateWithPriority policy for concurrent
+// prefetches under one root complex.
+func (m *Mapping) UploadPriority(stage int) int { return m.NumStages - stage }
+
+// Stages returns the stage indices mapped to the given GPU, ascending.
+func (m *Mapping) Stages(gpu int) []int {
+	var out []int
+	for j := 0; j < m.NumStages; j++ {
+		if m.GPUOf(j) == gpu {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (m *Mapping) String() string {
+	return fmt.Sprintf("%s mapping perm=%v contention=%.3f", m.Scheme, m.Perm, m.Contention)
+}
+
+// ContentionDegree evaluates Eq. 13 for a GPU permutation on a topology.
+func ContentionDegree(topo *hw.Topology, perm []int, numStages int) float64 {
+	n := len(perm)
+	var total float64
+	for i := 0; i < numStages; i++ {
+		gi := perm[i%n]
+		for j := i + 1; j < numStages; j++ {
+			gj := perm[j%n]
+			if topo.SameRootComplex(gi, gj) {
+				total += float64(topo.GroupSize(gi)) / float64(j-i)
+			}
+		}
+	}
+	return total
+}
+
+// Sequential maps stages to GPUs in id order, ignoring the PCIe topology
+// — the baseline the paper ablates against in §4.4.
+func Sequential(topo *hw.Topology, numStages int) (*Mapping, error) {
+	if err := checkArgs(topo, numStages); err != nil {
+		return nil, err
+	}
+	perm := make([]int, topo.NumGPUs())
+	for i := range perm {
+		perm[i] = i
+	}
+	return &Mapping{
+		Perm:       perm,
+		NumStages:  numStages,
+		Scheme:     SchemeSequential,
+		Contention: ContentionDegree(topo, perm, numStages),
+	}, nil
+}
+
+// Cross searches every GPU permutation and returns the one with minimal
+// contention degree. Ties keep the first minimum in enumeration order,
+// starting from the identity, so the result is deterministic.
+func Cross(topo *hw.Topology, numStages int) (*Mapping, error) {
+	if err := checkArgs(topo, numStages); err != nil {
+		return nil, err
+	}
+	n := topo.NumGPUs()
+	best := make([]int, n)
+	for i := range best {
+		best[i] = i
+	}
+	bestScore := ContentionDegree(topo, best, numStages)
+
+	perm := append([]int(nil), best...)
+	permute(perm, 0, func(p []int) {
+		score := ContentionDegree(topo, p, numStages)
+		if score < bestScore-1e-12 {
+			bestScore = score
+			copy(best, p)
+		}
+	})
+	return &Mapping{
+		Perm:       best,
+		NumStages:  numStages,
+		Scheme:     SchemeCross,
+		Contention: bestScore,
+	}, nil
+}
+
+func checkArgs(topo *hw.Topology, numStages int) error {
+	if topo == nil || topo.NumGPUs() == 0 {
+		return fmt.Errorf("mapping: empty topology")
+	}
+	if numStages <= 0 {
+		return fmt.Errorf("mapping: numStages must be positive, got %d", numStages)
+	}
+	return nil
+}
+
+// permute enumerates all permutations of p by recursive swapping and
+// calls visit for each. The enumeration order is deterministic.
+func permute(p []int, i int, visit func([]int)) {
+	if i == len(p) {
+		visit(p)
+		return
+	}
+	for k := i; k < len(p); k++ {
+		p[i], p[k] = p[k], p[i]
+		permute(p, i+1, visit)
+		p[i], p[k] = p[k], p[i]
+	}
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"mobius/internal/tensor"
+)
+
+// attention is multi-head causal self-attention over fixed-length
+// sequences. Input rows are grouped per sequence: row s*T+t is token t of
+// sequence s.
+type attention struct {
+	cfg Config
+	qkv *linear // Dim -> 3*Dim
+	out *linear // Dim -> Dim
+}
+
+func newAttention(name string, cfg Config, rng *rand.Rand) *attention {
+	return &attention{
+		cfg: cfg,
+		qkv: newLinear(name+".qkv", cfg.Dim, 3*cfg.Dim, rng, 0.02),
+		out: newLinear(name+".out", cfg.Dim, cfg.Dim, rng, 0.02/math.Sqrt(2*float64(cfg.Layers))),
+	}
+}
+
+func (a *attention) params() []*Param { return append(a.qkv.params(), a.out.params()...) }
+
+type attnCache struct {
+	x     *tensor.Mat   // input
+	qkv   *tensor.Mat   // projected q,k,v concatenated
+	probs []*tensor.Mat // per (sequence, head): T x T attention weights
+	ctx   *tensor.Mat   // pre-output-projection context
+}
+
+func (a *attention) forward(x *tensor.Mat) (*tensor.Mat, *attnCache) {
+	T := a.cfg.Seq
+	D := a.cfg.Dim
+	H := a.cfg.Heads
+	hd := D / H
+	nSeq := x.R / T
+	scale := 1 / math.Sqrt(float64(hd))
+
+	qkv := a.qkv.forward(x) // rows: [q | k | v]
+	ctx := tensor.New(x.R, D)
+	cache := &attnCache{x: x, qkv: qkv, probs: make([]*tensor.Mat, nSeq*H)}
+
+	for s := 0; s < nSeq; s++ {
+		base := s * T
+		for h := 0; h < H; h++ {
+			off := h * hd
+			probs := tensor.New(T, T)
+			// Scores with causal mask, softmax per query row.
+			for ti := 0; ti < T; ti++ {
+				qi := qkv.Row(base + ti)[off : off+hd]
+				prow := probs.Row(ti)
+				maxv := math.Inf(-1)
+				for tj := 0; tj <= ti; tj++ {
+					kj := qkv.Row(base + tj)[D+off : D+off+hd]
+					var sdot float64
+					for u := range qi {
+						sdot += qi[u] * kj[u]
+					}
+					prow[tj] = sdot * scale
+					if prow[tj] > maxv {
+						maxv = prow[tj]
+					}
+				}
+				var sum float64
+				for tj := 0; tj <= ti; tj++ {
+					prow[tj] = math.Exp(prow[tj] - maxv)
+					sum += prow[tj]
+				}
+				inv := 1 / sum
+				for tj := 0; tj <= ti; tj++ {
+					prow[tj] *= inv
+				}
+				// Context: weighted sum of values.
+				crow := ctx.Row(base + ti)[off : off+hd]
+				for tj := 0; tj <= ti; tj++ {
+					vj := qkv.Row(base + tj)[2*D+off : 2*D+off+hd]
+					p := prow[tj]
+					for u := range crow {
+						crow[u] += p * vj[u]
+					}
+				}
+			}
+			cache.probs[s*H+h] = probs
+		}
+	}
+	cache.ctx = ctx
+	return a.out.forward(ctx), cache
+}
+
+func (a *attention) backward(dy *tensor.Mat, c *attnCache) *tensor.Mat {
+	T := a.cfg.Seq
+	D := a.cfg.Dim
+	H := a.cfg.Heads
+	hd := D / H
+	nSeq := c.x.R / T
+	scale := 1 / math.Sqrt(float64(hd))
+
+	dctx := a.out.backward(c.ctx, dy)
+	dqkv := tensor.New(c.x.R, 3*D)
+
+	for s := 0; s < nSeq; s++ {
+		base := s * T
+		for h := 0; h < H; h++ {
+			off := h * hd
+			probs := c.probs[s*H+h]
+			for ti := 0; ti < T; ti++ {
+				dcrow := dctx.Row(base + ti)[off : off+hd]
+				prow := probs.Row(ti)
+				// dV and dP.
+				dp := make([]float64, ti+1)
+				for tj := 0; tj <= ti; tj++ {
+					vj := c.qkv.Row(base + tj)[2*D+off : 2*D+off+hd]
+					dvj := dqkv.Row(base + tj)[2*D+off : 2*D+off+hd]
+					p := prow[tj]
+					var dpv float64
+					for u := range dcrow {
+						dvj[u] += p * dcrow[u]
+						dpv += dcrow[u] * vj[u]
+					}
+					dp[tj] = dpv
+				}
+				// Softmax backward: ds = P * (dp - sum(dp*P)).
+				var dot float64
+				for tj := 0; tj <= ti; tj++ {
+					dot += dp[tj] * prow[tj]
+				}
+				qi := c.qkv.Row(base + ti)[off : off+hd]
+				dqi := dqkv.Row(base + ti)[off : off+hd]
+				for tj := 0; tj <= ti; tj++ {
+					ds := prow[tj] * (dp[tj] - dot) * scale
+					kj := c.qkv.Row(base + tj)[D+off : D+off+hd]
+					dkj := dqkv.Row(base + tj)[D+off : D+off+hd]
+					for u := range dqi {
+						dqi[u] += ds * kj[u]
+						dkj[u] += ds * qi[u]
+					}
+				}
+			}
+		}
+	}
+	return a.qkv.backward(c.x, dqkv)
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobius/internal/tensor"
+)
+
+// block is one pre-norm transformer block:
+// x + attn(ln1(x)), then + mlp(ln2(.)).
+type block struct {
+	name string
+	cfg  Config
+	ln1  *layerNorm
+	attn *attention
+	ln2  *layerNorm
+	fc1  *linear // Dim -> 4*Dim
+	fc2  *linear // 4*Dim -> Dim
+}
+
+func newBlock(cfg Config, idx int, rng *rand.Rand) *block {
+	name := fmt.Sprintf("block%d", idx)
+	return &block{
+		name: name,
+		cfg:  cfg,
+		ln1:  newLayerNorm(name+".ln1", cfg.Dim),
+		attn: newAttention(name+".attn", cfg, rng),
+		ln2:  newLayerNorm(name+".ln2", cfg.Dim),
+		fc1:  newLinear(name+".fc1", cfg.Dim, 4*cfg.Dim, rng, 0.02),
+		fc2:  newLinear(name+".fc2", 4*cfg.Dim, cfg.Dim, rng, 0.02/math.Sqrt(2*float64(cfg.Layers))),
+	}
+}
+
+func (b *block) Name() string { return b.name }
+
+func (b *block) Params() []*Param {
+	var out []*Param
+	out = append(out, b.ln1.params()...)
+	out = append(out, b.attn.params()...)
+	out = append(out, b.ln2.params()...)
+	out = append(out, b.fc1.params()...)
+	out = append(out, b.fc2.params()...)
+	return out
+}
+
+type blockCache struct {
+	ln1In   *lnCache
+	ln1Out  *tensor.Mat
+	attn    *attnCache
+	mid     *tensor.Mat // x + attention output
+	ln2In   *lnCache
+	ln2Out  *tensor.Mat
+	preGelu *tensor.Mat
+	geluOut *tensor.Mat
+}
+
+func (b *block) Forward(x *tensor.Mat, _ Batch) (*tensor.Mat, any) {
+	c := &blockCache{}
+
+	normed1, ln1c := b.ln1.forward(x)
+	c.ln1In, c.ln1Out = ln1c, normed1
+	attnOut, ac := b.attn.forward(normed1)
+	c.attn = ac
+
+	mid := tensor.New(x.R, x.C)
+	tensor.AddInto(mid, x, attnOut)
+	c.mid = mid
+
+	normed2, ln2c := b.ln2.forward(mid)
+	c.ln2In, c.ln2Out = ln2c, normed2
+	pre := b.fc1.forward(normed2)
+	c.preGelu = pre
+	act := tensor.New(pre.R, pre.C)
+	for i, v := range pre.D {
+		act.D[i] = tensor.GELU(v)
+	}
+	c.geluOut = act
+	mlpOut := b.fc2.forward(act)
+
+	y := tensor.New(x.R, x.C)
+	tensor.AddInto(y, mid, mlpOut)
+	return y, c
+}
+
+func (b *block) Backward(dy *tensor.Mat, cache any) *tensor.Mat {
+	c := cache.(*blockCache)
+
+	// y = mid + fc2(gelu(fc1(ln2(mid)))).
+	dact := b.fc2.backward(c.geluOut, dy)
+	for i, v := range c.preGelu.D {
+		dact.D[i] *= tensor.GELUGrad(v)
+	}
+	dnormed2 := b.fc1.backward(c.ln2Out, dact)
+	dmid := b.ln2.backward(dnormed2, c.ln2In)
+	tensor.AccumInto(dmid, dy) // residual path
+
+	// mid = x + attn(ln1(x)).
+	dnormed1 := b.attn.backward(dmid, c.attn)
+	dx := b.ln1.backward(dnormed1, c.ln1In)
+	tensor.AccumInto(dx, dmid) // residual path
+	return dx
+}

@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpointFile is the on-disk format of a model checkpoint: the config
+// for shape validation plus every parameter by name. Fine-tuning starts
+// from such a checkpoint — the premise of the whole paper.
+type checkpointFile struct {
+	Cfg    Config
+	Params map[string][]float64
+}
+
+// SaveWeights serializes the model's parameters.
+func (m *Model) SaveWeights(w io.Writer) error {
+	ck := checkpointFile{Cfg: m.Cfg, Params: map[string][]float64{}}
+	for _, p := range m.Params() {
+		ck.Params[p.Name] = p.W.D
+	}
+	return gob.NewEncoder(w).Encode(&ck)
+}
+
+// LoadWeights restores parameters from a checkpoint written by
+// SaveWeights. The model's architecture must match exactly.
+func (m *Model) LoadWeights(r io.Reader) error {
+	var ck checkpointFile
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	if ck.Cfg != m.Cfg {
+		return fmt.Errorf("nn: checkpoint config %+v does not match model %+v", ck.Cfg, m.Cfg)
+	}
+	for _, p := range m.Params() {
+		data, ok := ck.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+		}
+		if len(data) != len(p.W.D) {
+			return fmt.Errorf("nn: parameter %q has %d values, want %d", p.Name, len(data), len(p.W.D))
+		}
+		copy(p.W.D, data)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := tinyCfg()
+	src, _ := NewGPT(cfg)
+	batch := randomBatch(cfg, 2, 9)
+	want := lossOf(src, batch)
+
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A differently-seeded model restored from the checkpoint must
+	// reproduce the source model's loss exactly.
+	cfg2 := cfg
+	cfg2.Seed = 999
+	dst, _ := NewGPT(cfg2)
+	dst.Cfg.Seed = cfg.Seed // config identity for validation
+	if got := lossOf(dst, batch); got == want {
+		t.Fatal("test is vacuous: different seeds gave identical loss")
+	}
+	// LoadWeights validates the config; align it.
+	dst.Cfg = cfg
+	if err := dst.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := lossOf(dst, batch); got != want {
+		t.Fatalf("restored loss %.17g != source %.17g", got, want)
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	cfg := tinyCfg()
+	src, _ := NewGPT(cfg)
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Dim *= 2
+	dst, _ := NewGPT(other)
+	if err := dst.LoadWeights(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("mismatched architecture must fail")
+	}
+	if err := dst.LoadWeights(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestFineTuneFromCheckpoint(t *testing.T) {
+	// The paper's workflow: pre-train briefly, checkpoint, then fine-tune
+	// from the checkpoint and confirm training continues to improve.
+	cfg := tinyCfg()
+	m, _ := NewGPT(cfg)
+	opt := NewAdam(5e-3)
+	batch := randomBatch(cfg, 4, 2)
+	for i := 0; i < 10; i++ {
+		for _, p := range m.Params() {
+			p.ZeroGrad()
+		}
+		backwardAll(m, batch)
+		opt.Step(m.Params())
+	}
+	var buf bytes.Buffer
+	if err := m.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	ft, _ := NewGPT(cfg)
+	if err := ft.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := lossOf(ft, batch)
+	opt2 := NewAdam(5e-3)
+	for i := 0; i < 10; i++ {
+		for _, p := range ft.Params() {
+			p.ZeroGrad()
+		}
+		backwardAll(ft, batch)
+		opt2.Step(ft.Params())
+	}
+	if after := lossOf(ft, batch); after >= before {
+		t.Fatalf("fine-tuning from checkpoint did not improve: %.4f -> %.4f", before, after)
+	}
+}

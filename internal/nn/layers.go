@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobius/internal/tensor"
+)
+
+// linear is an affine map y = xW + b with cached input for backward.
+type linear struct {
+	name string
+	w, b *Param
+}
+
+func newLinear(name string, in, out int, rng *rand.Rand, std float64) *linear {
+	l := &linear{
+		name: name,
+		w:    newParam(name+".w", in, out),
+		b:    newParam(name+".b", 1, out),
+	}
+	l.w.initNormal(rng, std)
+	return l
+}
+
+func (l *linear) params() []*Param { return []*Param{l.w, l.b} }
+
+func (l *linear) forward(x *tensor.Mat) *tensor.Mat {
+	y := tensor.MatMul(x, l.w.W)
+	for i := 0; i < y.R; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += l.b.W.D[j]
+		}
+	}
+	return y
+}
+
+// backward accumulates dW and db and returns dx. x is the cached input.
+func (l *linear) backward(x, dy *tensor.Mat) *tensor.Mat {
+	tensor.AccumInto(l.w.G, tensor.MatMulTA(x, dy))
+	for i := 0; i < dy.R; i++ {
+		row := dy.Row(i)
+		for j := range row {
+			l.b.G.D[j] += row[j]
+		}
+	}
+	return tensor.MatMulTB(dy, l.w.W)
+}
+
+// layerNorm normalizes rows with learnable gain and bias.
+type layerNorm struct {
+	gamma, beta *Param
+	eps         float64
+}
+
+func newLayerNorm(name string, dim int) *layerNorm {
+	ln := &layerNorm{
+		gamma: newParam(name+".gamma", 1, dim),
+		beta:  newParam(name+".beta", 1, dim),
+		eps:   1e-5,
+	}
+	for i := range ln.gamma.W.D {
+		ln.gamma.W.D[i] = 1
+	}
+	return ln
+}
+
+func (ln *layerNorm) params() []*Param { return []*Param{ln.gamma, ln.beta} }
+
+type lnCache struct {
+	xhat   *tensor.Mat
+	invStd []float64
+}
+
+func (ln *layerNorm) forward(x *tensor.Mat) (*tensor.Mat, *lnCache) {
+	y := tensor.New(x.R, x.C)
+	cache := &lnCache{xhat: tensor.New(x.R, x.C), invStd: make([]float64, x.R)}
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(x.C)
+		var varsum float64
+		for _, v := range row {
+			d := v - mean
+			varsum += d * d
+		}
+		inv := 1 / math.Sqrt(varsum/float64(x.C)+ln.eps)
+		cache.invStd[i] = inv
+		xh := cache.xhat.Row(i)
+		out := y.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			out[j] = xh[j]*ln.gamma.W.D[j] + ln.beta.W.D[j]
+		}
+	}
+	return y, cache
+}
+
+func (ln *layerNorm) backward(dy *tensor.Mat, cache *lnCache) *tensor.Mat {
+	dx := tensor.New(dy.R, dy.C)
+	n := float64(dy.C)
+	for i := 0; i < dy.R; i++ {
+		dyr := dy.Row(i)
+		xh := cache.xhat.Row(i)
+		// Accumulate parameter grads.
+		for j := range dyr {
+			ln.gamma.G.D[j] += dyr[j] * xh[j]
+			ln.beta.G.D[j] += dyr[j]
+		}
+		// dxhat = dy * gamma; dx via the layernorm Jacobian.
+		var sumDxh, sumDxhXh float64
+		dxh := make([]float64, dy.C)
+		for j := range dyr {
+			dxh[j] = dyr[j] * ln.gamma.W.D[j]
+			sumDxh += dxh[j]
+			sumDxhXh += dxh[j] * xh[j]
+		}
+		inv := cache.invStd[i]
+		out := dx.Row(i)
+		for j := range dyr {
+			out[j] = inv * (dxh[j] - sumDxh/n - xh[j]*sumDxhXh/n)
+		}
+	}
+	return dx
+}
+
+// embedding is the token + position embedding unit.
+type embedding struct {
+	cfg Config
+	tok *Param
+	pos *Param
+}
+
+func newEmbedding(cfg Config, rng *rand.Rand) *embedding {
+	e := &embedding{
+		cfg: cfg,
+		tok: newParam("embed.tok", cfg.Vocab, cfg.Dim),
+		pos: newParam("embed.pos", cfg.Seq, cfg.Dim),
+	}
+	e.tok.initNormal(rng, 0.02)
+	e.pos.initNormal(rng, 0.02)
+	return e
+}
+
+func (e *embedding) Name() string     { return "embedding" }
+func (e *embedding) Params() []*Param { return []*Param{e.tok, e.pos} }
+
+func (e *embedding) Forward(_ *tensor.Mat, batch Batch) (*tensor.Mat, any) {
+	b := batch.Size()
+	T := e.cfg.Seq
+	y := tensor.New(b*T, e.cfg.Dim)
+	for s, seq := range batch.Tokens {
+		if len(seq) != T {
+			panic(fmt.Sprintf("nn: sequence length %d != %d", len(seq), T))
+		}
+		for t, tokID := range seq {
+			row := y.Row(s*T + t)
+			tokRow := e.tok.W.Row(tokID)
+			posRow := e.pos.W.Row(t)
+			for j := range row {
+				row[j] = tokRow[j] + posRow[j]
+			}
+		}
+	}
+	return y, batch
+}
+
+func (e *embedding) Backward(dy *tensor.Mat, cache any) *tensor.Mat {
+	batch := cache.(Batch)
+	T := e.cfg.Seq
+	for s, seq := range batch.Tokens {
+		for t, tokID := range seq {
+			drow := dy.Row(s*T + t)
+			tokG := e.tok.G.Row(tokID)
+			posG := e.pos.G.Row(t)
+			for j, v := range drow {
+				tokG[j] += v
+				posG[j] += v
+			}
+		}
+	}
+	return nil // nothing upstream of the embedding
+}
+
+// head is the final layernorm + vocabulary projection.
+type head struct {
+	cfg  Config
+	ln   *layerNorm
+	proj *linear
+}
+
+func newHead(cfg Config, rng *rand.Rand) *head {
+	return &head{
+		cfg:  cfg,
+		ln:   newLayerNorm("head.ln", cfg.Dim),
+		proj: newLinear("head.proj", cfg.Dim, cfg.Vocab, rng, 0.02),
+	}
+}
+
+func (h *head) Name() string { return "head" }
+
+func (h *head) Params() []*Param { return append(h.ln.params(), h.proj.params()...) }
+
+type headCache struct {
+	lnIn  *lnCache
+	lnOut *tensor.Mat
+}
+
+func (h *head) Forward(in *tensor.Mat, _ Batch) (*tensor.Mat, any) {
+	normed, c := h.ln.forward(in)
+	logits := h.proj.forward(normed)
+	return logits, &headCache{lnIn: c, lnOut: normed}
+}
+
+func (h *head) Backward(dlogits *tensor.Mat, cache any) *tensor.Mat {
+	hc := cache.(*headCache)
+	dnormed := h.proj.backward(hc.lnOut, dlogits)
+	return h.ln.backward(dnormed, hc.lnIn)
+}

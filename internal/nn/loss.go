@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"math"
+
+	"mobius/internal/tensor"
+)
+
+// CrossEntropy computes the mean next-token cross-entropy over a batch's
+// logits and returns the loss plus dLoss/dLogits (already averaged).
+// Logit rows follow the embedding layout: row s*T+t is token t of
+// sequence s; the target for that row is batch.Targets[s][t].
+func CrossEntropy(logits *tensor.Mat, batch Batch, seqLen int) (float64, *tensor.Mat) {
+	dl := tensor.New(logits.R, logits.C)
+	total := 0.0
+	n := 0
+	for s := range batch.Targets {
+		for t, target := range batch.Targets[s] {
+			row := logits.Row(s*seqLen + t)
+			// Log-softmax, numerically stable.
+			maxv := math.Inf(-1)
+			for _, v := range row {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for _, v := range row {
+				sum += math.Exp(v - maxv)
+			}
+			logZ := maxv + math.Log(sum)
+			total += logZ - row[target]
+			n++
+
+			drow := dl.Row(s*seqLen + t)
+			for j, v := range row {
+				drow[j] = math.Exp(v - logZ) // softmax
+			}
+			drow[target] -= 1
+		}
+	}
+	if n == 0 {
+		return 0, dl
+	}
+	inv := 1 / float64(n)
+	for i := range dl.D {
+		dl.D[i] *= inv
+	}
+	return total / float64(n), dl
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+	m, v  map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     map[*Param][]float64{},
+		v:     map[*Param][]float64{},
+	}
+}
+
+// Step applies one update to every parameter from its accumulated
+// gradient, then leaves gradients untouched (callers zero them at the
+// start of the next accumulation).
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W.D))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.W.D))
+		}
+		v := a.v[p]
+		for i, g := range p.G.D {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.W.D[i] -= a.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.Eps)
+		}
+	}
+}

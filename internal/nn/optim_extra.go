@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+
+	"mobius/internal/tensor"
+)
+
+// WeightDecay applies decoupled (AdamW-style) weight decay to every
+// parameter: w -= lr * wd * w. Call before Adam.Step to match AdamW.
+// Layernorm gains/biases and biases are conventionally excluded; callers
+// filter the parameter list if they care.
+func WeightDecay(params []*Param, lr, wd float64) {
+	if wd == 0 {
+		return
+	}
+	f := lr * wd
+	for _, p := range params {
+		for i := range p.W.D {
+			p.W.D[i] -= f * p.W.D[i]
+		}
+	}
+}
+
+// ClipGradNorm scales gradients so their global L2 norm does not exceed
+// maxNorm, returning the pre-clip norm (the PyTorch semantics).
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G.D {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			for i := range p.G.D {
+				p.G.D[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Generate produces tokens by greedy decoding from a prompt: the
+// convergence demo uses it to show the fine-tuned model actually learned
+// the corpus structure. The model must have been built by NewGPT.
+func (m *Model) Generate(prompt []int, n int) []int {
+	out := append([]int(nil), prompt...)
+	for len(out) < len(prompt)+n {
+		// Window the last Seq tokens (left-pad with token 0).
+		window := make([]int, m.Cfg.Seq)
+		start := len(out) - m.Cfg.Seq
+		for i := range window {
+			j := start + i
+			if j >= 0 {
+				window[i] = out[j]
+			}
+		}
+		batch := Batch{Tokens: [][]int{window}}
+		var x *tensor.Mat
+		for _, u := range m.Units {
+			x, _ = u.Forward(x, batch)
+		}
+		// Greedy pick at the last position.
+		row := x.Row(m.Cfg.Seq - 1)
+		best, bestV := 0, math.Inf(-1)
+		for tok, v := range row {
+			if v > bestV {
+				best, bestV = tok, v
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// Perplexity evaluates exp(mean cross-entropy) over the batches without
+// touching gradients — the held-out metric of fine-tuning runs.
+func (m *Model) Perplexity(batches []Batch) float64 {
+	var total float64
+	var n int
+	for _, b := range batches {
+		var x *tensor.Mat
+		for _, u := range m.Units {
+			x, _ = u.Forward(x, b)
+		}
+		loss, _ := CrossEntropy(x, b, m.Cfg.Seq)
+		total += loss
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(total / float64(n))
+}

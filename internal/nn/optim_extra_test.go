@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("p", 1, 3)
+	p.G.D[0], p.G.D[1], p.G.D[2] = 3, 4, 0 // norm 5
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %g", norm)
+	}
+	var sq float64
+	for _, g := range p.G.D {
+		sq += g * g
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-9 {
+		t.Fatalf("post-clip norm %g", math.Sqrt(sq))
+	}
+	// Below the threshold: untouched.
+	p.G.D[0], p.G.D[1], p.G.D[2] = 0.1, 0, 0
+	ClipGradNorm([]*Param{p}, 1)
+	if p.G.D[0] != 0.1 {
+		t.Fatal("small gradient must not be scaled")
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	p := newParam("p", 1, 2)
+	p.W.D[0], p.W.D[1] = 2, -4
+	WeightDecay([]*Param{p}, 0.1, 0.5)
+	if math.Abs(p.W.D[0]-2*(1-0.05)) > 1e-12 || math.Abs(p.W.D[1]-(-4)*(1-0.05)) > 1e-12 {
+		t.Fatalf("decayed weights %v", p.W.D)
+	}
+	before := p.W.D[0]
+	WeightDecay([]*Param{p}, 0.1, 0)
+	if p.W.D[0] != before {
+		t.Fatal("zero decay must be a no-op")
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	cfg := tinyCfg()
+	m, _ := NewGPT(cfg)
+	prompt := []int{1, 2, 3}
+	a := m.Generate(prompt, 5)
+	b := m.Generate(prompt, 5)
+	if len(a) != 8 {
+		t.Fatalf("generated length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy decoding must be deterministic")
+		}
+		if a[i] < 0 || a[i] >= cfg.Vocab {
+			t.Fatalf("token %d out of range", a[i])
+		}
+	}
+	for i, tok := range prompt {
+		if a[i] != tok {
+			t.Fatal("prompt must be preserved")
+		}
+	}
+}
+
+func TestPerplexityUniformBaseline(t *testing.T) {
+	cfg := tinyCfg()
+	m, _ := NewGPT(cfg)
+	batches := []Batch{randomBatch(cfg, 2, 3), randomBatch(cfg, 2, 4)}
+	ppl := m.Perplexity(batches)
+	// A fresh model sits near the uniform baseline V.
+	if ppl < float64(cfg.Vocab)/2 || ppl > float64(cfg.Vocab)*2 {
+		t.Fatalf("initial perplexity %g, want near %d", ppl, cfg.Vocab)
+	}
+	if m.Perplexity(nil) != math.Inf(1) {
+		t.Fatal("empty eval must be +Inf")
+	}
+}

@@ -1,0 +1,87 @@
+package partition
+
+import "fmt"
+
+// Algorithm names reported in Partition.Algorithm.
+const (
+	AlgoMIP      = "mip"
+	AlgoMaxStage = "max-stage"
+	AlgoMinStage = "min-stage"
+	AlgoBalanced = "balanced"
+)
+
+// MinStage builds the minimum-stage baseline of the Figure 9 ablation:
+// every transformer block is its own stage; the embedding joins the first
+// stage and the head the last.
+func MinStage(params Params) (*Partition, error) {
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	L := params.Profile.NumLayers() // embedding + blocks + head
+	blocks := L - 2
+	if blocks < 1 {
+		return nil, fmt.Errorf("partition: model too small for min-stage (%d layers)", L)
+	}
+	sizes := make([]int, blocks)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	sizes[0] = 2      // embedding + first block
+	sizes[blocks-1]++ // head joins the last stage
+	if blocks == 1 {
+		sizes = []int{L}
+	}
+	return FromBoundaries(params.Profile, sizes, AlgoMinStage)
+}
+
+// MaxStage builds the maximum-stage baseline of the Figure 9 ablation:
+// each stage packs as many layers as fit in GPU memory, leaving no room
+// to prefetch the next stage.
+func MaxStage(params Params) (*Partition, error) {
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	prof := params.Profile
+	L := prof.NumLayers()
+	var sizes []int
+	at := 0
+	for at < L {
+		n := 1
+		for at+n < L {
+			cand := buildStage(prof, at, at+n)
+			if cand.MemBwd() > params.GPUMem || cand.MemFwd() > params.GPUMem {
+				break
+			}
+			n++
+		}
+		// Even a single layer may exceed memory; FromBoundaries still
+		// builds the partition and Evaluate reports it infeasible.
+		sizes = append(sizes, n)
+		at += n
+	}
+	return FromBoundaries(prof, sizes, AlgoMaxStage)
+}
+
+// Balanced builds an S-stage partition distributing the blocks as evenly
+// as possible; it is the incumbent heuristic seeding the MIP search.
+func Balanced(params Params, stages int) (*Partition, error) {
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	L := params.Profile.NumLayers()
+	if stages < 1 || stages > L {
+		return nil, fmt.Errorf("partition: cannot split %d layers into %d stages", L, stages)
+	}
+	sizes := make([]int, stages)
+	base, extra := L/stages, L%stages
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return FromBoundaries(params.Profile, sizes, AlgoBalanced)
+}

@@ -1,0 +1,475 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sync"
+
+	"mobius/internal/lp"
+	"mobius/internal/milp"
+	"mobius/internal/model"
+)
+
+// MIPOptions bound the MIP partition search.
+type MIPOptions struct {
+	// MaxStages caps the candidate stage count S (default: min(blocks,
+	// 24)). Partitions with more stages than the cap are still covered by
+	// the min-stage comparison below.
+	MaxStages int
+	// Patience stops the sweep over S after this many consecutive
+	// non-improving candidates (default 2).
+	Patience int
+	// NodeLimit and TimeLimit bound each MILP solve.
+	NodeLimit int
+	TimeLimit time.Duration
+	// DisableCache forces a fresh solve. MIP results are otherwise
+	// memoized per (model, GPU, N, M, G, B, options) for the lifetime of
+	// the process, since the same planning problem recurs across
+	// experiments. The overhead benchmark (Figure 12) disables the cache
+	// to measure true solve time.
+	DisableCache bool
+}
+
+func (o MIPOptions) withDefaults(blocks int) MIPOptions {
+	if o.MaxStages <= 0 {
+		o.MaxStages = 24
+	}
+	// The stage count can reach blocks+2: every block its own stage plus
+	// the embedding and the head as standalone edge stages.
+	if o.MaxStages > blocks+2 {
+		o.MaxStages = blocks + 2
+	}
+	if o.Patience <= 0 {
+		o.Patience = 2
+	}
+	if o.NodeLimit <= 0 {
+		o.NodeLimit = 150
+	}
+	if o.TimeLimit <= 0 {
+		o.TimeLimit = 3 * time.Second
+	}
+	return o
+}
+
+// mipGapTol is the relative optimality gap for each MILP solve: schedule
+// estimates are only accurate to a few percent, so proving the last 0.5%
+// of optimality is wasted effort.
+const mipGapTol = 0.005
+
+// MIPStats reports the solver effort, feeding the Figure 12 overhead
+// experiment.
+type MIPStats struct {
+	// TriedStageCounts lists the candidate S values formulated and solved.
+	TriedStageCounts []int
+	// Nodes is the total branch-and-bound node count across candidates.
+	Nodes int
+	// SolveTime is the wall-clock time spent in the MILP solver.
+	SolveTime time.Duration
+	// BestStageCount is the S of the returned partition.
+	BestStageCount int
+	// StepTime is the modelled step duration of the returned partition.
+	StepTime float64
+	// Proven is true when every explored candidate was solved to
+	// certified optimality.
+	Proven bool
+	// UsedMinStageFallback is true when the min-stage partition (beyond
+	// MaxStages) beat every MIP candidate — the regime of Figure 9's
+	// second observation.
+	UsedMinStageFallback bool
+}
+
+// blockStats extracts the compressed per-group statistics the MILP is
+// formulated over (layer similarity, §3.2).
+type blockStats struct {
+	blocks            int
+	tfBlk, tbBlk      float64
+	pBlk              float64 // GB
+	act               float64 // GB, boundary activation per microbatch
+	wBlk, wEmb, wHead float64 // GB
+	pEmb, pHead       float64 // GB
+	tfEmb, tbEmb      float64
+	tfHead, tbHead    float64
+}
+
+func gatherBlockStats(params Params) (*blockStats, error) {
+	const toGB = 1e-9
+	bs := &blockStats{}
+	seenBlk := false
+	for _, l := range params.Profile.Layers {
+		switch l.Layer.Kind {
+		case model.KindEmbedding:
+			bs.pEmb = l.ParamBytes * toGB
+			bs.wEmb = l.WorkingBytes * toGB
+			bs.tfEmb, bs.tbEmb = l.FwdTime, l.BwdTime
+		case model.KindHead:
+			bs.pHead = l.ParamBytes * toGB
+			bs.wHead = l.WorkingBytes * toGB
+			bs.tfHead, bs.tbHead = l.FwdTime, l.BwdTime
+		case model.KindBlock:
+			bs.blocks++
+			if !seenBlk {
+				seenBlk = true
+				bs.pBlk = l.ParamBytes * toGB
+				bs.wBlk = l.WorkingBytes * toGB
+				bs.act = l.ActOutBytes * toGB
+				bs.tfBlk, bs.tbBlk = l.FwdTime, l.BwdTime
+			}
+		}
+	}
+	if !seenBlk {
+		return nil, fmt.Errorf("partition: model has no transformer blocks")
+	}
+	return bs, nil
+}
+
+// MIP runs the paper's MIP partition algorithm: for each candidate stage
+// count S (a multiple of the GPU count), it formulates the mixed-integer
+// program of §3.2 — boolean layer placement compressed to per-stage block
+// counts via layer similarity, continuous start times t^e_{j,m}, prefetch
+// sizes P^e_j, memory constraints (4)-(6) and pipeline-order constraints
+// (8)-(11) — solves it with the branch-and-bound solver, and returns the
+// best partition found.
+func MIP(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, nil, err
+	}
+	if !opts.DisableCache {
+		key := mipKey{
+			model:     params.Profile.Model,
+			gpu:       params.Profile.GPU.Name,
+			n:         params.NumGPUs,
+			m:         params.Microbatches,
+			mem:       params.GPUMem,
+			bandwidth: params.Bandwidth,
+			latency:   params.Latency,
+			opts:      opts,
+		}
+		mipCacheMu.Lock()
+		if e, ok := mipCache[key]; ok {
+			mipCacheMu.Unlock()
+			return e.part, e.stats, e.err
+		}
+		mipCacheMu.Unlock()
+		part, stats, err := mipSolve(params, opts)
+		mipCacheMu.Lock()
+		mipCache[key] = mipCacheEntry{part, stats, err}
+		mipCacheMu.Unlock()
+		return part, stats, err
+	}
+	return mipSolve(params, opts)
+}
+
+type mipKey struct {
+	model     model.Config
+	gpu       string
+	n, m      int
+	mem       float64
+	bandwidth float64
+	latency   float64
+	opts      MIPOptions
+}
+
+type mipCacheEntry struct {
+	part  *Partition
+	stats *MIPStats
+	err   error
+}
+
+var (
+	mipCacheMu sync.Mutex
+	mipCache   = map[mipKey]mipCacheEntry{}
+)
+
+func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
+	bs, err := gatherBlockStats(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts = opts.withDefaults(bs.blocks)
+
+	stats := &MIPStats{Proven: true, StepTime: Infeasible}
+	var best *Partition
+
+	consider := func(p *Partition, s int, fromMIP bool) error {
+		t, err := StepTime(params, p)
+		if err != nil {
+			return err
+		}
+		if t < stats.StepTime {
+			stats.StepTime = t
+			stats.BestStageCount = s
+			stats.UsedMinStageFallback = !fromMIP
+			best = p
+			best.Algorithm = AlgoMIP
+		}
+		return nil
+	}
+
+	maxB := maxLayersPerStage(params)
+	sinceImprove := 0
+	for s := params.NumGPUs; s <= opts.MaxStages; s += params.NumGPUs {
+		if s*maxB < bs.blocks {
+			continue // cannot fit the model into s stages
+		}
+		start := time.Now()
+		part, nodes, err := solveOne(params, bs, s, opts)
+		stats.SolveTime += time.Since(start)
+		stats.Nodes += nodes
+		stats.TriedStageCounts = append(stats.TriedStageCounts, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		if part == nil {
+			continue // infeasible for this S
+		}
+		before := stats.StepTime
+		if err := consider(part, s, true); err != nil {
+			return nil, nil, err
+		}
+		if stats.StepTime < before {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+			if sinceImprove >= opts.Patience {
+				break
+			}
+		}
+	}
+
+	// The min-stage decomposition can exceed MaxStages (one block per
+	// stage); the paper observes the MIP solution degenerates to it when
+	// blocks barely fit in GPU memory. Compare explicitly.
+	if ms, err := MinStage(params); err == nil && len(ms.Stages) > opts.MaxStages {
+		if err := consider(ms, len(ms.Stages), false); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if best == nil {
+		return nil, nil, fmt.Errorf("partition: no feasible partition found (GPU memory %g GB too small?)", params.GPUMem/1e9)
+	}
+	return best, stats, nil
+}
+
+// solveOne formulates and solves the MILP for a fixed stage count S.
+// It returns a nil partition when the instance is infeasible.
+func solveOne(params Params, bs *blockStats, S int, opts MIPOptions) (*Partition, int, error) {
+	N := params.NumGPUs
+	M := params.Microbatches
+	G := params.GPUMem * 1e-9    // GB
+	B := params.Bandwidth * 1e-9 // GB/s
+	lat := params.Latency        // per-transfer setup seconds
+
+	// Variable layout.
+	nVarAt := func(j int) int { return j }
+	tfAt := func(j, m int) int { return S + j*M + m }
+	tbAt := func(j, m int) int { return S + S*M + j*M + m }
+	nPf := S - N
+	if nPf < 0 {
+		nPf = 0
+	}
+	pfAt := func(j int) int { return S + 2*S*M + (j - N) } // j in [N, S)
+	pbAt := func(j int) int { return S + 2*S*M + nPf + j } // j in [0, S-N)
+	totalVars := S + 2*S*M + 2*nPf
+
+	p := lp.NewProblem(totalVars)
+
+	// Per-stage constants (embedding on stage 0, head on stage S-1).
+	cF := make([]float64, S)
+	cB := make([]float64, S)
+	cP := make([]float64, S) // constant parameter GB beyond blocks
+	w := make([]float64, S)
+	actIn := make([]float64, S)
+	actOut := make([]float64, S)
+	for j := 0; j < S; j++ {
+		w[j] = bs.wBlk
+		actIn[j] = bs.act
+		actOut[j] = bs.act
+	}
+	cF[0] += bs.tfEmb
+	cB[0] += bs.tbEmb
+	cP[0] += bs.pEmb
+	w[0] = math.Max(w[0], bs.wEmb)
+	cF[S-1] += bs.tfHead
+	cB[S-1] += bs.tbHead
+	cP[S-1] += bs.pHead
+	w[S-1] = math.Max(w[S-1], bs.wHead)
+	actIn[0] = 0    // stage 0 receives raw token ids (negligible)
+	actOut[S-1] = 0 // the head emits only the loss
+
+	// Integer block-count bounds from the memory constraint (4):
+	// MemFwd_j = pBlk*n + cP + w + 2*actOut <= G
+	// MemBwd_j = 2*(pBlk*n + cP) + w + 2*actIn <= G.
+	for j := 0; j < S; j++ {
+		capFwd := (G - cP[j] - w[j] - 2*actOut[j]) / bs.pBlk
+		capBwd := (G - 2*cP[j] - w[j] - 2*actIn[j]) / (2 * bs.pBlk)
+		hi := math.Floor(math.Min(capFwd, capBwd) + 1e-9)
+		lo := 1.0
+		if j == 0 || j == S-1 {
+			lo = 0 // embedding/head alone is a valid stage
+		}
+		if hi < lo {
+			return nil, 0, nil // a single block cannot fit: infeasible S
+		}
+		p.SetBounds(nVarAt(j), lo, hi)
+	}
+
+	// Total blocks.
+	sum := make([]lp.Term, S)
+	for j := 0; j < S; j++ {
+		sum[j] = lp.Term{Var: nVarAt(j), Coeff: 1}
+	}
+	p.AddConstraint(sum, lp.EQ, float64(bs.blocks))
+
+	// Forward pipeline-order constraints.
+	for j := 0; j < S; j++ {
+		for m := 0; m < M; m++ {
+			if m > 0 { // (10): serial microbatches per stage
+				p.AddConstraint([]lp.Term{
+					{Var: tfAt(j, m), Coeff: 1},
+					{Var: tfAt(j, m-1), Coeff: -1},
+					{Var: nVarAt(j), Coeff: -bs.tfBlk},
+				}, lp.GE, cF[j])
+			}
+			if j > 0 { // (8): activation arrival from upstream
+				p.AddConstraint([]lp.Term{
+					{Var: tfAt(j, m), Coeff: 1},
+					{Var: tfAt(j-1, m), Coeff: -1},
+					{Var: nVarAt(j - 1), Coeff: -bs.tfBlk},
+				}, lp.GE, cF[j-1]+lat+actIn[j]/B)
+			}
+		}
+		if j < N { // initial upload before the first microbatch
+			p.AddConstraint([]lp.Term{
+				{Var: tfAt(j, 0), Coeff: 1},
+				{Var: nVarAt(j), Coeff: -bs.pBlk / B},
+			}, lp.GE, lat+cP[j]/B)
+		} else {
+			// (9): swap-in after the previous stage on this GPU, minus
+			// whatever was prefetched.
+			p.AddConstraint([]lp.Term{
+				{Var: tfAt(j, 0), Coeff: 1},
+				{Var: tfAt(j-N, M-1), Coeff: -1},
+				{Var: nVarAt(j - N), Coeff: -bs.tfBlk},
+				{Var: nVarAt(j), Coeff: -bs.pBlk / B},
+				{Var: pfAt(j), Coeff: 1 / B},
+			}, lp.GE, cF[j-N]+lat+cP[j]/B)
+			// (5): prefetch fits in reserved memory.
+			p.AddConstraint([]lp.Term{
+				{Var: pfAt(j), Coeff: 1},
+				{Var: nVarAt(j - N), Coeff: bs.pBlk},
+			}, lp.LE, G-cP[j-N]-w[j-N]-2*actOut[j-N])
+			// (6): prefetch bounded by the overlap window and stage size.
+			p.AddConstraint([]lp.Term{
+				{Var: pfAt(j), Coeff: 1},
+				{Var: nVarAt(j - N), Coeff: -B * bs.tfBlk},
+				{Var: tfAt(j-N, M-1), Coeff: -B},
+				{Var: tfAt(j-N, 0), Coeff: B},
+			}, lp.LE, B*cF[j-N])
+			p.AddConstraint([]lp.Term{
+				{Var: pfAt(j), Coeff: 1},
+				{Var: nVarAt(j), Coeff: -bs.pBlk},
+			}, lp.LE, cP[j])
+		}
+	}
+
+	// (11): backward begins after the last stage's forward drains.
+	p.AddConstraint([]lp.Term{
+		{Var: tbAt(S-1, 0), Coeff: 1},
+		{Var: tfAt(S-1, M-1), Coeff: -1},
+		{Var: nVarAt(S - 1), Coeff: -bs.tfBlk},
+	}, lp.GE, cF[S-1])
+
+	// Backward pipeline-order constraints.
+	for j := S - 1; j >= 0; j-- {
+		for m := 0; m < M; m++ {
+			if m > 0 { // (10b)
+				p.AddConstraint([]lp.Term{
+					{Var: tbAt(j, m), Coeff: 1},
+					{Var: tbAt(j, m-1), Coeff: -1},
+					{Var: nVarAt(j), Coeff: -bs.tbBlk},
+				}, lp.GE, cB[j])
+			}
+			if j < S-1 { // (8b): activation-gradient arrival
+				p.AddConstraint([]lp.Term{
+					{Var: tbAt(j, m), Coeff: 1},
+					{Var: tbAt(j+1, m), Coeff: -1},
+					{Var: nVarAt(j + 1), Coeff: -bs.tbBlk},
+				}, lp.GE, cB[j+1]+lat+actOut[j]/B)
+			}
+		}
+		if j < S-N {
+			// (9b): swap-in for backward. UploadBwd = params + M*actIn.
+			p.AddConstraint([]lp.Term{
+				{Var: tbAt(j, 0), Coeff: 1},
+				{Var: tbAt(j+N, M-1), Coeff: -1},
+				{Var: nVarAt(j + N), Coeff: -bs.tbBlk},
+				{Var: nVarAt(j), Coeff: -bs.pBlk / B},
+				{Var: pbAt(j), Coeff: 1 / B},
+			}, lp.GE, cB[j+N]+lat+(cP[j]+float64(M)*actIn[j])/B)
+			// (5b): prefetch fits beside the currently executing stage.
+			p.AddConstraint([]lp.Term{
+				{Var: pbAt(j), Coeff: 1},
+				{Var: nVarAt(j + N), Coeff: 2 * bs.pBlk},
+			}, lp.LE, G-2*cP[j+N]-w[j+N]-2*actIn[j+N])
+			// (6b): overlap window and stage size.
+			p.AddConstraint([]lp.Term{
+				{Var: pbAt(j), Coeff: 1},
+				{Var: nVarAt(j + N), Coeff: -B * bs.tbBlk},
+				{Var: tbAt(j+N, M-1), Coeff: -B},
+				{Var: tbAt(j+N, 0), Coeff: B},
+			}, lp.LE, B*cB[j+N])
+			p.AddConstraint([]lp.Term{
+				{Var: pbAt(j), Coeff: 1},
+				{Var: nVarAt(j), Coeff: -bs.pBlk},
+			}, lp.LE, cP[j]+float64(M)*actIn[j])
+		}
+	}
+
+	// Objective (3): minimize tb_{0,M-1} + Tb_0.
+	p.SetObjectiveCoeff(tbAt(0, M-1), 1)
+	p.SetObjectiveCoeff(nVarAt(0), bs.tbBlk)
+
+	// Incumbent from the balanced heuristic.
+	intVars := make([]int, S)
+	for j := 0; j < S; j++ {
+		intVars[j] = j
+	}
+	mopts := milp.Options{MaxNodes: opts.NodeLimit, TimeLimit: opts.TimeLimit, GapTol: mipGapTol}
+	balanced, balErr := Balanced(params, S)
+	if balErr == nil {
+		if t, err := StepTime(params, balanced); err == nil && !math.IsInf(t, 1) {
+			// Seed with slack: the analytic evaluator and the LP agree on
+			// the model, but the seed must never over-prune the optimum.
+			mopts.Incumbent = (t - cB[0]) * 1.001
+		}
+	}
+
+	res, err := milp.Solve(p, intVars, mopts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Status != lp.Optimal {
+		// Limits hit with no MILP incumbent: fall back to the balanced
+		// heuristic so the sweep still has a candidate for this S.
+		if balErr == nil {
+			return balanced, res.Nodes, nil
+		}
+		return nil, res.Nodes, nil
+	}
+
+	sizes := make([]int, S)
+	for j := 0; j < S; j++ {
+		sizes[j] = int(math.Round(res.X[nVarAt(j)]))
+	}
+	sizes[0]++   // embedding layer
+	sizes[S-1]++ // head layer
+	part, err := FromBoundaries(params.Profile, sizes, AlgoMIP)
+	if err != nil {
+		return nil, res.Nodes, err
+	}
+	return part, res.Nodes, nil
+}

@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mobius/internal/hw"
+	"mobius/internal/partition"
+	"mobius/internal/profile"
+	"mobius/internal/sim"
+	"mobius/internal/trace"
+)
+
+// GPipeConfig describes a GPipe training step: classical pipeline
+// parallelism with exactly one stage per GPU and the full mixed-precision
+// training state resident in GPU memory (no heterogeneous memory).
+type GPipeConfig struct {
+	Profile      *profile.Profile
+	Microbatches int
+	// SystemName labels the result; "GPipe" by default. "DeepSpeed
+	// (pipeline)" uses the same execution model in the paper's
+	// evaluation.
+	SystemName string
+}
+
+// gpipeStateFactor converts a stage's FP16 parameter bytes into the full
+// resident training state: fp16 params+grads (2x) plus fp32 master and
+// Adam moments (6x more halves), i.e. 16 bytes per parameter = 8x the
+// FP16 parameter footprint.
+const gpipeStateFactor = 8
+
+// RunGPipe simulates one GPipe training step: the model is split into one
+// balanced stage per GPU, parameters stay resident, and only boundary
+// activations (and their gradients) move between GPUs.
+func RunGPipe(topo *hw.Topology, cfg GPipeConfig) (*Result, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("pipeline: profile is required")
+	}
+	name := cfg.SystemName
+	if name == "" {
+		name = "GPipe"
+	}
+	N := topo.NumGPUs()
+	M := cfg.Microbatches
+	if M <= 0 {
+		M = N
+	}
+
+	srv, err := hw.Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	srv.Sim.Observe(rec)
+	res := &Result{System: name, Recorder: rec, Server: srv}
+
+	part, err := partition.Balanced(partition.Params{
+		Profile:   cfg.Profile,
+		NumGPUs:   N,
+		GPUMem:    topo.GPUMem(0),
+		Bandwidth: 1, // unused by Balanced
+	}, N)
+	if err != nil {
+		return nil, err
+	}
+	stg := part.Stages
+
+	// OOM check: full training state plus retained boundary checkpoints
+	// for every in-flight microbatch must fit.
+	for j, st := range stg {
+		need := st.ParamBytes*gpipeStateFactor + st.WorkingBytes + float64(M)*(st.ActInBytes+st.ActOutBytes)
+		if need > topo.GPUMem(j) {
+			res.OOM = true
+			return res, nil
+		}
+	}
+
+	s := srv.Sim
+	F := make([][]*sim.Task, N)
+	B := make([][]*sim.Task, N)
+	for j := range F {
+		F[j] = make([]*sim.Task, M)
+		B[j] = make([]*sim.Task, M)
+	}
+	tag := func(kind trace.Kind, gpu, peer, stage, mb int) trace.Tag {
+		return trace.Tag{Kind: kind, GPU: gpu, PeerGPU: peer, Stage: stage, Microbatch: mb}
+	}
+
+	// Forward.
+	for j := 0; j < N; j++ {
+		for m := 0; m < M; m++ {
+			var deps []*sim.Task
+			if m > 0 {
+				deps = append(deps, F[j][m-1])
+			}
+			if j > 0 {
+				act := s.Transfer(fmt.Sprintf("A%d.%d", j, m), srv.DownloadEngine[j-1],
+					srv.Route(hw.GPUEnd(j-1), hw.GPUEnd(j)), stg[j].ActInBytes, prioActivation, F[j-1][m])
+				act.Tag = tag(trace.KindActTransfer, j-1, j, j, m)
+				deps = append(deps, act)
+			}
+			F[j][m] = s.Compute(fmt.Sprintf("F%d.%d", j, m), srv.ComputeEngines[j], stg[j].FwdTime, deps...)
+			F[j][m].Tag = tag(trace.KindCompute, j, -1, j, m)
+		}
+	}
+
+	// Backward.
+	for j := N - 1; j >= 0; j-- {
+		for m := 0; m < M; m++ {
+			var deps []*sim.Task
+			if m > 0 {
+				deps = append(deps, B[j][m-1])
+			}
+			if j == N-1 {
+				deps = append(deps, F[N-1][M-1])
+			} else {
+				gr := s.Transfer(fmt.Sprintf("G%d.%d", j, m), srv.DownloadEngine[j+1],
+					srv.Route(hw.GPUEnd(j+1), hw.GPUEnd(j)), stg[j].ActOutBytes, prioActivation, B[j+1][m])
+				gr.Tag = tag(trace.KindActTransfer, j+1, j, j, m)
+				deps = append(deps, gr)
+			}
+			B[j][m] = s.Compute(fmt.Sprintf("B%d.%d", j, m), srv.ComputeEngines[j], stg[j].BwdTime, deps...)
+			B[j][m].Tag = tag(trace.KindCompute, j, -1, j, m)
+		}
+	}
+
+	end, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: gpipe schedule: %w", err)
+	}
+	res.StepTime = end
+	return res, nil
+}

@@ -1,0 +1,258 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mobius/internal/hw"
+	"mobius/internal/mapping"
+	"mobius/internal/partition"
+	"mobius/internal/sim"
+	"mobius/internal/trace"
+)
+
+// MobiusConfig describes one Mobius training step.
+type MobiusConfig struct {
+	Partition *partition.Partition
+	Mapping   *mapping.Mapping
+	// Microbatches is M; the paper sets M equal to the GPU count.
+	Microbatches int
+	// DisablePrefetchPriority drops the paper's priority policy for
+	// concurrent prefetches (an ablation knob); uploads then share
+	// bandwidth max-min fair.
+	DisablePrefetchPriority bool
+	// DisablePrefetch turns off stage prefetching entirely (an ablation
+	// knob): uploads start only after the previous stage is freed, so no
+	// communication hides under computation.
+	DisablePrefetch bool
+}
+
+// RunMobius simulates one Mobius training step on the topology and
+// returns the measured result.
+//
+// The emitted DAG follows §3.1: stages live in DRAM; each GPU executes
+// its stages in pipeline order, swapping them in ahead of time where
+// reserved memory allows (prefetch), offloading boundary activations
+// after forward, re-uploading parameters and checkpoints before backward,
+// and flushing gradients to DRAM for the CPU optimizer at the end of each
+// stage's backward.
+func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
+	if cfg.Partition == nil || cfg.Mapping == nil {
+		return nil, fmt.Errorf("pipeline: partition and mapping are required")
+	}
+	S := len(cfg.Partition.Stages)
+	N := topo.NumGPUs()
+	M := cfg.Microbatches
+	if M <= 0 {
+		M = N
+	}
+	if len(cfg.Mapping.Perm) != N {
+		return nil, fmt.Errorf("pipeline: mapping is for %d GPUs, topology has %d", len(cfg.Mapping.Perm), N)
+	}
+
+	srv, err := hw.Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	srv.Sim.Observe(rec)
+	res := &Result{System: "Mobius", Recorder: rec, Server: srv}
+
+	stg := cfg.Partition.Stages
+	gpuOf := func(j int) int { return cfg.Mapping.GPUOf(j) }
+	gpuMem := func(j int) float64 { return topo.GPUMem(gpuOf(j)) }
+
+	// OOM pre-check (constraint 4).
+	for j := 0; j < S; j++ {
+		if stg[j].MemFwd() > gpuMem(j) || stg[j].MemBwd() > gpuMem(j) {
+			res.OOM = true
+			return res, nil
+		}
+	}
+
+	uploadPrio := func(j int) int {
+		if cfg.DisablePrefetchPriority {
+			return prioUploadBase
+		}
+		return prioUploadBase + cfg.Mapping.UploadPriority(j)
+	}
+
+	s := srv.Sim
+	F := make([][]*sim.Task, S)
+	B := make([][]*sim.Task, S)
+	offload := make([][]*sim.Task, S)
+	freeF := make([]*sim.Task, S)
+	for j := range F {
+		F[j] = make([]*sim.Task, M)
+		B[j] = make([]*sim.Task, M)
+		offload[j] = make([]*sim.Task, M)
+	}
+
+	tag := func(kind trace.Kind, gpu, peer, stage, mb int) trace.Tag {
+		return trace.Tag{Kind: kind, GPU: gpu, PeerGPU: peer, Stage: stage, Microbatch: mb}
+	}
+
+	// ---- Forward pass ----
+	for j := 0; j < S; j++ {
+		g := gpuOf(j)
+		up := srv.UploadEngines[g]
+		mem := srv.GPUMems[g]
+		dramToGPU := srv.Route(hw.DRAMEnd, hw.GPUEnd(g))
+
+		// Stage swap-in with prefetch. The prefetchable share is bounded
+		// by the memory left beside the previous stage on this GPU
+		// (constraint 5); the overlap window (constraint 6) emerges from
+		// the simulation itself.
+		var ready *sim.Task
+		if j < N {
+			// First-round stages upload at step start.
+			alloc := s.Alloc(fmt.Sprintf("allocF%d", j), mem, stg[j].MemFwd())
+			xfer := s.Transfer(fmt.Sprintf("C%d", j), up, dramToGPU, stg[j].UploadFwd(), uploadPrio(j), alloc)
+			xfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
+			ready = xfer
+		} else {
+			prev := stg[j-N]
+			// Reserve whatever memory fits beside the previous stage
+			// (constraint 5) and prefetch the matching share of the
+			// upload; the rest waits for the previous stage to be freed.
+			resv := minf(stg[j].MemFwd(), maxf(0, gpuMem(j)-prev.MemFwd()))
+			if cfg.DisablePrefetch {
+				resv = 0
+			}
+			pf := stg[j].UploadFwd() * resv / stg[j].MemFwd()
+			// Prefetch starts once the previous stage has begun computing
+			// (its first microbatch forward is the observable trigger).
+			preAlloc := s.Alloc(fmt.Sprintf("allocPreF%d", j), mem, resv, F[j-N][0])
+			preXfer := s.Transfer(fmt.Sprintf("C%d.pre", j), up, dramToGPU, pf, uploadPrio(j), preAlloc)
+			preXfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
+			restAlloc := s.Alloc(fmt.Sprintf("allocRestF%d", j), mem, stg[j].MemFwd()-resv, freeF[j-N])
+			restXfer := s.Transfer(fmt.Sprintf("C%d.rest", j), up, dramToGPU, stg[j].UploadFwd()-pf, uploadPrio(j), restAlloc, preXfer)
+			restXfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
+			ready = s.After(fmt.Sprintf("readyF%d", j), preXfer, restXfer)
+		}
+
+		for m := 0; m < M; m++ {
+			deps := []*sim.Task{ready}
+			if m > 0 {
+				deps = append(deps, F[j][m-1])
+			}
+			if j > 0 {
+				// Boundary activation from the upstream stage, staged
+				// through DRAM on commodity servers.
+				src := gpuOf(j - 1)
+				act := s.Transfer(fmt.Sprintf("A%d.%d", j, m), srv.DownloadEngine[src],
+					srv.Route(hw.GPUEnd(src), hw.GPUEnd(g)), stg[j].ActInBytes, prioActivation, F[j-1][m])
+				act.Tag = tag(trace.KindActTransfer, src, g, j, m)
+				deps = append(deps, act)
+			}
+			F[j][m] = s.Compute(fmt.Sprintf("F%d.%d", j, m), srv.ComputeEngines[g], stg[j].FwdTime, deps...)
+			F[j][m].Tag = tag(trace.KindCompute, g, -1, j, m)
+
+			// Offload the boundary checkpoint for the backward pass.
+			if stg[j].ActOutBytes > 0 {
+				off := s.Transfer(fmt.Sprintf("O%d.%d", j, m), srv.DownloadEngine[g],
+					srv.Route(hw.GPUEnd(g), hw.DRAMEnd), stg[j].ActOutBytes, prioGradFlush, F[j][m])
+				off.Tag = tag(trace.KindActOffload, g, -1, j, m)
+				offload[j][m] = off
+			}
+		}
+
+		// Free the stage after its last microbatch (and its offloads) —
+		// except the final round, which stays resident for backward.
+		if j < S-N {
+			deps := []*sim.Task{F[j][M-1]}
+			for m := 0; m < M; m++ {
+				if offload[j][m] != nil {
+					deps = append(deps, offload[j][m])
+				}
+			}
+			freeF[j] = s.Free(fmt.Sprintf("freeF%d", j), mem, stg[j].MemFwd(), deps...)
+		}
+	}
+
+	// ---- Backward pass ----
+	freeB := make([]*sim.Task, S)
+	for j := S - 1; j >= 0; j-- {
+		g := gpuOf(j)
+		up := srv.UploadEngines[g]
+		down := srv.DownloadEngine[g]
+		mem := srv.GPUMems[g]
+		dramToGPU := srv.Route(hw.DRAMEnd, hw.GPUEnd(g))
+
+		var ready *sim.Task
+		if j >= S-N {
+			// Still resident from forward; grow to the backward footprint.
+			extra := stg[j].MemBwd() - stg[j].MemFwd()
+			ready = s.Alloc(fmt.Sprintf("gradAllocB%d", j), mem, maxf(0, extra), F[j][M-1])
+		} else {
+			nxt := stg[j+N] // executes before this stage in backward order
+			resv := minf(stg[j].MemBwd(), maxf(0, gpuMem(j)-nxt.MemBwd()))
+			if cfg.DisablePrefetch {
+				resv = 0
+			}
+			// The pre/rest pair carries the parameters; checkpointed
+			// activations are re-uploaded per microbatch below.
+			pb := stg[j].ParamBytes * resv / stg[j].MemBwd()
+			preAlloc := s.Alloc(fmt.Sprintf("allocPreB%d", j), mem, resv, B[j+N][0])
+			preXfer := s.Transfer(fmt.Sprintf("CB%d.pre", j), up, dramToGPU, pb, uploadPrio(j), preAlloc)
+			preXfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
+			restAlloc := s.Alloc(fmt.Sprintf("allocRestB%d", j), mem, stg[j].MemBwd()-resv, freeB[j+N])
+			restXfer := s.Transfer(fmt.Sprintf("CB%d.rest", j), up, dramToGPU, stg[j].ParamBytes-pb, uploadPrio(j), restAlloc, preXfer)
+			restXfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
+			ready = s.After(fmt.Sprintf("readyB%d", j), preXfer, restXfer)
+		}
+
+		for m := 0; m < M; m++ {
+			deps := []*sim.Task{ready}
+			if m > 0 {
+				deps = append(deps, B[j][m-1])
+			}
+			if j == S-1 {
+				// Constraint (11): backward starts after forward drains.
+				deps = append(deps, F[S-1][M-1])
+			} else {
+				// Activation gradient from the downstream stage.
+				src := gpuOf(j + 1)
+				gr := s.Transfer(fmt.Sprintf("G%d.%d", j, m), srv.DownloadEngine[src],
+					srv.Route(hw.GPUEnd(src), hw.GPUEnd(g)), stg[j].ActOutBytes, prioActivation, B[j+1][m])
+				gr.Tag = tag(trace.KindActTransfer, src, g, j, m)
+				deps = append(deps, gr)
+			}
+			// Re-upload the input checkpoint for recomputation.
+			if j > 0 && stg[j].ActInBytes > 0 && offload[j-1][m] != nil {
+				actUp := s.Transfer(fmt.Sprintf("AU%d.%d", j, m), up, dramToGPU, stg[j].ActInBytes, prioActivation, offload[j-1][m], ready)
+				actUp.Tag = tag(trace.KindActUpload, g, -1, j, m)
+				deps = append(deps, actUp)
+			}
+			B[j][m] = s.Compute(fmt.Sprintf("B%d.%d", j, m), srv.ComputeEngines[g], stg[j].BwdTime, deps...)
+			B[j][m].Tag = tag(trace.KindCompute, g, -1, j, m)
+		}
+
+		// Flush accumulated gradients to DRAM for the CPU optimizer, then
+		// free the stage.
+		flush := s.Transfer(fmt.Sprintf("GF%d", j), down, srv.Route(hw.GPUEnd(g), hw.DRAMEnd),
+			stg[j].GradBytes, prioGradFlush, B[j][M-1])
+		flush.Tag = tag(trace.KindGradFlush, g, -1, j, -1)
+		freeB[j] = s.Free(fmt.Sprintf("freeB%d", j), mem, stg[j].MemBwd(), flush)
+	}
+
+	end, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: mobius schedule: %w", err)
+	}
+	res.StepTime = end
+	return res, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+// Package pipeline implements the training-step schedulers that execute
+// on the simulated server: the Mobius pipeline (§3.1) — heterogeneous
+// memory, multiple stages per GPU, prefetching into reserved memory,
+// activation offload and gradient flush — and the GPipe baseline
+// (all-in-GPU-memory pipeline parallelism), which also stands in for
+// "DeepSpeed with pipeline parallelism" in the evaluation.
+package pipeline
+
+import (
+	"fmt"
+
+	"mobius/internal/hw"
+	"mobius/internal/trace"
+)
+
+// Result is the outcome of simulating one training step.
+type Result struct {
+	// System labels the scheduler that produced the result.
+	System string
+	// StepTime is the simulated duration of one training step in seconds.
+	StepTime float64
+	// OOM reports that the schedule cannot fit in GPU memory; StepTime is
+	// meaningless when set.
+	OOM bool
+	// Recorder holds the collected flow/compute records.
+	Recorder *trace.Recorder
+	// Server exposes the simulated hardware for memory inspection.
+	Server *hw.Server
+}
+
+// TotalTraffic returns all transferred bytes during the step.
+func (r *Result) TotalTraffic() float64 {
+	if r.Recorder == nil {
+		return 0
+	}
+	return r.Recorder.TotalBytes(nil)
+}
+
+func (r *Result) String() string {
+	if r.OOM {
+		return fmt.Sprintf("%s: OOM", r.System)
+	}
+	return fmt.Sprintf("%s: %.3fs/step, %.2f GB moved", r.System, r.StepTime, r.TotalTraffic()/1e9)
+}
+
+// Transfer priority classes. Higher runs first at shared resources.
+const (
+	prioGradFlush  = 0  // background: gradient flush, activation offload
+	prioUploadBase = 10 // stage uploads: base + mapping.UploadPriority
+	prioActivation = 10000
+)

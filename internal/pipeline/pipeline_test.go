@@ -1,0 +1,355 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"mobius/internal/hw"
+	"mobius/internal/mapping"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+	"mobius/internal/profile"
+	"mobius/internal/trace"
+)
+
+func planMobius(t *testing.T, cfg model.Config, topo *hw.Topology, scheme string, stages int) MobiusConfig {
+	t.Helper()
+	prof, err := profile.Run(cfg, topo.GPUs[0].Spec, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := partition.Params{
+		Profile:   prof,
+		NumGPUs:   topo.NumGPUs(),
+		GPUMem:    topo.GPUMem(0) * 0.92,
+		Bandwidth: 13.1e9,
+	}
+	var part *partition.Partition
+	if stages > 0 {
+		part, err = partition.Balanced(params, stages)
+	} else {
+		part, _, err = partition.MIP(params, partition.MIPOptions{})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *mapping.Mapping
+	if scheme == mapping.SchemeSequential {
+		m, err = mapping.Sequential(topo, part.NumStages())
+	} else {
+		m, err = mapping.Cross(topo, part.NumStages())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MobiusConfig{Partition: part, Mapping: m, Microbatches: topo.NumGPUs()}
+}
+
+func TestMobiusRunsToCompletion(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	cfg := planMobius(t, model.GPT15B, topo, mapping.SchemeCross, 8)
+	res, err := RunMobius(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatal("15B must not OOM under Mobius")
+	}
+	if res.StepTime <= 0 || math.IsInf(res.StepTime, 1) {
+		t.Fatalf("step time %g", res.StepTime)
+	}
+	if len(res.Recorder.Computes) != 2*8*4 {
+		t.Fatalf("computes: got %d want %d", len(res.Recorder.Computes), 2*8*4)
+	}
+}
+
+func TestMobiusTrafficNearPaperAnalysis(t *testing.T) {
+	// §3.1: Mobius moves ~1.5x the FP32 parameter bytes per step (two
+	// FP16 parameter copies + one FP16 gradient copy), plus small
+	// activation traffic — Figure 6 measures ~1.8x. Our schedule keeps
+	// the final round of stages resident between forward and backward,
+	// which discounts (N/S)x of the second parameter copy, so with S=2N
+	// the ratio lands slightly below 1.5x.
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	for _, mc := range []model.Config{model.GPT8B, model.GPT15B} {
+		cfg := planMobius(t, mc, topo, mapping.SchemeCross, 8)
+		res, err := RunMobius(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.TotalTraffic() / mc.ParamBytesFP32()
+		if ratio < 1.1 || ratio > 2.3 {
+			t.Errorf("%s: traffic ratio %.2fx, want ~1.2-1.8x of FP32 model size", mc.Name, ratio)
+		}
+	}
+}
+
+func TestMobiusMemoryNeverExceeded(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	cfg := planMobius(t, model.GPT15B, topo, mapping.SchemeCross, 8)
+	res, err := RunMobius(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, pool := range res.Server.GPUMems {
+		if pool.Peak() > topo.GPUMem(g) {
+			t.Errorf("gpu %d: peak %g exceeds capacity %g", g, pool.Peak(), topo.GPUMem(g))
+		}
+		if pool.Used() > 1e-6 {
+			t.Errorf("gpu %d: %g bytes leaked at step end", g, pool.Used())
+		}
+	}
+}
+
+func TestMobiusPipelineOrderRespected(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	cfg := planMobius(t, model.GPT8B, topo, mapping.SchemeCross, 8)
+	res, err := RunMobius(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct per-(stage, microbatch) compute end times and check the
+	// pipeline dependencies: F(j,m) ends after F(j-1,m); B(j,m) after
+	// B(j+1,m); every B after every F on the final stage.
+	type key struct{ stage, mb int }
+	fEnd := map[key]float64{}
+	i := 0
+	for _, c := range res.Recorder.Computes {
+		if c.Tag.Stage >= 0 && c.Tag.Microbatch >= 0 {
+			fEnd[key{c.Tag.Stage, c.Tag.Microbatch}] = math.Max(fEnd[key{c.Tag.Stage, c.Tag.Microbatch}], c.End)
+			i++
+		}
+	}
+	if i == 0 {
+		t.Fatal("no tagged computes")
+	}
+	// The first compute record per (stage, mb) is the forward.
+	fwd := map[key]float64{}
+	for _, c := range res.Recorder.Computes {
+		k := key{c.Tag.Stage, c.Tag.Microbatch}
+		if _, ok := fwd[k]; !ok {
+			fwd[k] = c.End
+		}
+	}
+	for k, end := range fwd {
+		if k.stage == 0 {
+			continue
+		}
+		up, ok := fwd[key{k.stage - 1, k.mb}]
+		if !ok {
+			t.Fatalf("missing upstream compute for %v", k)
+		}
+		if up >= end {
+			t.Errorf("F(%d,%d) ended at %g before upstream %g", k.stage, k.mb, end, up)
+		}
+	}
+}
+
+func TestGPipeTrainsSmallModelOnly(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	prof3, _ := profile.Run(model.GPT3B, hw.RTX3090Ti, profile.Options{})
+	res3, err := RunGPipe(topo, GPipeConfig{Profile: prof3, Microbatches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.OOM {
+		t.Fatal("GPipe must train the 3B model (the paper's largest GPipe-trainable)")
+	}
+	if res3.StepTime <= 0 {
+		t.Fatal("non-positive step time")
+	}
+	for _, big := range []model.Config{model.GPT8B, model.GPT15B, model.GPT51B} {
+		prof, _ := profile.Run(big, hw.RTX3090Ti, profile.Options{})
+		res, err := RunGPipe(topo, GPipeConfig{Profile: prof, Microbatches: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OOM {
+			t.Errorf("GPipe must OOM on %s", big.Name)
+		}
+	}
+}
+
+func TestMobiusCompetitiveWithGPipeWhenModelFits(t *testing.T) {
+	// On the 3B model (the largest GPipe can hold) Mobius must stay in
+	// the same ballpark as GPipe: its stage uploads hide under compute,
+	// and running two stages per GPU even shrinks pipeline fill bubbles
+	// (interleaved pipelining), so either may win by a modest margin.
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	prof, _ := profile.Run(model.GPT3B, hw.RTX3090Ti, profile.Options{})
+	gp, err := RunGPipe(topo, GPipeConfig{Profile: prof, Microbatches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := planMobius(t, model.GPT3B, topo, mapping.SchemeCross, 8)
+	mb, err := RunMobius(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := mb.StepTime / gp.StepTime
+	if ratio > 1.5 || ratio < 0.5 {
+		t.Errorf("Mobius/GPipe ratio %.2f on a resident model, want within [0.5, 1.5]", ratio)
+	}
+}
+
+func TestCrossMappingNoSlowerThanSequential(t *testing.T) {
+	// Figure 10: cross mapping reduces per-step time on a topology with
+	// shared root complexes.
+	topo := hw.Commodity(hw.RTX3090Ti, 4, 4)
+	seqCfg := planMobius(t, model.GPT15B, topo, mapping.SchemeSequential, 16)
+	crossCfg := planMobius(t, model.GPT15B, topo, mapping.SchemeCross, 16)
+	seq, err := RunMobius(topo, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := RunMobius(topo, crossCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.StepTime > seq.StepTime*1.02 {
+		t.Errorf("cross mapping (%g) slower than sequential (%g)", cross.StepTime, seq.StepTime)
+	}
+}
+
+func TestMobiusOOMWhenStageTooBig(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	prof, _ := profile.Run(model.GPT51B, hw.RTX3090Ti, profile.Options{})
+	part, err := partition.FromBoundaries(prof, []int{prof.NumLayers()}, "giant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := mapping.Sequential(topo, 1)
+	res, err := RunMobius(topo, MobiusConfig{Partition: part, Mapping: m, Microbatches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Fatal("oversized stage must OOM")
+	}
+}
+
+func TestMobiusDeterministic(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 1, 3)
+	cfg := planMobius(t, model.GPT8B, topo, mapping.SchemeCross, 8)
+	a, err := RunMobius(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMobius(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StepTime != b.StepTime {
+		t.Fatalf("non-deterministic: %g vs %g", a.StepTime, b.StepTime)
+	}
+}
+
+func TestMobiusScalesAcrossGPUCounts(t *testing.T) {
+	// Figure 14 sanity: throughput per step must not degrade with more
+	// GPUs (the batch grows with GPU count, so per-sample time shrinks).
+	var prev float64
+	for _, n := range []int{2, 4, 8} {
+		topo := hw.Commodity(hw.RTX3090Ti, n/2, n-n/2)
+		cfg := planMobius(t, model.GPT15B.WithMicrobatch(1), topo, mapping.SchemeCross, 4*n)
+		res, err := RunMobius(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OOM {
+			t.Fatalf("OOM at %d GPUs", n)
+		}
+		perSample := res.StepTime / float64(n) // M = n microbatches
+		if prev > 0 && perSample > prev*1.1 {
+			t.Errorf("%d GPUs: per-sample time %g regressed vs %g", n, perSample, prev)
+		}
+		prev = perSample
+	}
+}
+
+// TestSimulatorMatchesAnalyticEvaluator cross-validates the two
+// execution models: the analytic earliest-start schedule (the MIP's view
+// of the world) and the discrete-event simulation should agree within a
+// modest factor — the simulator adds engine serialization, transfer
+// latency and gradient flushes the analytic model ignores.
+func TestSimulatorMatchesAnalyticEvaluator(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	prof, err := profile.Run(model.GPT15B, hw.RTX3090Ti, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := partition.Params{
+		Profile:   prof,
+		NumGPUs:   4,
+		GPUMem:    topo.GPUMem(0) * 0.92,
+		Bandwidth: 13.1e9,
+		Latency:   topo.TransferLatency,
+	}
+	for _, stages := range []int{4, 8, 12} {
+		part, err := partition.Balanced(params, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted, err := partition.StepTime(params, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := mapping.Cross(topo, stages)
+		res, err := RunMobius(topo, MobiusConfig{Partition: part, Mapping: m, Microbatches: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.StepTime / predicted
+		if ratio < 0.8 || ratio > 1.6 {
+			t.Errorf("S=%d: simulated %.2fs vs predicted %.2fs (ratio %.2f)", stages, res.StepTime, predicted, ratio)
+		}
+	}
+}
+
+// TestMobiusTrafficAccountingIdentity checks the byte accounting of the
+// emitted schedule against the closed-form expectation from the
+// partition: uploads, activation hops, offloads, checkpoint re-uploads
+// and gradient flushes must all match exactly.
+func TestMobiusTrafficAccountingIdentity(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	cfg := planMobius(t, model.GPT15B, topo, mapping.SchemeCross, 8)
+	res, err := RunMobius(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := len(cfg.Partition.Stages)
+	N := topo.NumGPUs()
+	M := cfg.Microbatches
+
+	var wantUpload, wantAct, wantOffload, wantActUp, wantFlush float64
+	for j, st := range cfg.Partition.Stages {
+		wantUpload += st.UploadFwd()
+		if j < S-N {
+			wantUpload += st.UploadBwd(M) - float64(M)*st.ActInBytes // params only
+			wantActUp += float64(M) * st.ActInBytes                  // emitted separately
+		} else if j > 0 {
+			wantActUp += float64(M) * st.ActInBytes
+		}
+		if j > 0 {
+			wantAct += 2 * float64(M) * st.ActInBytes // fwd act + bwd act-grad
+		}
+		wantOffload += float64(M) * st.ActOutBytes
+		wantFlush += st.GradBytes
+	}
+
+	byKind := map[trace.Kind]float64{}
+	for _, f := range res.Recorder.Flows {
+		byKind[f.Tag.Kind] += f.Bytes
+	}
+	check := func(kind trace.Kind, want float64) {
+		t.Helper()
+		got := byKind[kind]
+		if math.Abs(got-want) > 1e-3*math.Max(1, want) {
+			t.Errorf("%v: got %.3f GB want %.3f GB", kind, got/1e9, want/1e9)
+		}
+	}
+	check(trace.KindParamUpload, wantUpload)
+	check(trace.KindActTransfer, wantAct)
+	check(trace.KindActOffload, wantOffload)
+	check(trace.KindActUpload, wantActUp)
+	check(trace.KindGradFlush, wantFlush)
+}

@@ -1,0 +1,129 @@
+// Package profile measures per-layer statistics needed by the MIP
+// partition algorithm: forward/backward compute time and memory
+// footprints. It implements the paper's layer-similarity optimisation
+// (§3.2): identical layers are grouped and only one representative per
+// group is profiled, which shrinks profiling time from O(model) to
+// O(distinct layers). The returned profiling cost model drives the
+// Figure 12 overhead experiment.
+package profile
+
+import (
+	"fmt"
+
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+// LayerStats is the measured profile of one model layer.
+type LayerStats struct {
+	Layer model.Layer
+	// FwdTime and BwdTime are per-microbatch compute durations in
+	// seconds on the profiled GPU.
+	FwdTime float64
+	BwdTime float64
+	// ParamBytes is the FP16 parameter footprint swapped by Mobius.
+	ParamBytes float64
+	// GradBytes is the FP16 gradient footprint.
+	GradBytes float64
+	// ActOutBytes is the boundary activation passed downstream per
+	// microbatch.
+	ActOutBytes float64
+	// WorkingBytes is the transient compute footprint per microbatch.
+	WorkingBytes float64
+}
+
+// Profile is the result of profiling a model on a GPU spec.
+type Profile struct {
+	Model model.Config
+	GPU   hw.GPUSpec
+	// Layers holds one entry per model layer, in model order.
+	Layers []LayerStats
+	// GroupsProfiled is the number of distinct layer groups measured.
+	GroupsProfiled int
+	// Cost is the simulated wall-clock time spent profiling: each
+	// profiled group runs Repeats forward+backward iterations with
+	// prefetching disabled, plus one parameter upload (§3.2, Figure 12).
+	Cost float64
+}
+
+// Options control profiling.
+type Options struct {
+	// Repeats is the number of measured iterations per layer group
+	// (default 3).
+	Repeats int
+	// DisableSimilarity profiles every layer individually, the slow
+	// baseline the paper's similarity optimisation avoids.
+	DisableSimilarity bool
+}
+
+// Run profiles cfg for the given GPU.
+func Run(cfg model.Config, gpu hw.GPUSpec, opts Options) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+
+	p := &Profile{Model: cfg, GPU: gpu}
+	mbs := cfg.MicrobatchSize
+	profiled := map[string]bool{}
+	for _, l := range cfg.LayerSeq() {
+		st := LayerStats{
+			Layer:        l,
+			FwdTime:      l.FwdTime(gpu, mbs),
+			BwdTime:      l.BwdTime(gpu, mbs),
+			ParamBytes:   l.ParamBytesFP16(),
+			GradBytes:    l.GradBytesFP16(),
+			ActOutBytes:  l.ActivationOutBytes(mbs),
+			WorkingBytes: l.WorkingBytes(mbs),
+		}
+		p.Layers = append(p.Layers, st)
+
+		key := l.SimilarityKey()
+		if opts.DisableSimilarity {
+			key = fmt.Sprintf("layer-%d", l.Index)
+		}
+		if profiled[key] {
+			continue
+		}
+		profiled[key] = true
+		p.GroupsProfiled++
+		// Measured iterations plus one un-prefetched parameter upload.
+		p.Cost += float64(repeats)*(st.FwdTime+st.BwdTime) + st.ParamBytes/gpu.LinkBW
+	}
+	return p, nil
+}
+
+// NumLayers returns the number of layers in the profile.
+func (p *Profile) NumLayers() int { return len(p.Layers) }
+
+// TotalParamBytes returns the FP16 parameter bytes across all layers.
+func (p *Profile) TotalParamBytes() float64 {
+	var t float64
+	for _, l := range p.Layers {
+		t += l.ParamBytes
+	}
+	return t
+}
+
+// TotalFwdTime returns the sum of per-layer forward times for one
+// microbatch.
+func (p *Profile) TotalFwdTime() float64 {
+	var t float64
+	for _, l := range p.Layers {
+		t += l.FwdTime
+	}
+	return t
+}
+
+// TotalBwdTime returns the sum of per-layer backward times for one
+// microbatch.
+func (p *Profile) TotalBwdTime() float64 {
+	var t float64
+	for _, l := range p.Layers {
+		t += l.BwdTime
+	}
+	return t
+}

@@ -1,0 +1,114 @@
+package profile
+
+import (
+	"testing"
+
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+func TestSimilarityCompressesProfiling(t *testing.T) {
+	with, err := Run(model.GPT15B, hw.RTX3090Ti, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(model.GPT15B, hw.RTX3090Ti, Options{DisableSimilarity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.GroupsProfiled != 3 {
+		t.Errorf("similarity groups: got %d want 3", with.GroupsProfiled)
+	}
+	if without.GroupsProfiled != model.GPT15B.Layers+2 {
+		t.Errorf("no-similarity groups: got %d want %d", without.GroupsProfiled, model.GPT15B.Layers+2)
+	}
+	if with.Cost >= without.Cost {
+		t.Errorf("similarity must reduce profiling cost: %g >= %g", with.Cost, without.Cost)
+	}
+	// The measured stats themselves must be identical either way.
+	for i := range with.Layers {
+		if with.Layers[i] != without.Layers[i] {
+			t.Fatalf("layer %d stats differ between modes", i)
+		}
+	}
+}
+
+func TestProfileCoversAllLayers(t *testing.T) {
+	p, err := Run(model.GPT8B, hw.RTX3090Ti, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumLayers() != model.GPT8B.Layers+2 {
+		t.Fatalf("got %d layers want %d", p.NumLayers(), model.GPT8B.Layers+2)
+	}
+	for i, l := range p.Layers {
+		if l.FwdTime < 0 || l.BwdTime <= 0 || l.ParamBytes <= 0 {
+			t.Fatalf("layer %d: non-positive stats %+v", i, l)
+		}
+	}
+}
+
+func TestSimilarModelsHaveSimilarProfilingCost(t *testing.T) {
+	// Figure 12's observation: the 8B and 15B models profile in similar
+	// time because only distinct layers are measured and their hidden
+	// sizes are close; the 51B model costs more but far less than
+	// proportionally to its parameter count.
+	p8, _ := Run(model.GPT8B, hw.RTX3090Ti, Options{})
+	p15, _ := Run(model.GPT15B, hw.RTX3090Ti, Options{})
+	p51, _ := Run(model.GPT51B, hw.RTX3090Ti, Options{})
+	if p15.Cost > 4*p8.Cost {
+		t.Errorf("8B (%g) and 15B (%g) profiling cost should be within a small factor", p8.Cost, p15.Cost)
+	}
+	ratioCost := p51.Cost / p8.Cost
+	ratioParams := float64(model.GPT51B.TotalParams()) / float64(model.GPT8B.TotalParams())
+	if ratioCost > ratioParams {
+		t.Errorf("profiling cost ratio (%g) must grow slower than params ratio (%g)", ratioCost, ratioParams)
+	}
+}
+
+func TestRepeatsScaleCost(t *testing.T) {
+	p3, _ := Run(model.GPT8B, hw.RTX3090Ti, Options{Repeats: 3})
+	p6, _ := Run(model.GPT8B, hw.RTX3090Ti, Options{Repeats: 6})
+	if p6.Cost <= p3.Cost {
+		t.Fatal("more repeats must cost more")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	bad := model.GPT8B
+	bad.Layers = -1
+	if _, err := Run(bad, hw.RTX3090Ti, Options{}); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	p, _ := Run(model.GPT8B, hw.RTX3090Ti, Options{})
+	if p.TotalParamBytes() != model.GPT8B.ParamBytesFP16() {
+		t.Errorf("param bytes: %g vs %g", p.TotalParamBytes(), model.GPT8B.ParamBytesFP16())
+	}
+	if p.TotalFwdTime() <= 0 || p.TotalBwdTime() <= p.TotalFwdTime() {
+		t.Error("aggregate times inconsistent")
+	}
+}
+
+func TestProfileDefaultRepeats(t *testing.T) {
+	p0, _ := Run(model.GPT8B, hw.RTX3090Ti, Options{})
+	p3, _ := Run(model.GPT8B, hw.RTX3090Ti, Options{Repeats: 3})
+	if p0.Cost != p3.Cost {
+		t.Fatalf("default repeats must be 3: %g vs %g", p0.Cost, p3.Cost)
+	}
+}
+
+func TestProfileGPUAffectsTimesNotSizes(t *testing.T) {
+	slow, _ := Run(model.GPT8B, hw.RTX3090Ti, Options{})
+	fast, _ := Run(model.GPT8B, hw.A100, Options{})
+	for i := range slow.Layers {
+		if slow.Layers[i].ParamBytes != fast.Layers[i].ParamBytes {
+			t.Fatal("param bytes must be GPU-independent")
+		}
+		if slow.Layers[i].FwdTime <= fast.Layers[i].FwdTime {
+			t.Fatal("a faster GPU must profile faster layers")
+		}
+	}
+}

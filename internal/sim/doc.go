@@ -1,0 +1,28 @@
+// Package sim implements a deterministic discrete-event simulator used as
+// the execution substrate for all training systems in this repository.
+//
+// The simulator models three kinds of hardware primitives:
+//
+//   - Resource: a bandwidth-shared link (e.g. a PCIe link or a CPU root
+//     complex). Concurrent flows crossing a Resource share its capacity
+//     under max-min fairness, with strict priority classes: higher-priority
+//     flows are allocated bandwidth first, and equal-priority flows split
+//     the residue fairly. This reproduces the contention behaviour of
+//     commodity GPU servers where several GPUs hang off one root complex.
+//
+//   - Engine: an exclusive serial executor (a GPU compute engine, or a DMA
+//     copy engine). At most one task occupies an Engine at a time; queued
+//     tasks are started in priority order, then FIFO.
+//
+//   - MemPool: a finite capacity with blocking allocation (GPU memory).
+//     Alloc tasks complete only once capacity is available; waiters are
+//     served strictly FIFO so schedules remain deterministic.
+//
+// Work is described as a DAG of Tasks (Compute, Transfer, Alloc, Free and
+// virtual join nodes). A Transfer becomes a flow across a path of
+// Resources once its dependencies complete and its copy engine is free.
+// Run executes the DAG to completion and returns the makespan.
+//
+// All times are float64 seconds and all sizes float64 bytes. The simulator
+// is fully deterministic: ties are broken by task creation order.
+package sim

@@ -1,0 +1,181 @@
+package sim
+
+import "sort"
+
+// flow is an in-flight transfer task: remaining payload bytes plus the
+// rate currently assigned by the fair-sharing computation.
+type flow struct {
+	task      *Task
+	remaining float64
+	rate      float64
+}
+
+// infiniteRate stands in for an unconstrained transfer (empty path).
+const infiniteRate = 1e30
+
+// recomputeRates assigns a rate to every active flow using strict-priority
+// max-min fairness (progressive filling / water-filling):
+//
+//  1. Flows are grouped by priority; higher classes are served first
+//     against the residual capacity left by the classes above them.
+//  2. Within a class, rates are max-min fair: repeatedly find the most
+//     congested resource, freeze every unfixed flow crossing it at that
+//     resource's fair share, and subtract their consumption.
+//
+// A flow with PathElem weight w consumes w bytes of resource capacity per
+// payload byte, which models staged transfers that cross a root complex
+// twice.
+func (s *Sim) recomputeRates() {
+	if !s.ratesDirty {
+		return
+	}
+	s.ratesDirty = false
+	if len(s.flows) == 0 {
+		return
+	}
+
+	// Reset residual capacity on every resource touched by an active flow.
+	seen := s.scratchRes
+	clear(seen)
+	for _, f := range s.flows {
+		for _, pe := range f.task.path {
+			if _, ok := seen[pe.Res]; !ok {
+				seen[pe.Res] = struct{}{}
+				pe.Res.residual = pe.Res.capacity
+				pe.Res.demand = 0
+			}
+		}
+	}
+
+	// Group flows by priority, descending; higher classes fill first.
+	byPrio := map[int][]*flow{}
+	var prios []int
+	for _, f := range s.flows {
+		p := f.task.priority
+		if _, ok := byPrio[p]; !ok {
+			prios = append(prios, p)
+		}
+		byPrio[p] = append(byPrio[p], f)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+
+	for _, p := range prios {
+		class := byPrio[p]
+		sort.Slice(class, func(i, j int) bool { return class[i].task.id < class[j].task.id })
+		waterFill(class)
+	}
+}
+
+// waterFill performs one max-min fair allocation round for a single
+// priority class, consuming the resources' residual capacities.
+func waterFill(class []*flow) {
+	fixed := make([]bool, len(class))
+	unfixed := len(class)
+
+	for unfixed > 0 {
+		// Demand per resource: sum of path weights of unfixed flows.
+		for i, f := range class {
+			if fixed[i] {
+				continue
+			}
+			for _, pe := range f.task.path {
+				pe.Res.demand += pe.Weight
+			}
+		}
+
+		// The binding share is the smallest residual/demand over resources
+		// that carry at least one unfixed flow.
+		minShare := -1.0
+		for i, f := range class {
+			if fixed[i] {
+				continue
+			}
+			for _, pe := range f.task.path {
+				if pe.Res.demand <= 0 {
+					continue
+				}
+				share := pe.Res.residual / pe.Res.demand
+				if minShare < 0 || share < minShare {
+					minShare = share
+				}
+			}
+		}
+
+		if minShare < 0 {
+			// Remaining flows have empty paths: unconstrained.
+			for i := range class {
+				if !fixed[i] {
+					class[i].rate = infiniteRate
+					fixed[i] = true
+					unfixed--
+				}
+			}
+			clearDemand(class)
+			return
+		}
+
+		// Mark binding resources before any subtraction mutates residuals.
+		bindingRes := map[*Resource]bool{}
+		for i, f := range class {
+			if fixed[i] {
+				continue
+			}
+			for _, pe := range f.task.path {
+				if pe.Res.demand <= 0 {
+					continue
+				}
+				if pe.Res.residual/pe.Res.demand <= minShare*(1+1e-12) {
+					bindingRes[pe.Res] = true
+				}
+			}
+		}
+
+		// Freeze every unfixed flow that crosses a binding resource.
+		progress := false
+		for i, f := range class {
+			if fixed[i] {
+				continue
+			}
+			binding := false
+			for _, pe := range f.task.path {
+				if bindingRes[pe.Res] {
+					binding = true
+					break
+				}
+			}
+			if !binding {
+				continue
+			}
+			f.rate = minShare
+			fixed[i] = true
+			unfixed--
+			progress = true
+			for _, pe := range f.task.path {
+				pe.Res.residual -= minShare * pe.Weight
+				if pe.Res.residual < 0 {
+					pe.Res.residual = 0
+				}
+			}
+		}
+		clearDemand(class)
+		if !progress {
+			// Defensive: cannot happen with positive weights, but never
+			// spin forever on pathological float input.
+			for i := range class {
+				if !fixed[i] {
+					class[i].rate = minShare
+					fixed[i] = true
+					unfixed--
+				}
+			}
+		}
+	}
+}
+
+func clearDemand(class []*flow) {
+	for _, f := range class {
+		for _, pe := range f.task.path {
+			pe.Res.demand = 0
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import "fmt"
+
+// MemPool models a finite memory capacity (bytes) with blocking
+// allocation. Alloc tasks complete once capacity is available; waiters are
+// served strictly FIFO, which keeps schedules deterministic and prevents
+// starvation. Free tasks return capacity immediately.
+type MemPool struct {
+	id       int
+	name     string
+	capacity float64
+	used     float64
+	peak     float64
+	waiters  []*Task
+}
+
+// Name returns the pool's label.
+func (p *MemPool) Name() string { return p.name }
+
+// Capacity returns the pool's total capacity in bytes.
+func (p *MemPool) Capacity() float64 { return p.capacity }
+
+// Used returns the currently allocated bytes.
+func (p *MemPool) Used() float64 { return p.used }
+
+// Peak returns the high-water mark of allocated bytes.
+func (p *MemPool) Peak() float64 { return p.peak }
+
+// tryAlloc attempts an allocation; it fails if capacity is insufficient or
+// earlier waiters are queued (FIFO fairness).
+func (p *MemPool) tryAlloc(t *Task) bool {
+	if len(p.waiters) > 0 {
+		return false
+	}
+	return p.allocNow(t.amount)
+}
+
+func (p *MemPool) allocNow(amount float64) bool {
+	if p.used+amount > p.capacity+memEpsilon {
+		return false
+	}
+	p.used += amount
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	return true
+}
+
+// release returns amount to the pool and pops every FIFO waiter that now
+// fits. It returns the tasks whose allocations succeeded.
+func (p *MemPool) release(amount float64) []*Task {
+	p.used -= amount
+	if p.used < -memEpsilon {
+		panic(fmt.Sprintf("sim: pool %q freed below zero (%g)", p.name, p.used))
+	}
+	if p.used < 0 {
+		p.used = 0
+	}
+	var woken []*Task
+	for len(p.waiters) > 0 {
+		head := p.waiters[0]
+		if !p.allocNow(head.amount) {
+			break
+		}
+		p.waiters = p.waiters[1:]
+		woken = append(woken, head)
+	}
+	return woken
+}
+
+// memEpsilon absorbs floating-point dust in capacity comparisons.
+const memEpsilon = 1e-6

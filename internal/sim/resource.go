@@ -1,0 +1,69 @@
+package sim
+
+// Resource is a bandwidth-shared link, such as a PCIe lane bundle or a CPU
+// root complex. Capacity is in bytes per second. Flows crossing the
+// resource concurrently share the capacity under max-min fairness with
+// strict priorities (see flow.go).
+type Resource struct {
+	id       int
+	name     string
+	capacity float64
+
+	// residual is scratch state used during rate computation.
+	residual float64
+	// demand is scratch: sum of weights of unfixed flows on this resource.
+	demand float64
+	// carried accumulates the bytes that crossed the resource.
+	carried float64
+}
+
+// Name returns the resource's label.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource's bandwidth in bytes per second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Carried returns the total bytes that crossed the resource (weighted:
+// a double-crossing transfer counts twice).
+func (r *Resource) Carried() float64 { return r.carried }
+
+// Utilization returns the fraction of the resource's capacity used over
+// the given duration (typically the makespan).
+func (r *Resource) Utilization(duration float64) float64 {
+	if duration <= 0 || r.capacity <= 0 {
+		return 0
+	}
+	return r.carried / (r.capacity * duration)
+}
+
+// PathElem is one hop of a transfer path. Weight is the number of bytes
+// consumed on the resource per payload byte; a staged GPU-to-GPU copy that
+// crosses the same root complex twice uses Weight 2 on that resource.
+type PathElem struct {
+	Res    *Resource
+	Weight float64
+}
+
+// Path is a convenience constructor for a unit-weight path, merging
+// duplicate resources into a single element with summed weight so the
+// fair-share computation accounts for double crossings correctly.
+func Path(resources ...*Resource) []PathElem {
+	out := make([]PathElem, 0, len(resources))
+	for _, r := range resources {
+		if r == nil {
+			continue
+		}
+		merged := false
+		for i := range out {
+			if out[i].Res == r {
+				out[i].Weight++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, PathElem{Res: r, Weight: 1})
+		}
+	}
+	return out
+}

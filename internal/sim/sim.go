@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Observer receives task lifecycle notifications. The trace package
+// implements Observer to collect bandwidth statistics and timelines.
+type Observer interface {
+	// TaskStarted fires when a task begins running (a compute occupies its
+	// engine, a transfer's flow is admitted, an alloc succeeds).
+	TaskStarted(t *Task, at Time)
+	// TaskFinished fires when a task completes.
+	TaskFinished(t *Task, at Time)
+}
+
+// Sim owns the simulated hardware (resources, engines, pools) and the work
+// DAG, and executes the DAG to completion.
+type Sim struct {
+	now        Time
+	tasks      []*Task
+	pending    int
+	flows      []*flow
+	ratesDirty bool
+	computes   computeHeap
+	observers  []Observer
+
+	resources []*Resource
+	engines   []*Engine
+	pools     []*MemPool
+
+	// worklist of tasks whose dependencies just completed.
+	ready []*Task
+
+	scratchRes map[*Resource]struct{}
+
+	// TransferLatency is the fixed per-transfer setup time applied to
+	// every Transfer task (DMA descriptor setup, host staging
+	// synchronization, framework launch overhead). Zero by default; the
+	// hardware layer sets a topology-appropriate value.
+	TransferLatency Time
+}
+
+// New creates an empty simulator.
+func New() *Sim {
+	return &Sim{scratchRes: map[*Resource]struct{}{}}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Observe registers an observer for task lifecycle events.
+func (s *Sim) Observe(o Observer) { s.observers = append(s.observers, o) }
+
+// NewResource adds a bandwidth-shared resource with the given capacity in
+// bytes per second.
+func (s *Sim) NewResource(name string, capacity float64) *Resource {
+	r := &Resource{id: len(s.resources), name: name, capacity: capacity}
+	s.resources = append(s.resources, r)
+	return r
+}
+
+// NewEngine adds an exclusive serial executor.
+func (s *Sim) NewEngine(name string) *Engine {
+	e := &Engine{id: len(s.engines), name: name}
+	s.engines = append(s.engines, e)
+	return e
+}
+
+// NewMemPool adds a finite memory pool with the given capacity in bytes.
+func (s *Sim) NewMemPool(name string, capacity float64) *MemPool {
+	p := &MemPool{id: len(s.pools), name: name, capacity: capacity}
+	s.pools = append(s.pools, p)
+	return p
+}
+
+func (s *Sim) newTask(name string, kind TaskKind, deps []*Task) *Task {
+	t := &Task{id: len(s.tasks), name: name, kind: kind}
+	for _, d := range deps {
+		if d == nil {
+			continue
+		}
+		if d.state == stateFinished {
+			continue
+		}
+		d.succs = append(d.succs, t)
+		t.waiting++
+	}
+	s.tasks = append(s.tasks, t)
+	s.pending++
+	return t
+}
+
+// Compute adds a task that occupies engine e for duration d once all deps
+// have finished.
+func (s *Sim) Compute(name string, e *Engine, d Time, deps ...*Task) *Task {
+	t := s.newTask(name, KindCompute, deps)
+	t.engine = e
+	t.duration = d
+	return t
+}
+
+// Transfer adds a task that moves bytes across path once all deps have
+// finished. If engine is non-nil the transfer occupies it exclusively for
+// its whole duration (a DMA copy engine). priority selects both the engine
+// queue order and the bandwidth class.
+func (s *Sim) Transfer(name string, engine *Engine, path []PathElem, bytes float64, priority int, deps ...*Task) *Task {
+	t := s.newTask(name, KindTransfer, deps)
+	t.engine = engine
+	t.path = path
+	t.bytes = bytes
+	t.priority = priority
+	return t
+}
+
+// Alloc adds a task that completes once amount bytes can be reserved in
+// pool. Waiters are served FIFO.
+func (s *Sim) Alloc(name string, pool *MemPool, amount float64, deps ...*Task) *Task {
+	t := s.newTask(name, KindAlloc, deps)
+	t.pool = pool
+	t.amount = amount
+	return t
+}
+
+// Free adds a task that returns amount bytes to pool once deps finish.
+func (s *Sim) Free(name string, pool *MemPool, amount float64, deps ...*Task) *Task {
+	t := s.newTask(name, KindFree, deps)
+	t.pool = pool
+	t.amount = amount
+	return t
+}
+
+// After adds a zero-duration join node over deps.
+func (s *Sim) After(name string, deps ...*Task) *Task {
+	return s.newTask(name, KindVirtual, deps)
+}
+
+// Run executes the DAG to completion and returns the makespan. It returns
+// an error when the DAG deadlocks (tasks remain but no event can fire),
+// for example when an Alloc exceeds pool capacity forever.
+func (s *Sim) Run() (Time, error) {
+	// Seed the worklist with dependency-free tasks.
+	for _, t := range s.tasks {
+		if t.state == statePending && t.waiting == 0 {
+			s.ready = append(s.ready, t)
+		}
+	}
+	s.drain()
+
+	for s.pending > 0 {
+		s.recomputeRates()
+
+		next := math.Inf(1)
+		if len(s.computes) > 0 {
+			next = s.computes[0].endAt
+		}
+		for _, f := range s.flows {
+			if f.rate <= 0 {
+				continue
+			}
+			t := s.now + f.remaining/f.rate
+			if t < next {
+				next = t
+			}
+		}
+		if math.IsInf(next, 1) {
+			return s.now, s.deadlockError()
+		}
+		if next < s.now {
+			next = s.now
+		}
+		s.advance(next)
+		s.drain()
+	}
+	return s.now, nil
+}
+
+// timeEpsilon groups events that complete within a femtosecond of each
+// other, absorbing floating-point dust in rate arithmetic.
+const timeEpsilon = 1e-15
+
+// advance moves the clock to t, progresses flows, and completes every
+// compute and flow that finishes at (or within epsilon of) t.
+func (s *Sim) advance(t Time) {
+	dt := t - s.now
+	s.now = t
+
+	for _, f := range s.flows {
+		f.remaining -= f.rate * dt
+		// Account per-resource throughput for utilization reporting.
+		for _, pe := range f.task.path {
+			pe.Res.carried += f.rate * pe.Weight * dt
+		}
+	}
+
+	// Complete finished computes; transfer tasks surfacing here have
+	// finished their setup latency and now begin flowing.
+	for len(s.computes) > 0 && s.computes[0].endAt <= s.now+timeEpsilon {
+		task := heap.Pop(&s.computes).(*Task)
+		if task.kind == KindTransfer {
+			s.beginFlow(task)
+			continue
+		}
+		s.finishEngineTask(task)
+	}
+
+	// Complete finished flows. Collect first, then finish, so slice
+	// mutation stays simple; iterate until stable for same-instant chains.
+	kept := s.flows[:0]
+	var done []*flow
+	for _, f := range s.flows {
+		slack := f.rate * timeEpsilon * 1e6 // absolute byte tolerance
+		if slack < 1e-9 {
+			slack = 1e-9
+		}
+		if f.remaining <= slack {
+			done = append(done, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	s.flows = kept
+	if len(done) > 0 {
+		s.ratesDirty = true
+	}
+	for _, f := range done {
+		s.finishEngineTask(f.task)
+	}
+}
+
+// finishEngineTask completes a compute or transfer task, releases its
+// engine and dispatches the next queued task on that engine.
+func (s *Sim) finishEngineTask(t *Task) {
+	s.complete(t)
+	if t.engine != nil && t.engine.current == t {
+		t.engine.current = nil
+		if nxt := t.engine.pop(); nxt != nil {
+			s.startOnEngine(nxt)
+		}
+	}
+}
+
+// drain processes the instantaneous cascade: completed tasks release
+// successors, virtual/alloc/free tasks execute with zero duration, and
+// compute/transfer tasks are dispatched to their engines.
+func (s *Sim) drain() {
+	kicked := map[*Engine]bool{}
+	for {
+		for len(s.ready) > 0 {
+			t := s.ready[0]
+			s.ready = s.ready[1:]
+			s.drainOne(t, kicked)
+		}
+		if len(kicked) == 0 {
+			return
+		}
+		// Dispatch idle engines only after the instantaneous cascade has
+		// settled so that same-instant arrivals compete by priority.
+		var order []*Engine
+		for e := range kicked {
+			order = append(order, e)
+		}
+		clear(kicked)
+		sortEngines(order)
+		for _, e := range order {
+			for e.current == nil {
+				nxt := e.pop()
+				if nxt == nil {
+					break
+				}
+				s.startOnEngine(nxt)
+			}
+		}
+	}
+}
+
+func (s *Sim) drainOne(t *Task, kicked map[*Engine]bool) {
+	if t.state != statePending {
+		return
+	}
+	t.state = stateReady
+	t.readyAt = s.now
+
+	switch t.kind {
+	case KindVirtual:
+		t.startAt = s.now
+		s.notifyStart(t)
+		s.complete(t)
+	case KindAlloc:
+		if t.pool.tryAlloc(t) {
+			t.startAt = s.now
+			s.notifyStart(t)
+			s.complete(t)
+		} else {
+			t.state = stateRunning
+			t.pool.waiters = append(t.pool.waiters, t)
+		}
+	case KindFree:
+		t.startAt = s.now
+		s.notifyStart(t)
+		woken := t.pool.release(t.amount)
+		s.complete(t)
+		for _, w := range woken {
+			w.startAt = s.now
+			s.notifyStart(w)
+			s.complete(w)
+		}
+	case KindCompute, KindTransfer:
+		if t.engine == nil {
+			s.startOnEngine(t)
+			return
+		}
+		t.engine.push(t)
+		if t.engine.current == nil {
+			kicked[t.engine] = true
+		}
+	}
+}
+
+func sortEngines(es []*Engine) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].id < es[j-1].id; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// startOnEngine begins running a compute or transfer task now.
+func (s *Sim) startOnEngine(t *Task) {
+	t.state = stateRunning
+	t.startAt = s.now
+	if t.engine != nil {
+		t.engine.current = t
+	}
+	s.notifyStart(t)
+
+	switch t.kind {
+	case KindCompute:
+		t.endAt = s.now + t.duration
+		heap.Push(&s.computes, t)
+	case KindTransfer:
+		lat := t.latency
+		if lat <= 0 {
+			lat = s.TransferLatency
+		}
+		if lat > 0 && t.bytes > 0 {
+			// Setup phase: occupy the engine for the latency, then flow.
+			t.endAt = s.now + lat
+			heap.Push(&s.computes, t)
+			return
+		}
+		s.beginFlow(t)
+	}
+}
+
+// beginFlow admits a transfer task's payload into the fair-sharing flow
+// set (after any setup latency has elapsed).
+func (s *Sim) beginFlow(t *Task) {
+	t.flowStarted = true
+	f := &flow{task: t, remaining: t.bytes}
+	if t.bytes <= 0 || len(t.path) == 0 {
+		f.rate = infiniteRate
+		if t.bytes <= 0 {
+			// Zero-byte transfer: complete in the same instant via the
+			// flow list so engine release ordering stays uniform.
+			f.remaining = 0
+		}
+	}
+	s.flows = append(s.flows, f)
+	s.ratesDirty = true
+}
+
+func (s *Sim) complete(t *Task) {
+	if t.state == stateFinished {
+		return
+	}
+	t.state = stateFinished
+	t.endAt = s.now
+	s.pending--
+	s.notifyFinish(t)
+	for _, succ := range t.succs {
+		succ.waiting--
+		if succ.waiting == 0 && succ.state == statePending {
+			s.ready = append(s.ready, succ)
+		}
+	}
+}
+
+func (s *Sim) notifyStart(t *Task) {
+	for _, o := range s.observers {
+		o.TaskStarted(t, s.now)
+	}
+}
+
+func (s *Sim) notifyFinish(t *Task) {
+	for _, o := range s.observers {
+		o.TaskFinished(t, s.now)
+	}
+}
+
+// deadlockError reports the first few stuck tasks to aid debugging
+// scheduler bugs.
+func (s *Sim) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock with %d pending tasks at t=%g", s.pending, s.now)
+	n := 0
+	for _, t := range s.tasks {
+		if t.state == stateFinished {
+			continue
+		}
+		if n < 8 {
+			fmt.Fprintf(&b, "\n  %v state=%d waiting=%d", t, t.state, t.waiting)
+		}
+		n++
+	}
+	if n > 8 {
+		fmt.Fprintf(&b, "\n  ... and %d more", n-8)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// computeHeap orders running compute tasks by completion time.
+type computeHeap []*Task
+
+func (h computeHeap) Len() int { return len(h) }
+
+func (h computeHeap) Less(i, j int) bool {
+	if h[i].endAt != h[j].endAt {
+		return h[i].endAt < h[j].endAt
+	}
+	return h[i].id < h[j].id
+}
+
+func (h computeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *computeHeap) Push(x any) { *h = append(*h, x.(*Task)) }
+
+func (h *computeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,236 @@
+// Package tensor provides the dense matrix kernels underneath the
+// pure-Go neural-network substrate used for the paper's convergence
+// experiment (Figure 13): row-major float64 matrices with parallel
+// matrix multiplication and the elementwise helpers transformer layers
+// need. Layers in internal/nn implement their own backward passes on top
+// of these kernels.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	D    []float64
+}
+
+// New allocates a zeroed r x c matrix.
+func New(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, D: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (length r*c) as a matrix without copying.
+func FromSlice(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), r, c))
+	}
+	return &Mat{R: r, C: c, D: data}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.D[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.D[i*m.C+j] = v }
+
+// Row returns a view of row i.
+func (m *Mat) Row(i int) []float64 { return m.D[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := New(m.R, m.C)
+	copy(out.D, m.D)
+	return out
+}
+
+// Zero clears the matrix in place.
+func (m *Mat) Zero() {
+	for i := range m.D {
+		m.D[i] = 0
+	}
+}
+
+// sameShape panics unless a and b have identical shapes.
+func sameShape(a, b *Mat, op string) {
+	if a.R != b.R || a.C != b.C {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.R, a.C, b.R, b.C))
+	}
+}
+
+// AddInto sets out = a + b (shapes must match; out may alias a or b).
+func AddInto(out, a, b *Mat) {
+	sameShape(a, b, "add")
+	sameShape(a, out, "add")
+	for i := range out.D {
+		out.D[i] = a.D[i] + b.D[i]
+	}
+}
+
+// AccumInto adds src into dst.
+func AccumInto(dst, src *Mat) {
+	sameShape(dst, src, "accum")
+	for i := range dst.D {
+		dst.D[i] += src.D[i]
+	}
+}
+
+// Scale multiplies in place.
+func (m *Mat) Scale(s float64) {
+	for i := range m.D {
+		m.D[i] *= s
+	}
+}
+
+// matmulParallelThreshold is the FLOP count above which MatMul fans out
+// across goroutines.
+const matmulParallelThreshold = 1 << 18
+
+// MatMul returns a @ b for (r x k) @ (k x c).
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.C)
+	matmulInto(out, a, b, false, false)
+	return out
+}
+
+// MatMulTA returns aᵀ @ b for (k x r)ᵀ @ (k x c).
+func MatMulTA(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic(fmt.Sprintf("tensor: matmulTA %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.C, b.C)
+	matmulInto(out, a, b, true, false)
+	return out
+}
+
+// MatMulTB returns a @ bᵀ for (r x k) @ (c x k)ᵀ.
+func MatMulTB(a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic(fmt.Sprintf("tensor: matmulTB %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.R)
+	matmulInto(out, a, b, false, true)
+	return out
+}
+
+func matmulInto(out, a, b *Mat, ta, tb bool) {
+	rows := out.R
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			switch {
+			case !ta && !tb:
+				arow := a.Row(i)
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			case ta && !tb:
+				// out[i][j] = sum_k a[k][i] * b[k][j]
+				for k := 0; k < a.R; k++ {
+					av := a.At(k, i)
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			default: // !ta && tb
+				arow := a.Row(i)
+				for j := range orow {
+					brow := b.Row(j)
+					var s float64
+					for k, av := range arow {
+						s += av * brow[k]
+					}
+					orow[j] = s
+				}
+			}
+		}
+	}
+
+	flops := 2 * out.R * out.C * a.C
+	if ta {
+		flops = 2 * out.R * out.C * a.R
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if flops < matmulParallelThreshold || workers < 2 || rows < 2 {
+		work(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func SoftmaxRows(m *Mat) {
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func GELU(x float64) float64 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}
+
+// GELUGrad returns d GELU(x) / dx.
+func GELUGrad(x float64) float64 {
+	const c = 0.7978845608028654
+	t := math.Tanh(c * (x + 0.044715*x*x*x))
+	dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*dt
+}

@@ -1,0 +1,186 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("accessors broken")
+	}
+	if len(m.Row(1)) != 3 || m.Row(1)[2] != 5 {
+		t.Fatal("row view broken")
+	}
+	c := m.Clone()
+	c.Set(1, 2, 9)
+	if m.At(1, 2) != 5 {
+		t.Fatal("clone aliases")
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.D[i] != v {
+			t.Fatalf("matmul[%d]=%g want %g", i, c.D[i], v)
+		}
+	}
+}
+
+func naiveMul(a, b *Mat, ta, tb bool) *Mat {
+	get := func(m *Mat, i, j int, tr bool) float64 {
+		if tr {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	ar, ac := a.R, a.C
+	if ta {
+		ar, ac = a.C, a.R
+	}
+	br, bc := b.R, b.C
+	if tb {
+		br, bc = b.C, b.R
+	}
+	if ac != br {
+		panic("shape")
+	}
+	out := New(ar, bc)
+	for i := 0; i < ar; i++ {
+		for j := 0; j < bc; j++ {
+			var s float64
+			for k := 0; k < ac; k++ {
+				s += get(a, i, k, ta) * get(b, k, j, tb)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// TestMatMulVariantsAgainstNaive cross-checks the three kernels,
+// including sizes above the parallel threshold.
+func TestMatMulVariantsAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(40), 1+r.Intn(40), 1+r.Intn(40)
+		if seed%5 == 0 {
+			m, k, n = 64, 96, 80 // exercise the goroutine fan-out
+		}
+		fill := func(rows, cols int) *Mat {
+			x := New(rows, cols)
+			for i := range x.D {
+				x.D[i] = r.NormFloat64()
+			}
+			return x
+		}
+		a, b := fill(m, k), fill(k, n)
+		if !matEq(MatMul(a, b), naiveMul(a, b, false, false)) {
+			return false
+		}
+		at := fill(k, m)
+		if !matEq(MatMulTA(at, b), naiveMul(at, b, true, false)) {
+			return false
+		}
+		bt := fill(n, k)
+		if !matEq(MatMulTB(a, bt), naiveMul(a, bt, false, true)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func matEq(a, b *Mat) bool {
+	if a.R != b.R || a.C != b.C {
+		return false
+	}
+	for i := range a.D {
+		if math.Abs(a.D[i]-b.D[i]) > 1e-9*math.Max(1, math.Abs(b.D[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestAddAndAccum(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{10, 20, 30})
+	out := New(1, 3)
+	AddInto(out, a, b)
+	if out.D[2] != 33 {
+		t.Fatal("add")
+	}
+	AccumInto(out, a)
+	if out.D[0] != 12 {
+		t.Fatal("accum")
+	}
+	out.Scale(0.5)
+	if out.D[0] != 6 {
+		t.Fatal("scale")
+	}
+	out.Zero()
+	if out.D[1] != 0 {
+		t.Fatal("zero")
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{0, 0, 0, 1000, 1000, 1001})
+	SoftmaxRows(m)
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatal("invalid softmax output")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+	if m.At(0, 0) != m.At(0, 1) {
+		t.Fatal("uniform row must stay uniform")
+	}
+}
+
+func TestGELUGradMatchesFiniteDifference(t *testing.T) {
+	f := func(xRaw int8) bool {
+		x := float64(xRaw) / 16
+		const h = 1e-6
+		num := (GELU(x+h) - GELU(x-h)) / (2 * h)
+		return math.Abs(num-GELUGrad(x)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

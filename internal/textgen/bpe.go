@@ -1,0 +1,189 @@
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Tokenizer is a byte-pair-encoding tokenizer trained on a corpus: the
+// standard GPT-2 preprocessing, implemented from scratch so the
+// fine-tuning substrate has a complete text pipeline (text -> ids ->
+// model -> ids -> text).
+type Tokenizer struct {
+	merges [][2]string
+	vocab  map[string]int
+	inv    []string
+}
+
+// TrainBPE learns a BPE vocabulary of at most vocabSize symbols from the
+// text. The initial alphabet is the set of bytes present in the text;
+// each round merges the most frequent adjacent pair (ties broken
+// lexicographically for determinism).
+func TrainBPE(text string, vocabSize int) (*Tokenizer, error) {
+	if len(text) == 0 {
+		return nil, fmt.Errorf("textgen: empty training text")
+	}
+	if vocabSize < 2 {
+		return nil, fmt.Errorf("textgen: vocabSize %d too small", vocabSize)
+	}
+
+	// Working sequence of symbols, starting at bytes.
+	seq := make([]string, len(text))
+	alphabet := map[string]bool{}
+	for i := 0; i < len(text); i++ {
+		s := string(text[i])
+		seq[i] = s
+		alphabet[s] = true
+	}
+
+	tk := &Tokenizer{vocab: map[string]int{}}
+	for s := range alphabet {
+		tk.vocab[s] = 0 // assign below, deterministically
+	}
+	// Deterministic id assignment for the alphabet.
+	var alpha []string
+	for s := range alphabet {
+		alpha = append(alpha, s)
+	}
+	sortStrings(alpha)
+	tk.inv = tk.inv[:0]
+	for i, s := range alpha {
+		tk.vocab[s] = i
+		tk.inv = append(tk.inv, s)
+	}
+
+	for len(tk.inv) < vocabSize {
+		// Count adjacent pairs.
+		counts := map[[2]string]int{}
+		for i := 0; i+1 < len(seq); i++ {
+			counts[[2]string{seq[i], seq[i+1]}]++
+		}
+		var best [2]string
+		bestN := 0
+		for p, n := range counts {
+			if n > bestN || (n == bestN && lessPair(p, best)) {
+				best, bestN = p, n
+			}
+		}
+		if bestN < 2 {
+			break // nothing repeats: no useful merges left
+		}
+		merged := best[0] + best[1]
+		tk.merges = append(tk.merges, best)
+		tk.vocab[merged] = len(tk.inv)
+		tk.inv = append(tk.inv, merged)
+
+		// Apply the merge to the working sequence.
+		out := seq[:0]
+		for i := 0; i < len(seq); i++ {
+			if i+1 < len(seq) && seq[i] == best[0] && seq[i+1] == best[1] {
+				out = append(out, merged)
+				i++
+				continue
+			}
+			out = append(out, seq[i])
+		}
+		seq = out
+	}
+	return tk, nil
+}
+
+// VocabSize returns the number of learned symbols.
+func (t *Tokenizer) VocabSize() int { return len(t.inv) }
+
+// Encode tokenizes text by replaying the learned merges. Bytes outside
+// the training alphabet are skipped.
+func (t *Tokenizer) Encode(text string) []int {
+	seq := make([]string, 0, len(text))
+	for i := 0; i < len(text); i++ {
+		s := string(text[i])
+		if _, ok := t.vocab[s]; ok {
+			seq = append(seq, s)
+		}
+	}
+	for _, m := range t.merges {
+		merged := m[0] + m[1]
+		out := seq[:0]
+		for i := 0; i < len(seq); i++ {
+			if i+1 < len(seq) && seq[i] == m[0] && seq[i+1] == m[1] {
+				out = append(out, merged)
+				i++
+				continue
+			}
+			out = append(out, seq[i])
+		}
+		seq = out
+	}
+	ids := make([]int, len(seq))
+	for i, s := range seq {
+		ids[i] = t.vocab[s]
+	}
+	return ids
+}
+
+// Decode reconstructs text from token ids.
+func (t *Tokenizer) Decode(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		if id >= 0 && id < len(t.inv) {
+			b.WriteString(t.inv[id])
+		}
+	}
+	return b.String()
+}
+
+// GenerateText produces a deterministic synthetic English-like text: a
+// Markov chain over a small syllable-built word list, for training the
+// BPE tokenizer and the convergence substrate end to end.
+func GenerateText(words int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	syll := []string{"mo", "bi", "us", "pipe", "line", "par", "ti", "tion", "gpu", "ser", "ver", "com", "mod", "ity", "train"}
+	vocab := make([]string, 40)
+	for i := range vocab {
+		n := 1 + rng.Intn(3)
+		var w strings.Builder
+		for k := 0; k < n; k++ {
+			w.WriteString(syll[rng.Intn(len(syll))])
+		}
+		vocab[i] = w.String()
+	}
+	var b strings.Builder
+	cur := 0
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(vocab[cur])
+		// Markov-ish transition with limited fan-out.
+		switch rng.Intn(4) {
+		case 0:
+			cur = (cur*7 + 3) % len(vocab)
+		case 1:
+			cur = (cur + 1) % len(vocab)
+		default:
+			cur = rng.Intn(len(vocab))
+		}
+	}
+	return b.String()
+}
+
+// TokenCorpus wraps an encoded text as a Corpus for the trainer.
+func (t *Tokenizer) TokenCorpus(text string) *Corpus {
+	return &Corpus{Vocab: t.VocabSize(), Tokens: t.Encode(text)}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func lessPair(a, b [2]string) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}

@@ -1,0 +1,103 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBPERoundTrip(t *testing.T) {
+	text := GenerateText(2000, 1)
+	tk, err := TrainBPE(text, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tk.Encode(text)
+	if got := tk.Decode(ids); got != text {
+		t.Fatalf("round trip broke: %d vs %d bytes", len(got), len(text))
+	}
+}
+
+func TestBPECompresses(t *testing.T) {
+	text := GenerateText(2000, 2)
+	tk, err := TrainBPE(text, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tk.Encode(text)
+	if len(ids) >= len(text) {
+		t.Fatalf("BPE must shorten the sequence: %d tokens for %d bytes", len(ids), len(text))
+	}
+	ratio := float64(len(text)) / float64(len(ids))
+	if ratio < 1.5 {
+		t.Fatalf("compression ratio %.2f too low for repetitive text", ratio)
+	}
+	t.Logf("compression: %d bytes -> %d tokens (%.2fx)", len(text), len(ids), ratio)
+}
+
+func TestBPEDeterministic(t *testing.T) {
+	text := GenerateText(500, 3)
+	a, _ := TrainBPE(text, 100)
+	b, _ := TrainBPE(text, 100)
+	if a.VocabSize() != b.VocabSize() {
+		t.Fatal("vocab size differs")
+	}
+	ia, ib := a.Encode(text), b.Encode(text)
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatal("non-deterministic encoding")
+		}
+	}
+}
+
+func TestBPEHandlesUnknownBytes(t *testing.T) {
+	tk, err := TrainBPE("aaabbbab", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tk.Encode("aaZZbb") // Z not in the alphabet: skipped
+	if tk.Decode(ids) != "aabb" {
+		t.Fatalf("decoded %q", tk.Decode(ids))
+	}
+}
+
+func TestBPEErrors(t *testing.T) {
+	if _, err := TrainBPE("", 10); err == nil {
+		t.Fatal("empty text must fail")
+	}
+	if _, err := TrainBPE("abc", 1); err == nil {
+		t.Fatal("tiny vocab must fail")
+	}
+}
+
+func TestTokenCorpusFeedsTrainer(t *testing.T) {
+	text := GenerateText(3000, 4)
+	tk, err := TrainBPE(text, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tk.TokenCorpus(text)
+	if c.Vocab != tk.VocabSize() {
+		t.Fatalf("vocab mismatch: %d vs %d", c.Vocab, tk.VocabSize())
+	}
+	if len(c.Tokens) < 100 {
+		t.Fatalf("corpus too short: %d", len(c.Tokens))
+	}
+	b := c.Batch(8, 2, 0, 0)
+	for _, seq := range b.Tokens {
+		for _, tok := range seq {
+			if tok < 0 || tok >= c.Vocab {
+				t.Fatalf("token %d out of range", tok)
+			}
+		}
+	}
+}
+
+func TestGenerateTextShape(t *testing.T) {
+	text := GenerateText(100, 5)
+	if n := len(strings.Fields(text)); n != 100 {
+		t.Fatalf("words: %d", n)
+	}
+	if GenerateText(100, 5) != text {
+		t.Fatal("non-deterministic text")
+	}
+}

@@ -1,0 +1,99 @@
+package textgen
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(64, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(64, 10000, 1)
+	for i := range a.Tokens {
+		if a.Tokens[i] != b.Tokens[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	c, _ := Generate(64, 10000, 2)
+	same := 0
+	for i := range a.Tokens {
+		if a.Tokens[i] == c.Tokens[i] {
+			same++
+		}
+	}
+	if same == len(a.Tokens) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestTokensInRange(t *testing.T) {
+	c, _ := Generate(32, 5000, 7)
+	for i, tok := range c.Tokens {
+		if tok < 0 || tok >= 32 {
+			t.Fatalf("token %d out of range at %d", tok, i)
+		}
+	}
+}
+
+func TestCorpusHasStructure(t *testing.T) {
+	// The Markov chain must concentrate bigram mass: the top bigrams
+	// should cover far more than a uniform corpus would.
+	c, _ := Generate(64, 50000, 3)
+	bi := c.Bigrams()
+	max := 0
+	for _, n := range bi {
+		if n > max {
+			max = n
+		}
+	}
+	uniformExpect := 50000.0 / float64(64*64)
+	if float64(max) < 5*uniformExpect {
+		t.Fatalf("most frequent bigram %d barely above uniform %g: corpus unlearnable", max, uniformExpect)
+	}
+}
+
+func TestBatchShapesAndTargets(t *testing.T) {
+	c, _ := Generate(64, 5000, 5)
+	b := c.Batch(16, 4, 0, 0)
+	if b.Size() != 4 {
+		t.Fatalf("batch size %d", b.Size())
+	}
+	for s := range b.Tokens {
+		if len(b.Tokens[s]) != 16 || len(b.Targets[s]) != 16 {
+			t.Fatal("sequence lengths")
+		}
+		// Targets must be the next-token shift of some corpus window.
+		for i := 0; i+1 < 16; i++ {
+			if b.Targets[s][i] != b.Tokens[s][i+1] {
+				t.Fatalf("target %d is not the next token", i)
+			}
+		}
+	}
+}
+
+func TestBatchVariesWithStep(t *testing.T) {
+	c, _ := Generate(64, 5000, 5)
+	a := c.Batch(16, 2, 0, 0)
+	b := c.Batch(16, 2, 1, 0)
+	differs := false
+	for s := range a.Tokens {
+		for i := range a.Tokens[s] {
+			if a.Tokens[s][i] != b.Tokens[s][i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("steps must sample different windows")
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	if _, err := Generate(2, 100, 1); err == nil {
+		t.Fatal("tiny vocab must fail")
+	}
+	if _, err := Generate(16, 1, 1); err == nil {
+		t.Fatal("tiny corpus must fail")
+	}
+}

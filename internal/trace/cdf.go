@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sample is one weighted observation for a CDF.
+type Sample struct {
+	Value  float64
+	Weight float64
+}
+
+// CDF is a weighted cumulative distribution over float64 values. For
+// bandwidth CDFs the weight is the transferred byte count, matching the
+// paper's "fraction of data transferred at bandwidth <= x" plots.
+type CDF struct {
+	values []float64
+	cumul  []float64 // cumulative weight up to and including values[i]
+	totalW float64
+}
+
+// NewCDF builds a CDF from samples; zero- or negative-weight samples are
+// dropped.
+func NewCDF(samples []Sample) CDF {
+	kept := samples[:0:0]
+	for _, s := range samples {
+		if s.Weight > 0 {
+			kept = append(kept, s)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Value < kept[j].Value })
+	c := CDF{}
+	for _, s := range kept {
+		c.totalW += s.Weight
+		c.values = append(c.values, s.Value)
+		c.cumul = append(c.cumul, c.totalW)
+	}
+	return c
+}
+
+// Empty reports whether the CDF has no mass.
+func (c CDF) Empty() bool { return c.totalW <= 0 }
+
+// FractionAtOrBelow returns P[X <= x].
+func (c CDF) FractionAtOrBelow(x float64) float64 {
+	if c.Empty() {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.values, x)
+	// Include equal values.
+	for i < len(c.values) && c.values[i] <= x {
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	return c.cumul[i-1] / c.totalW
+}
+
+// FractionAbove returns P[X > x].
+func (c CDF) FractionAbove(x float64) float64 { return 1 - c.FractionAtOrBelow(x) }
+
+// Quantile returns the smallest value v with P[X <= v] >= q.
+func (c CDF) Quantile(q float64) float64 {
+	if c.Empty() {
+		return 0
+	}
+	target := q * c.totalW
+	i := sort.SearchFloat64s(c.cumul, target)
+	if i >= len(c.values) {
+		i = len(c.values) - 1
+	}
+	return c.values[i]
+}
+
+// Median returns the 0.5 quantile.
+func (c CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Max returns the largest observed value.
+func (c CDF) Max() float64 {
+	if c.Empty() {
+		return 0
+	}
+	return c.values[len(c.values)-1]
+}
+
+// Points returns up to n evenly spaced (value, fraction) pairs for
+// plotting.
+func (c CDF) Points(n int) [][2]float64 {
+	if c.Empty() || n <= 0 {
+		return nil
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i+1) / float64(n)
+		v := c.Quantile(q)
+		out = append(out, [2]float64{v, q})
+	}
+	return out
+}
+
+// Render draws an ASCII CDF over [0, xMax] with the given width, one row
+// per quartile marker, for terminal reports.
+func (c CDF) Render(xMax float64, width int) string {
+	if c.Empty() || xMax <= 0 || width <= 0 {
+		return "(no data)"
+	}
+	var b strings.Builder
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+		v := c.Quantile(q)
+		pos := int(v / xMax * float64(width))
+		if pos > width {
+			pos = width
+		}
+		fmt.Fprintf(&b, "p%02.0f |%s%s| %6.2f\n", q*100, strings.Repeat("=", pos), strings.Repeat(" ", width-pos), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV dumps the recorded events as CSV for external analysis
+// (spreadsheets, pandas): one row per flow or compute, ordered by start
+// time. Columns: kind, gpu, peer, stage, microbatch, start, end, bytes,
+// bandwidth.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"event", "kind", "gpu", "peer", "stage", "microbatch", "start", "end", "bytes", "bandwidth_gbps"}); err != nil {
+		return err
+	}
+
+	type row struct {
+		start float64
+		rec   []string
+	}
+	var rows []row
+	for _, f := range r.Flows {
+		rows = append(rows, row{f.Start, []string{
+			"flow", f.Tag.Kind.String(),
+			fmt.Sprintf("%d", f.Tag.GPU), fmt.Sprintf("%d", f.Tag.PeerGPU),
+			fmt.Sprintf("%d", f.Tag.Stage), fmt.Sprintf("%d", f.Tag.Microbatch),
+			fmt.Sprintf("%.6f", f.Start), fmt.Sprintf("%.6f", f.End),
+			fmt.Sprintf("%.0f", f.Bytes), fmt.Sprintf("%.3f", f.Bandwidth()/1e9),
+		}})
+	}
+	for _, c := range r.Computes {
+		rows = append(rows, row{c.Start, []string{
+			"compute", c.Tag.Kind.String(),
+			fmt.Sprintf("%d", c.Tag.GPU), fmt.Sprintf("%d", c.Tag.PeerGPU),
+			fmt.Sprintf("%d", c.Tag.Stage), fmt.Sprintf("%d", c.Tag.Microbatch),
+			fmt.Sprintf("%.6f", c.Start), fmt.Sprintf("%.6f", c.End),
+			"0", "0",
+		}})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].start < rows[j].start })
+	for _, rw := range rows {
+		if err := cw.Write(rw.rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

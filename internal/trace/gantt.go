@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderGantt draws an ASCII timeline of the recorded step: two lanes
+// per GPU (compute and communication), width characters wide. Compute is
+// drawn with '#', forward/backward distinguished only by position; the
+// communication lane shows 'U' for uploads from DRAM, 'D' for offload /
+// flush, and '>' for GPU-to-GPU hops.
+func (r *Recorder) RenderGantt(numGPUs int, stepTime float64, width int) string {
+	if stepTime <= 0 || width <= 0 {
+		return "(no timeline)"
+	}
+	pos := func(t float64) int {
+		p := int(t / stepTime * float64(width))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	paint := func(lane []byte, a, b float64, ch byte) {
+		for i := pos(a); i <= pos(b); i++ {
+			if lane[i] == ' ' || ch == '#' {
+				lane[i] = ch
+			}
+		}
+	}
+
+	var b strings.Builder
+	for g := 0; g < numGPUs; g++ {
+		comp := []byte(strings.Repeat(" ", width))
+		comm := []byte(strings.Repeat(" ", width))
+		for _, c := range r.Computes {
+			if c.Tag.GPU == g {
+				paint(comp, c.Start, c.End, '#')
+			}
+		}
+		for _, f := range r.Flows {
+			if !flowTouches(f.Tag, g) {
+				continue
+			}
+			ch := byte('>')
+			switch f.Tag.Kind {
+			case KindParamUpload, KindActUpload:
+				ch = 'U'
+			case KindActOffload, KindGradFlush:
+				ch = 'D'
+			}
+			paint(comm, f.Start, f.End, ch)
+		}
+		fmt.Fprintf(&b, "gpu%d compute |%s|\n", g, comp)
+		fmt.Fprintf(&b, "     comm    |%s|\n", comm)
+	}
+	fmt.Fprintf(&b, "time: 0 .. %.3fs ('#' compute, 'U' upload, 'D' offload/flush, '>' GPU-GPU)\n", stepTime)
+	return b.String()
+}

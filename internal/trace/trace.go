@@ -1,0 +1,242 @@
+// Package trace collects execution metrics from simulator runs: per-flow
+// achieved bandwidth (the CDFs of Figures 2, 7, 11 and 16), communication
+// traffic accounting (Figure 6), and compute/communication overlap
+// analysis (the non-overlapped communication time of Figure 8).
+package trace
+
+import (
+	"sort"
+
+	"mobius/internal/sim"
+)
+
+// Kind classifies a traced task for traffic accounting.
+type Kind int
+
+// Task kinds attached via Tag.
+const (
+	KindCompute     Kind = iota
+	KindParamUpload      // DRAM -> GPU stage parameters
+	KindActOffload       // GPU -> DRAM checkpointed activations
+	KindActUpload        // DRAM -> GPU activations for backward
+	KindActTransfer      // GPU -> GPU boundary activations / act gradients
+	KindGradFlush        // GPU -> DRAM gradients
+	KindCollective       // ZeRO all-gather / all-reduce traffic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindParamUpload:
+		return "param-upload"
+	case KindActOffload:
+		return "act-offload"
+	case KindActUpload:
+		return "act-upload"
+	case KindActTransfer:
+		return "act-transfer"
+	case KindGradFlush:
+		return "grad-flush"
+	case KindCollective:
+		return "collective"
+	}
+	return "unknown"
+}
+
+// Tag is the metadata schedulers attach to simulator tasks (Task.Tag).
+type Tag struct {
+	Kind Kind
+	// GPU owns the work: the computing GPU, or the GPU side of a
+	// DRAM transfer. For GPU-to-GPU transfers it is the source.
+	GPU int
+	// PeerGPU is the destination of a GPU-to-GPU transfer, else -1.
+	PeerGPU int
+	// Stage and Microbatch locate the work in the pipeline (-1 when not
+	// applicable).
+	Stage, Microbatch int
+}
+
+// FlowRecord is one completed transfer.
+type FlowRecord struct {
+	Tag        Tag
+	Start, End float64
+	Bytes      float64
+}
+
+// Bandwidth returns the flow's achieved bandwidth in bytes/second.
+func (f FlowRecord) Bandwidth() float64 {
+	d := f.End - f.Start
+	if d <= 0 {
+		return 0
+	}
+	return f.Bytes / d
+}
+
+// ComputeRecord is one completed compute task.
+type ComputeRecord struct {
+	Tag        Tag
+	Start, End float64
+}
+
+// Recorder implements sim.Observer, collecting flow and compute records
+// for tasks tagged with a trace.Tag. Untagged tasks are ignored.
+type Recorder struct {
+	Flows    []FlowRecord
+	Computes []ComputeRecord
+}
+
+// NewRecorder returns an empty recorder; register it with sim.Observe.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// TaskStarted implements sim.Observer.
+func (r *Recorder) TaskStarted(t *sim.Task, at float64) {}
+
+// TaskFinished implements sim.Observer.
+func (r *Recorder) TaskFinished(t *sim.Task, at float64) {
+	tag, ok := t.Tag.(Tag)
+	if !ok {
+		return
+	}
+	switch t.Kind() {
+	case sim.KindTransfer:
+		if t.Bytes() > 0 {
+			r.Flows = append(r.Flows, FlowRecord{Tag: tag, Start: t.Start(), End: t.End(), Bytes: t.Bytes()})
+		}
+	case sim.KindCompute:
+		r.Computes = append(r.Computes, ComputeRecord{Tag: tag, Start: t.Start(), End: t.End()})
+	}
+}
+
+// TotalBytes sums transferred bytes over flows matching the filter (nil
+// matches everything).
+func (r *Recorder) TotalBytes(match func(Tag) bool) float64 {
+	var total float64
+	for _, f := range r.Flows {
+		if match == nil || match(f.Tag) {
+			total += f.Bytes
+		}
+	}
+	return total
+}
+
+// BandwidthCDF builds the byte-weighted CDF of achieved flow bandwidth
+// over flows matching the filter, reproducing the methodology of
+// Figures 2 and 7: "fraction of data transferred at bandwidth <= x".
+func (r *Recorder) BandwidthCDF(match func(Tag) bool) CDF {
+	var samples []Sample
+	for _, f := range r.Flows {
+		if match == nil || match(f.Tag) {
+			samples = append(samples, Sample{Value: f.Bandwidth(), Weight: f.Bytes})
+		}
+	}
+	return NewCDF(samples)
+}
+
+// interval is a half-open time span.
+type interval struct{ a, b float64 }
+
+// normalize sorts and merges intervals into a disjoint ascending set.
+func normalize(iv []interval) []interval {
+	if len(iv) == 0 {
+		return nil
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].a < iv[j].a })
+	out := iv[:1]
+	for _, x := range iv[1:] {
+		last := &out[len(out)-1]
+		if x.a <= last.b {
+			if x.b > last.b {
+				last.b = x.b
+			}
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// unionLength returns the total measure of the union of intervals.
+func unionLength(iv []interval) float64 {
+	var total float64
+	for _, x := range normalize(iv) {
+		total += x.b - x.a
+	}
+	return total
+}
+
+// subtractLength returns the measure of union(A) \ union(B).
+func subtractLength(a, b []interval) float64 {
+	a = normalize(a)
+	b = normalize(b)
+	var total float64
+	bi := 0
+	for _, x := range a {
+		lo := x.a
+		for bi < len(b) && b[bi].b <= lo {
+			bi++
+		}
+		bj := bi
+		for lo < x.b {
+			if bj >= len(b) || b[bj].a >= x.b {
+				total += x.b - lo
+				break
+			}
+			if b[bj].a > lo {
+				total += b[bj].a - lo
+			}
+			if b[bj].b >= x.b {
+				break
+			}
+			lo = b[bj].b
+			bj++
+		}
+	}
+	return total
+}
+
+// flowTouches reports whether the flow involves the given GPU.
+func flowTouches(tag Tag, gpu int) bool {
+	return tag.GPU == gpu || tag.PeerGPU == gpu
+}
+
+// NonOverlappedComm returns, for one GPU, the communication time not
+// hidden by that GPU's computation, i.e. |union(comm) \ union(compute)|.
+func (r *Recorder) NonOverlappedComm(gpu int) float64 {
+	var comm, comp []interval
+	for _, f := range r.Flows {
+		if flowTouches(f.Tag, gpu) {
+			comm = append(comm, interval{f.Start, f.End})
+		}
+	}
+	for _, c := range r.Computes {
+		if c.Tag.GPU == gpu {
+			comp = append(comp, interval{c.Start, c.End})
+		}
+	}
+	return subtractLength(comm, comp)
+}
+
+// NonOverlappedCommFraction averages NonOverlappedComm over GPUs and
+// normalizes by the step time — the y-axis of Figure 8.
+func (r *Recorder) NonOverlappedCommFraction(numGPUs int, stepTime float64) float64 {
+	if stepTime <= 0 || numGPUs <= 0 {
+		return 0
+	}
+	var total float64
+	for g := 0; g < numGPUs; g++ {
+		total += r.NonOverlappedComm(g)
+	}
+	return total / (float64(numGPUs) * stepTime)
+}
+
+// ComputeBusy returns the total compute-busy time of a GPU.
+func (r *Recorder) ComputeBusy(gpu int) float64 {
+	var iv []interval
+	for _, c := range r.Computes {
+		if c.Tag.GPU == gpu {
+			iv = append(iv, interval{c.Start, c.End})
+		}
+	}
+	return unionLength(iv)
+}

@@ -1,0 +1,85 @@
+package train
+
+import (
+	"mobius/internal/nn"
+	"mobius/internal/tensor"
+)
+
+// ModeAsync emulates a PipeDream-style asynchronous pipeline without
+// weight stashing (§3.1's contrast case): parameters update immediately
+// after every microbatch, so a microbatch's forward pass runs on weights
+// that are several updates stale by the time its backward pass executes
+// — the staleness equals the number of in-flight microbatches (pipeline
+// depth - 1). The paper chooses GPipe-style synchronous updates exactly
+// to avoid this; the convergence experiment quantifies the difference.
+const ModeAsync Mode = 2
+
+// asyncStep runs one "step" of the asynchronous pipeline: every
+// microbatch triggers its own optimizer update; forward passes use
+// weights from `staleness` updates ago (ring buffer of snapshots), while
+// backward Jacobians use the current weights (no stashing). Returns the
+// mean loss across the microbatches.
+func (t *Trainer) asyncStep(mbs []nn.Batch) float64 {
+	S := len(t.stages)
+	staleness := S - 1
+	params := t.Model.Params()
+
+	snapshot := func() [][]float64 {
+		out := make([][]float64, len(params))
+		for i, p := range params {
+			out[i] = append([]float64(nil), p.W.D...)
+		}
+		return out
+	}
+	restore := func(snap [][]float64) {
+		for i, p := range params {
+			copy(p.W.D, snap[i])
+		}
+	}
+
+	if t.asyncRing == nil {
+		t.asyncRing = append(t.asyncRing, snapshot())
+	}
+
+	var totalLoss float64
+	for _, mb := range mbs {
+		// Forward on the stalest available snapshot.
+		idx := 0
+		if len(t.asyncRing) > staleness {
+			idx = len(t.asyncRing) - 1 - staleness
+		}
+		current := snapshot()
+		restore(t.asyncRing[idx])
+		var x *tensor.Mat
+		caches := make([][]any, S)
+		for j := 0; j < S; j++ {
+			for _, u := range t.stages[j] {
+				var c any
+				x, c = u.Forward(x, mb)
+				caches[j] = append(caches[j], c)
+			}
+		}
+		loss, dx := nn.CrossEntropy(x, mb, t.Model.Cfg.Seq)
+		totalLoss += loss
+
+		// Backward with the *current* weights (no stashing) against the
+		// stale forward caches.
+		restore(current)
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		for j := S - 1; j >= 0; j-- {
+			for k := len(t.stages[j]) - 1; k >= 0; k-- {
+				dx = t.stages[j][k].Backward(dx, caches[j][k])
+			}
+		}
+		t.Opt.Step(params)
+
+		// Record the new version.
+		t.asyncRing = append(t.asyncRing, snapshot())
+		if len(t.asyncRing) > staleness+1 {
+			t.asyncRing = t.asyncRing[len(t.asyncRing)-staleness-1:]
+		}
+	}
+	return totalLoss / float64(len(mbs))
+}

@@ -1,0 +1,266 @@
+// Package train runs real training steps on the internal/nn substrate
+// under three execution orders — GPipe's, the Mobius pipeline's, and a
+// PipeDream-style asynchronous pipeline — to demonstrate the convergence
+// claim of §3.1 (Figure 13): Mobius uses the same synchronous gradient
+// update as GPipe, so swapping stages through heterogeneous memory does
+// not change what the model learns, whereas asynchronous updates do.
+//
+// The Mobius executor takes the claim seriously: stage parameters live in
+// a simulated DRAM store; before a stage executes, its weights are
+// uploaded into the unit's buffers; after it finishes, the buffers are
+// destroyed (zeroed). Backward re-uploads the stage and recomputes
+// activations from the offloaded boundary checkpoints. If any part of the
+// swap protocol were wrong, training would diverge visibly.
+package train
+
+import (
+	"fmt"
+
+	"mobius/internal/nn"
+	"mobius/internal/tensor"
+)
+
+// Mode selects the execution order.
+type Mode int
+
+// Execution orders.
+const (
+	ModeGPipe Mode = iota
+	ModeMobius
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeMobius:
+		return "mobius"
+	case ModeAsync:
+		return "async"
+	}
+	return "gpipe"
+}
+
+// Trainer trains a model in pipeline stages.
+type Trainer struct {
+	Model  *nn.Model
+	Mode   Mode
+	Opt    *nn.Adam
+	stages [][]nn.Unit
+
+	// Simulated DRAM: master weights and accumulated gradients.
+	dramW map[*nn.Param][]float64
+	dramG map[*nn.Param][]float64
+
+	// asyncRing holds recent weight snapshots for ModeAsync.
+	asyncRing [][][]float64
+}
+
+// New splits the model's units into `stages` contiguous stages and
+// prepares the optimizer.
+func New(m *nn.Model, stages int, lr float64, mode Mode) (*Trainer, error) {
+	units := m.Units
+	if stages < 1 || stages > len(units) {
+		return nil, fmt.Errorf("train: cannot split %d units into %d stages", len(units), stages)
+	}
+	t := &Trainer{
+		Model: m,
+		Mode:  mode,
+		Opt:   nn.NewAdam(lr),
+		dramW: map[*nn.Param][]float64{},
+		dramG: map[*nn.Param][]float64{},
+	}
+	base, extra := len(units)/stages, len(units)%stages
+	at := 0
+	for s := 0; s < stages; s++ {
+		n := base
+		if s < extra {
+			n++
+		}
+		t.stages = append(t.stages, units[at:at+n])
+		at += n
+	}
+	// Initialize the DRAM master copies.
+	for _, p := range m.Params() {
+		t.dramW[p] = append([]float64(nil), p.W.D...)
+		t.dramG[p] = make([]float64, len(p.W.D))
+	}
+	return t, nil
+}
+
+// NumStages returns the pipeline depth.
+func (t *Trainer) NumStages() int { return len(t.stages) }
+
+// Step runs one training step over the microbatches (synchronous
+// gradient accumulation + one optimizer update) and returns the mean
+// loss.
+func (t *Trainer) Step(microbatches []nn.Batch) float64 {
+	switch t.Mode {
+	case ModeMobius:
+		return t.mobiusStep(microbatches)
+	case ModeAsync:
+		return t.asyncStep(microbatches)
+	}
+	return t.gpipeStep(microbatches)
+}
+
+// stageParams lists the parameters of one stage.
+func stageParams(units []nn.Unit) []*nn.Param {
+	var out []*nn.Param
+	for _, u := range units {
+		out = append(out, u.Params()...)
+	}
+	return out
+}
+
+// gpipeStep keeps everything resident: forward all microbatches through
+// all stages (caching), backward, then update.
+func (t *Trainer) gpipeStep(mbs []nn.Batch) float64 {
+	for _, p := range t.Model.Params() {
+		p.ZeroGrad()
+	}
+	M := len(mbs)
+	S := len(t.stages)
+	caches := make([][][]any, S) // [stage][mb][unit]
+	bounds := make([][]*tensor.Mat, S+1)
+	for j := range caches {
+		caches[j] = make([][]any, M)
+	}
+	for j := range bounds {
+		bounds[j] = make([]*tensor.Mat, M)
+	}
+
+	var totalLoss float64
+	// Forward, stage-major like the pipeline wavefront; per-stage
+	// microbatch order ascending.
+	for j := 0; j < S; j++ {
+		for m := 0; m < M; m++ {
+			x := bounds[j][m]
+			for _, u := range t.stages[j] {
+				var c any
+				x, c = u.Forward(x, mbs[m])
+				caches[j][m] = append(caches[j][m], c)
+			}
+			bounds[j+1][m] = x
+		}
+	}
+	// Loss at the head.
+	dlogits := make([]*tensor.Mat, M)
+	for m := 0; m < M; m++ {
+		loss, dl := nn.CrossEntropy(bounds[S][m], mbs[m], t.Model.Cfg.Seq)
+		totalLoss += loss
+		dl.Scale(1 / float64(M)) // mean over microbatches
+		dlogits[m] = dl
+	}
+	// Backward, stage-major descending.
+	douts := dlogits
+	for j := S - 1; j >= 0; j-- {
+		dins := make([]*tensor.Mat, M)
+		for m := 0; m < M; m++ {
+			dx := douts[m]
+			for k := len(t.stages[j]) - 1; k >= 0; k-- {
+				dx = t.stages[j][k].Backward(dx, caches[j][m][k])
+			}
+			dins[m] = dx
+		}
+		douts = dins
+	}
+	t.Opt.Step(t.Model.Params())
+	return totalLoss / float64(M)
+}
+
+// mobiusStep swaps stages through the simulated DRAM: upload, compute all
+// microbatches, offload boundaries, evict; backward re-uploads and
+// recomputes from checkpoints, then flushes gradients to DRAM before the
+// (CPU-side) optimizer update.
+func (t *Trainer) mobiusStep(mbs []nn.Batch) float64 {
+	M := len(mbs)
+	S := len(t.stages)
+	bounds := make([][]*tensor.Mat, S+1) // offloaded checkpoints in "DRAM"
+	for j := range bounds {
+		bounds[j] = make([]*tensor.Mat, M)
+	}
+
+	upload := func(j int) {
+		for _, p := range stageParams(t.stages[j]) {
+			copy(p.W.D, t.dramW[p])
+			p.ZeroGrad()
+		}
+	}
+	evict := func(j int) {
+		for _, p := range stageParams(t.stages[j]) {
+			p.W.Zero() // destroy the GPU copy: reuse would be a bug
+		}
+	}
+	flush := func(j int) {
+		for _, p := range stageParams(t.stages[j]) {
+			dst := t.dramG[p]
+			for i, g := range p.G.D {
+				dst[i] += g
+			}
+		}
+	}
+
+	var totalLoss float64
+	// Forward: stage-major; discard per-layer caches (checkpointing),
+	// offload only the boundary activations.
+	for j := 0; j < S; j++ {
+		upload(j)
+		for m := 0; m < M; m++ {
+			x := bounds[j][m]
+			for _, u := range t.stages[j] {
+				x, _ = u.Forward(x, mbs[m])
+			}
+			if j == S-1 {
+				loss, _ := nn.CrossEntropy(x, mbs[m], t.Model.Cfg.Seq)
+				totalLoss += loss
+			} else {
+				bounds[j+1][m] = x.Clone() // offload checkpoint to DRAM
+			}
+		}
+		evict(j)
+	}
+
+	// Backward: stage-major descending with recomputation.
+	douts := make([]*tensor.Mat, M)
+	for j := S - 1; j >= 0; j-- {
+		upload(j)
+		dins := make([]*tensor.Mat, M)
+		for m := 0; m < M; m++ {
+			// Recompute the stage's forward from the checkpoint.
+			x := bounds[j][m]
+			caches := make([]any, len(t.stages[j]))
+			for k, u := range t.stages[j] {
+				x, caches[k] = u.Forward(x, mbs[m])
+			}
+			var dx *tensor.Mat
+			if j == S-1 {
+				_, dl := nn.CrossEntropy(x, mbs[m], t.Model.Cfg.Seq)
+				dl.Scale(1 / float64(M))
+				dx = dl
+			} else {
+				dx = douts[m]
+			}
+			for k := len(t.stages[j]) - 1; k >= 0; k-- {
+				dx = t.stages[j][k].Backward(dx, caches[k])
+			}
+			dins[m] = dx
+		}
+		flush(j)
+		evict(j)
+		douts = dins
+	}
+
+	// CPU optimizer: restore master weights and accumulated gradients,
+	// update, write back to DRAM.
+	for _, p := range t.Model.Params() {
+		copy(p.W.D, t.dramW[p])
+		copy(p.G.D, t.dramG[p])
+	}
+	t.Opt.Step(t.Model.Params())
+	for _, p := range t.Model.Params() {
+		copy(t.dramW[p], p.W.D)
+		for i := range t.dramG[p] {
+			t.dramG[p][i] = 0
+		}
+	}
+	return totalLoss / float64(M)
+}

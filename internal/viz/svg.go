@@ -1,0 +1,244 @@
+// Package viz renders the reproduction's figures as standalone SVG
+// documents using only the standard library. cmd/mobius-bench -svg
+// writes one file per supported figure so the paper's plots can be
+// compared visually, not just numerically.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// canvas accumulates SVG elements.
+type canvas struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newCanvas(w, h int) *canvas {
+	c := &canvas{w: w, h: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	c.b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	return c
+}
+
+func (c *canvas) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x, y, w, h, fill)
+}
+
+func (c *canvas) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`, x1, y1, x2, y2, stroke, width)
+}
+
+func (c *canvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`,
+		x, y, size, anchor, escape(s))
+}
+
+func (c *canvas) polyline(pts [][2]float64, stroke string, width float64) {
+	var sb strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", p[0], p[1])
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`, sb.String(), stroke, width)
+}
+
+func (c *canvas) String() string { return c.b.String() + "</svg>" }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// palette holds the series colors, in order.
+var palette = []string{"#4363d8", "#e6194b", "#3cb44b", "#f58231", "#911eb4", "#46f0f0"}
+
+// Series is one named data series.
+type Series struct {
+	Name   string
+	Values []float64 // bar heights or y-values
+}
+
+// Points is one named (x, y) series for line plots.
+type Points struct {
+	Name string
+	XY   [][2]float64
+}
+
+const (
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 55
+)
+
+// niceMax rounds v up to a pleasant axis maximum.
+func niceMax(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// frame draws the axes, title and y-axis ticks, returning the plot
+// area and the y scale.
+func frame(c *canvas, title, yLabel string, yMax float64) (x0, y0, pw, ph float64, yOf func(float64) float64) {
+	x0, y0 = float64(marginL), float64(marginT)
+	pw = float64(c.w - marginL - marginR)
+	ph = float64(c.h - marginT - marginB)
+	c.text(float64(c.w)/2, 22, 15, "middle", title)
+	c.line(x0, y0, x0, y0+ph, "#333", 1.2)
+	c.line(x0, y0+ph, x0+pw, y0+ph, "#333", 1.2)
+	yOf = func(v float64) float64 { return y0 + ph - v/yMax*ph }
+	for i := 0; i <= 4; i++ {
+		v := yMax * float64(i) / 4
+		y := yOf(v)
+		c.line(x0-4, y, x0, y, "#333", 1)
+		c.text(x0-8, y+4, 11, "end", trimFloat(v))
+		if i > 0 {
+			c.line(x0, y, x0+pw, y, "#eee", 1)
+		}
+	}
+	c.text(16, y0+ph/2, 12, "middle",
+		"") // reserved
+	c.text(float64(marginL)/2, float64(marginT)-8, 11, "middle", yLabel)
+	return
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// legend draws a color legend under the plot.
+func legend(c *canvas, names []string) {
+	x := float64(marginL)
+	y := float64(c.h) - 14
+	for i, n := range names {
+		c.rect(x, y-9, 10, 10, palette[i%len(palette)])
+		c.text(x+14, y, 11, "start", n)
+		x += 18 + float64(8*len(n))
+	}
+}
+
+// GroupedBars renders a grouped bar chart: one group per label, one bar
+// per series. Zero or negative values render as "x" marks (OOM).
+func GroupedBars(title, yLabel string, labels []string, series []Series) string {
+	c := newCanvas(760, 420)
+	yMax := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > yMax {
+				yMax = v
+			}
+		}
+	}
+	yMax = niceMax(yMax)
+	x0, _, pw, _, yOf := frame(c, title, yLabel, yMax)
+
+	groups := len(labels)
+	if groups == 0 || len(series) == 0 {
+		return c.String()
+	}
+	groupW := pw / float64(groups)
+	barW := groupW * 0.8 / float64(len(series))
+	for gi, lab := range labels {
+		gx := x0 + float64(gi)*groupW
+		for si, s := range series {
+			if gi >= len(s.Values) {
+				continue
+			}
+			v := s.Values[gi]
+			bx := gx + groupW*0.1 + float64(si)*barW
+			if v <= 0 {
+				c.text(bx+barW/2, yOf(0)-6, 11, "middle", "x")
+				continue
+			}
+			c.rect(bx, yOf(v), barW*0.92, yOf(0)-yOf(v), palette[si%len(palette)])
+		}
+		c.text(gx+groupW/2, yOf(0)+18, 11, "middle", lab)
+	}
+	legend(c, names(series))
+	return c.String()
+}
+
+// Lines renders an XY line chart (loss curves, scaling curves).
+func Lines(title, yLabel string, series []Points) string {
+	c := newCanvas(760, 420)
+	yMax, xMax := 0.0, 0.0
+	for _, s := range series {
+		for _, p := range s.XY {
+			if p[1] > yMax {
+				yMax = p[1]
+			}
+			if p[0] > xMax {
+				xMax = p[0]
+			}
+		}
+	}
+	yMax = niceMax(yMax)
+	if xMax <= 0 {
+		xMax = 1
+	}
+	x0, _, pw, _, yOf := frame(c, title, yLabel, yMax)
+	xOf := func(v float64) float64 { return x0 + v/xMax*pw }
+
+	for si, s := range series {
+		pts := make([][2]float64, len(s.XY))
+		for i, p := range s.XY {
+			pts[i] = [2]float64{xOf(p[0]), yOf(p[1])}
+		}
+		c.polyline(pts, palette[si%len(palette)], 2)
+	}
+	var ns []Series
+	for _, s := range series {
+		ns = append(ns, Series{Name: s.Name})
+	}
+	legend(c, names(ns))
+	return c.String()
+}
+
+// CDFs renders cumulative distribution curves over [0, xMax].
+// Each series' XY must already be (value, cumulative fraction) pairs.
+func CDFs(title string, xMax float64, series []Points) string {
+	c := newCanvas(760, 420)
+	x0, _, pw, _, yOf := frame(c, title, "CDF", 1)
+	xOf := func(v float64) float64 {
+		if v > xMax {
+			v = xMax
+		}
+		return x0 + v/xMax*pw
+	}
+	for si, s := range series {
+		pts := [][2]float64{{xOf(0), yOf(0)}}
+		for _, p := range s.XY {
+			pts = append(pts, [2]float64{xOf(p[0]), yOf(p[1])})
+		}
+		c.polyline(pts, palette[si%len(palette)], 2)
+	}
+	var ns []Series
+	for _, s := range series {
+		ns = append(ns, Series{Name: s.Name})
+	}
+	legend(c, names(ns))
+	return c.String()
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("svg is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestGroupedBarsWellFormed(t *testing.T) {
+	svg := GroupedBars("Figure 5", "s/step", []string{"3B", "8B"}, []Series{
+		{Name: "DeepSpeed", Values: []float64{7.9, 15.1}},
+		{Name: "Mobius", Values: []float64{4.4, 10.6}},
+	})
+	wellFormed(t, svg)
+	for _, want := range []string{"Figure 5", "DeepSpeed", "Mobius", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestGroupedBarsOOMMarker(t *testing.T) {
+	svg := GroupedBars("t", "y", []string{"15B"}, []Series{{Name: "GPipe", Values: []float64{0}}})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, ">x</text>") {
+		t.Error("OOM marker missing")
+	}
+}
+
+func TestLinesWellFormed(t *testing.T) {
+	svg := Lines("loss", "loss", []Points{
+		{Name: "gpipe", XY: [][2]float64{{0, 4.2}, {10, 3.1}, {20, 2.5}}},
+		{Name: "mobius", XY: [][2]float64{{0, 4.2}, {10, 3.1}, {20, 2.5}}},
+	})
+	wellFormed(t, svg)
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Error("want two polylines")
+	}
+}
+
+func TestCDFsWellFormed(t *testing.T) {
+	svg := CDFs("bw", 13.1, []Points{
+		{Name: "ds", XY: [][2]float64{{2, 0.5}, {6, 1}}},
+	})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "CDF") {
+		t.Error("missing y label")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg := GroupedBars(`a<b>&"c"`, "y", []string{"l"}, []Series{{Name: "s", Values: []float64{1}}})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a<b>") {
+		t.Error("unescaped title")
+	}
+}
+
+func TestEmptyInputsAreSafe(t *testing.T) {
+	wellFormed(t, GroupedBars("t", "y", nil, nil))
+	wellFormed(t, Lines("t", "y", nil))
+	wellFormed(t, CDFs("t", 1, nil))
+}
+
+func TestNiceMax(t *testing.T) {
+	cases := map[float64]float64{0: 1, 0.7: 1, 1.3: 2, 3: 5, 7: 10, 23: 25, 80: 100}
+	for in, want := range cases {
+		if got := niceMax(in); got != want {
+			t.Errorf("niceMax(%g)=%g want %g", in, got, want)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	gen := func() string {
+		return Lines("t", "y", []Points{{Name: "a", XY: [][2]float64{{0, 1}, {1, 2}}}})
+	}
+	if gen() != gen() {
+		t.Error("non-deterministic SVG")
+	}
+}
+
+func TestManySeriesUsePaletteCycling(t *testing.T) {
+	var series []Series
+	for i := 0; i < 9; i++ { // more series than palette entries
+		series = append(series, Series{Name: string(rune('a' + i)), Values: []float64{float64(i + 1)}})
+	}
+	svg := GroupedBars("many", "y", []string{"g"}, series)
+	wellFormed(t, svg)
+	if strings.Count(svg, "<rect") < 9 {
+		t.Error("missing bars")
+	}
+}
+
+func TestLinesSinglePoint(t *testing.T) {
+	wellFormed(t, Lines("t", "y", []Points{{Name: "p", XY: [][2]float64{{1, 1}}}}))
+}

@@ -1,0 +1,254 @@
+package zero
+
+import (
+	"fmt"
+
+	"mobius/internal/hw"
+	"mobius/internal/pipeline"
+	"mobius/internal/sim"
+	"mobius/internal/trace"
+)
+
+// RunOffload simulates ZeRO-Offload [37] (§5): FP16 parameters stay
+// replicated in every GPU's memory; gradients are reduced across GPUs
+// and offloaded to DRAM, where the CPU optimizer updates the FP32 master
+// copy, and the refreshed FP16 parameters are gathered back. Because
+// every GPU holds a full parameter copy, the trainable model scale is
+// bounded by a single GPU's memory — the limitation ZeRO-Infinity (and
+// Mobius) remove.
+func RunOffload(topo *hw.Topology, cfg Config) (*pipeline.Result, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("zero: profile is required")
+	}
+	N := topo.NumGPUs()
+
+	srv, err := hw.Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	srv.Sim.Observe(rec)
+	res := &pipeline.Result{System: "ZeRO-Offload", Recorder: rec, Server: srv}
+
+	layers := cfg.Profile.Layers
+	L := len(layers)
+
+	// OOM check: the full FP16 model plus working set must fit on one GPU.
+	var paramBytes, maxWorking, maxAct float64
+	for _, l := range layers {
+		paramBytes += l.ParamBytes
+		if l.WorkingBytes > maxWorking {
+			maxWorking = l.WorkingBytes
+		}
+		if l.ActOutBytes > maxAct {
+			maxAct = l.ActOutBytes
+		}
+	}
+	if paramBytes+maxWorking+2*maxAct > topo.GPUMem(0) {
+		res.OOM = true
+		return res, nil
+	}
+
+	s := srv.Sim
+	tag := func(kind trace.Kind, gpu, peer, layer int) trace.Tag {
+		return trace.Tag{Kind: kind, GPU: gpu, PeerGPU: peer, Stage: layer, Microbatch: -1}
+	}
+
+	// Forward: parameters are resident, so only compute + checkpoints.
+	fwdDone := make([][]*sim.Task, L)
+	for l := 0; l < L; l++ {
+		fwdDone[l] = make([]*sim.Task, N)
+		for g := 0; g < N; g++ {
+			var deps []*sim.Task
+			if l > 0 {
+				deps = append(deps, fwdDone[l-1][g])
+			}
+			c := s.Compute(fmt.Sprintf("F%d.g%d", l, g), srv.ComputeEngines[g], layers[l].FwdTime, deps...)
+			c.Tag = tag(trace.KindCompute, g, -1, l)
+			fwdDone[l][g] = c
+			if layers[l].ActOutBytes > 0 {
+				off := s.Transfer(fmt.Sprintf("O%d.g%d", l, g), srv.DownloadEngine[g],
+					srv.Route(hw.GPUEnd(g), hw.DRAMEnd), layers[l].ActOutBytes, 0, c)
+				off.Tag = tag(trace.KindActOffload, g, -1, l)
+			}
+		}
+	}
+
+	// Backward per layer: compute, reduce-scatter gradients across GPUs
+	// (staged through the host on commodity topologies), flush each
+	// reduced shard to DRAM for the CPU optimizer, then gather the
+	// refreshed FP16 parameters back.
+	bwdDone := make([][]*sim.Task, L)
+	for l := L - 1; l >= 0; l-- {
+		bwdDone[l] = make([]*sim.Task, N)
+		shard := layers[l].ParamBytes / float64(N)
+		for g := 0; g < N; g++ {
+			var deps []*sim.Task
+			if l < L-1 {
+				deps = append(deps, bwdDone[l+1][g])
+			} else {
+				deps = append(deps, fwdDone[L-1]...)
+			}
+			if l > 0 && layers[l-1].ActOutBytes > 0 {
+				au := s.Transfer(fmt.Sprintf("AU%d.g%d", l, g), srv.UploadEngines[g],
+					srv.Route(hw.DRAMEnd, hw.GPUEnd(g)), layers[l-1].ActOutBytes, 0, deps...)
+				au.Tag = tag(trace.KindActUpload, g, -1, l)
+				deps = append(deps, au)
+			}
+			c := s.Compute(fmt.Sprintf("B%d.g%d", l, g), srv.ComputeEngines[g], layers[l].BwdTime, deps...)
+			c.Tag = tag(trace.KindCompute, g, -1, l)
+			bwdDone[l][g] = c
+
+			// Reduce-scatter: this GPU sends the other GPUs' shards.
+			var rs []*sim.Task
+			for h := 0; h < N; h++ {
+				if h == g {
+					continue
+				}
+				ex := s.Transfer(fmt.Sprintf("RS%d.g%d-%d", l, g, h), srv.DownloadEngine[g],
+					srv.Route(hw.GPUEnd(g), hw.GPUEnd(h)), shard, 0, c)
+				ex.Tag = tag(trace.KindCollective, g, h, l)
+				rs = append(rs, ex)
+			}
+			// Flush the reduced shard, then pull the refreshed shard and
+			// exchange it with the peers (the parameter refresh path).
+			gf := s.Transfer(fmt.Sprintf("GF%d.g%d", l, g), srv.DownloadEngine[g],
+				srv.Route(hw.GPUEnd(g), hw.DRAMEnd), shard, 0, append(rs, c)...)
+			gf.Tag = tag(trace.KindGradFlush, g, -1, l)
+			pu := s.Transfer(fmt.Sprintf("PU%d.g%d", l, g), srv.UploadEngines[g],
+				srv.Route(hw.DRAMEnd, hw.GPUEnd(g)), shard, 0, gf)
+			pu.Tag = tag(trace.KindParamUpload, g, -1, l)
+			for h := 0; h < N; h++ {
+				if h == g {
+					continue
+				}
+				ex := s.Transfer(fmt.Sprintf("PX%d.g%d-%d", l, g, h), srv.DownloadEngine[g],
+					srv.Route(hw.GPUEnd(g), hw.GPUEnd(h)), shard, 0, pu)
+				ex.Tag = tag(trace.KindCollective, g, h, l)
+			}
+		}
+	}
+
+	end, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("zero: offload schedule: %w", err)
+	}
+	res.StepTime = end
+	return res, nil
+}
+
+// RunInfinityNVMe simulates ZeRO-Infinity with NVMe offload [36] (§5):
+// the same communication pattern as ZeRO-3 with heterogeneous memory,
+// but parameter shards and gradients live on the SSD tier, whose few
+// GB/s of bandwidth bottleneck every gather — the reason Mobius extends
+// GPU memory with DRAM only (§3.1).
+func RunInfinityNVMe(topo *hw.Topology, cfg Config) (*pipeline.Result, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("zero: profile is required")
+	}
+	if !topo.HasSSD() {
+		return nil, fmt.Errorf("zero: topology %q has no NVMe tier (use WithSSD)", topo.Name)
+	}
+	look := cfg.Lookahead
+	if look <= 0 {
+		look = 2
+	}
+	N := topo.NumGPUs()
+
+	srv, err := hw.Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	srv.Sim.Observe(rec)
+	res := &pipeline.Result{System: "ZeRO-Infinity (NVMe)", Recorder: rec, Server: srv}
+
+	s := srv.Sim
+	layers := cfg.Profile.Layers
+	L := len(layers)
+	tag := func(kind trace.Kind, gpu, peer, layer int) trace.Tag {
+		return trace.Tag{Kind: kind, GPU: gpu, PeerGPU: peer, Stage: layer, Microbatch: -1}
+	}
+
+	gather := func(name string, l int, trigger *sim.Task) *sim.Task {
+		shard := layers[l].ParamBytes / float64(N)
+		var done []*sim.Task
+		for g := 0; g < N; g++ {
+			up := s.Transfer(fmt.Sprintf("%s.shard%d", name, g), srv.UploadEngines[g],
+				srv.Route(hw.SSDEnd, hw.GPUEnd(g)), shard, 0, trigger)
+			up.Tag = tag(trace.KindParamUpload, g, -1, l)
+			done = append(done, up)
+			for h := 0; h < N; h++ {
+				if h == g {
+					continue
+				}
+				ex := s.Transfer(fmt.Sprintf("%s.ag%d-%d", name, g, h), srv.DownloadEngine[g],
+					srv.Route(hw.GPUEnd(g), hw.GPUEnd(h)), shard, 0, up)
+				ex.Tag = tag(trace.KindCollective, g, h, l)
+				done = append(done, ex)
+			}
+		}
+		return s.After(name+".done", done...)
+	}
+
+	fwdDone := make([][]*sim.Task, L)
+	for l := 0; l < L; l++ {
+		var trigger *sim.Task
+		if l >= look {
+			trigger = fwdDone[l-look][0]
+		}
+		g := gather(fmt.Sprintf("gf%d", l), l, trigger)
+		fwdDone[l] = make([]*sim.Task, N)
+		for gi := 0; gi < N; gi++ {
+			deps := []*sim.Task{g}
+			if l > 0 {
+				deps = append(deps, fwdDone[l-1][gi])
+			}
+			c := s.Compute(fmt.Sprintf("F%d.g%d", l, gi), srv.ComputeEngines[gi], layers[l].FwdTime, deps...)
+			c.Tag = tag(trace.KindCompute, gi, -1, l)
+			fwdDone[l][gi] = c
+			if layers[l].ActOutBytes > 0 {
+				off := s.Transfer(fmt.Sprintf("O%d.g%d", l, gi), srv.DownloadEngine[gi],
+					srv.Route(hw.GPUEnd(gi), hw.DRAMEnd), layers[l].ActOutBytes, 0, c)
+				off.Tag = tag(trace.KindActOffload, gi, -1, l)
+			}
+		}
+	}
+
+	bwdDone := make([][]*sim.Task, L)
+	for l := L - 1; l >= 0; l-- {
+		var trigger *sim.Task
+		if l+look < L {
+			trigger = bwdDone[l+look][0]
+		} else {
+			trigger = s.After(fmt.Sprintf("fwdDrain%d", l), fwdDone[L-1]...)
+		}
+		g := gather(fmt.Sprintf("gb%d", l), l, trigger)
+		bwdDone[l] = make([]*sim.Task, N)
+		for gi := 0; gi < N; gi++ {
+			deps := []*sim.Task{g}
+			if l < L-1 {
+				deps = append(deps, bwdDone[l+1][gi])
+			}
+			if l > 0 && layers[l-1].ActOutBytes > 0 {
+				au := s.Transfer(fmt.Sprintf("AU%d.g%d", l, gi), srv.UploadEngines[gi],
+					srv.Route(hw.DRAMEnd, hw.GPUEnd(gi)), layers[l-1].ActOutBytes, 0, g)
+				au.Tag = tag(trace.KindActUpload, gi, -1, l)
+				deps = append(deps, au)
+			}
+			c := s.Compute(fmt.Sprintf("B%d.g%d", l, gi), srv.ComputeEngines[gi], layers[l].BwdTime, deps...)
+			c.Tag = tag(trace.KindCompute, gi, -1, l)
+			bwdDone[l][gi] = c
+			gf := s.Transfer(fmt.Sprintf("GF%d.g%d", l, gi), srv.DownloadEngine[gi],
+				srv.Route(hw.GPUEnd(gi), hw.SSDEnd), layers[l].GradBytes, 0, c)
+			gf.Tag = tag(trace.KindGradFlush, gi, -1, l)
+		}
+	}
+
+	end, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("zero: nvme schedule: %w", err)
+	}
+	res.StepTime = end
+	return res, nil
+}

@@ -1,0 +1,205 @@
+package zero
+
+import (
+	"math"
+	"testing"
+
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/profile"
+	"mobius/internal/trace"
+)
+
+func prof(t *testing.T, cfg model.Config) *profile.Profile {
+	t.Helper()
+	p, err := profile.Run(cfg, hw.RTX3090Ti, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestZeroRunsToCompletion(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	res, err := Run(topo, Config{Profile: prof(t, model.GPT8B)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatal("ZeRO with heterogeneous memory must never OOM")
+	}
+	if res.StepTime <= 0 || math.IsInf(res.StepTime, 1) {
+		t.Fatalf("step time %g", res.StepTime)
+	}
+	// Every GPU computes every layer twice (fwd + bwd).
+	L := model.GPT8B.Layers + 2
+	if got, want := len(res.Recorder.Computes), 2*4*L; got != want {
+		t.Fatalf("computes: got %d want %d", got, want)
+	}
+}
+
+func TestZeroTrafficNearPaperAnalysis(t *testing.T) {
+	// §2.3 / Eq. 2: DeepSpeed moves ~1.5N x the FP32 parameter bytes; the
+	// paper measures 7.3x the model size with N=4 GPUs (Figure 6).
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	for _, mc := range []model.Config{model.GPT8B, model.GPT15B} {
+		res, err := Run(topo, Config{Profile: prof(t, mc)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.TotalTraffic() / mc.ParamBytesFP32()
+		if ratio < 4.5 || ratio > 9 {
+			t.Errorf("%s: traffic ratio %.2fx, want ~6-7.3x for N=4", mc.Name, ratio)
+		}
+	}
+}
+
+func TestZeroCollectiveTrafficDominates(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	res, err := Run(topo, Config{Profile: prof(t, model.GPT8B)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := res.Recorder.TotalBytes(func(tag trace.Tag) bool { return tag.Kind == trace.KindCollective })
+	if coll <= 0 {
+		t.Fatal("no collective traffic recorded")
+	}
+	// All-gather moves (N-1)/N of params per pass; with N=4 that is 1.5x
+	// params fp16 = 0.75x fp32 per step across both passes... compare
+	// against shard uploads: exchanges must be 3x the shard uploads.
+	shards := res.Recorder.TotalBytes(func(tag trace.Tag) bool { return tag.Kind == trace.KindParamUpload })
+	if math.Abs(coll/shards-3) > 0.2 {
+		t.Errorf("all-gather/shard ratio %.2f, want ~3 for N=4", coll/shards)
+	}
+}
+
+func TestZeroBandwidthCollapsesUnderContention(t *testing.T) {
+	// Figure 2: most DeepSpeed data moves at <= half the root complex
+	// bandwidth because of all-to-all contention.
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	res, err := Run(topo, Config{Profile: prof(t, model.GPT15B)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := res.Recorder.BandwidthCDF(nil)
+	if cdf.Empty() {
+		t.Fatal("empty bandwidth CDF")
+	}
+	if med := cdf.Median(); med > 7e9 {
+		t.Errorf("median bandwidth %.2f GB/s, want <= ~6.5 (half of 13.1) under contention", med/1e9)
+	}
+}
+
+func TestZeroPipelineModeOOMsOnLargeModels(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	res, err := RunPipelineMode(topo, prof(t, model.GPT15B), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Fatal("DeepSpeed pipeline mode must OOM on 15B")
+	}
+	if res.System != "DeepSpeed (pipeline)" {
+		t.Fatalf("system label %q", res.System)
+	}
+}
+
+func TestZeroFasterOnNVLinkServer(t *testing.T) {
+	// Figures 15/16: with NVLink + P2P the all-gather no longer fights
+	// the root complex, so DeepSpeed improves dramatically on the data
+	// center server.
+	commodity := hw.Commodity(hw.V100, 2, 2)
+	dc := hw.DataCenter(hw.V100, 4, 300*hw.GB)
+	p := prof(t, model.GPT8B)
+	resC, err := Run(commodity, Config{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDC, err := Run(dc, Config{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDC.StepTime >= resC.StepTime {
+		t.Errorf("DC (%g) must beat commodity (%g) for DeepSpeed", resDC.StepTime, resC.StepTime)
+	}
+}
+
+func TestZeroDeterministic(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 1, 3)
+	p := prof(t, model.GPT8B)
+	a, _ := Run(topo, Config{Profile: p})
+	b, _ := Run(topo, Config{Profile: p})
+	if a.StepTime != b.StepTime {
+		t.Fatalf("non-deterministic: %g vs %g", a.StepTime, b.StepTime)
+	}
+}
+
+func TestZeroRequiresProfile(t *testing.T) {
+	if _, err := Run(hw.Commodity(hw.RTX3090Ti, 2), Config{}); err == nil {
+		t.Fatal("missing profile must error")
+	}
+}
+
+func TestZeROOffloadBoundedBySingleGPU(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	// 8B fp16 params (~17 GB) fit on a 24 GB GPU; 15B (~26 GB) do not.
+	small, err := RunOffload(topo, Config{Profile: prof(t, model.GPT8B)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.OOM {
+		t.Fatal("ZeRO-Offload must train 8B")
+	}
+	if small.StepTime <= 0 {
+		t.Fatal("bad step time")
+	}
+	big, err := RunOffload(topo, Config{Profile: prof(t, model.GPT15B)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !big.OOM {
+		t.Fatal("ZeRO-Offload must OOM on 15B (replicated parameters)")
+	}
+}
+
+func TestZeROOffloadLighterCommsThanZeRO3(t *testing.T) {
+	// With parameters resident, ZeRO-Offload moves much less data than
+	// ZeRO-3 hetero (no per-layer parameter gathers).
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	p := prof(t, model.GPT8B)
+	off, err := RunOffload(topo, Config{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z3, err := Run(topo, Config{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.TotalTraffic() >= z3.TotalTraffic() {
+		t.Errorf("offload traffic %.1f GB must be below ZeRO-3 %.1f GB",
+			off.TotalTraffic()/1e9, z3.TotalTraffic()/1e9)
+	}
+}
+
+func TestZeROInfinityNVMeSlower(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2).WithSSD(hw.CommoditySSDBW, hw.CommoditySSDBytes)
+	p := prof(t, model.GPT8B)
+	nvme, err := RunInfinityNVMe(topo, Config{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := Run(topo, Config{Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nvme.StepTime <= dram.StepTime {
+		t.Errorf("NVMe offload (%.2f) must be slower than DRAM offload (%.2f)", nvme.StepTime, dram.StepTime)
+	}
+}
+
+func TestZeROInfinityNVMeRequiresSSD(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	if _, err := RunInfinityNVMe(topo, Config{Profile: prof(t, model.GPT8B)}); err == nil {
+		t.Fatal("missing SSD tier must error")
+	}
+}

@@ -1,0 +1,36 @@
+package mobius
+
+import "testing"
+
+func TestFacadeQuickstart(t *testing.T) {
+	topo := Commodity(RTX3090Ti, 2, 2)
+	report, err := Run(SystemMobius, Options{Model: GPT8B, Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OOM || report.StepTime <= 0 {
+		t.Fatalf("unexpected report: %+v", report)
+	}
+	if report.Plan == nil || report.Plan.Partition.NumStages() == 0 {
+		t.Fatal("missing plan")
+	}
+}
+
+func TestFacadeConstantsConsistent(t *testing.T) {
+	if len(Table3()) != 4 || len(Systems()) != 4 {
+		t.Fatal("preset lists wrong")
+	}
+	if RTX3090Ti.MemBytes != 24*GB {
+		t.Fatal("3090-Ti memory")
+	}
+	dc := DataCenter(V100, 4, 300*GB)
+	if !dc.HasP2P() {
+		t.Fatal("DC preset must support P2P")
+	}
+	if HourlyPrice(dc) <= HourlyPrice(Commodity(RTX3090Ti, 4)) {
+		t.Fatal("price ordering")
+	}
+	if PricePerStep(dc, 0) != 0 {
+		t.Fatal("zero step costs zero")
+	}
+}
