@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate: everything must compile, vet clean, and pass
+# the test suite under the race detector (the planning pipeline is
+# concurrent, so plain `go test` alone is not enough).
+check: build vet race
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/

@@ -24,6 +24,7 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	svgDir := flag.String("svg", "", "also render figure SVGs into this directory")
 	format := flag.String("format", "text", "output format: text or md")
+	parallel := flag.Int("parallel", 0, "worker goroutines prewarming the evaluation grid (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	all := experiments.All()
@@ -54,6 +55,12 @@ func main() {
 		ids = experiments.Order()
 	} else {
 		ids = strings.Split(*exp, ",")
+	}
+
+	// Fill the run cache concurrently; tables below assemble serially
+	// from it, so the output is byte-identical to a cold serial run.
+	if *parallel != 1 {
+		experiments.Prewarm(*parallel)
 	}
 
 	for _, id := range ids {

@@ -77,6 +77,10 @@ type Options struct {
 	MIP partition.MIPOptions
 	// ProfileOptions control layer profiling.
 	ProfileOptions profile.Options
+	// Parallelism bounds the worker goroutines of the planning pipeline —
+	// the MIP stage-count sweep and the cross-mapping search (0 means
+	// GOMAXPROCS, 1 means serial). Plans are identical at every level.
+	Parallelism int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -147,7 +151,11 @@ func PlanMobius(opts Options) (*Plan, error) {
 	plan := &Plan{Profile: prof}
 	switch opts.PartitionAlgo {
 	case partition.AlgoMIP:
-		part, stats, err := partition.MIP(params, opts.MIP)
+		mipOpts := opts.MIP
+		if mipOpts.Parallelism == 0 {
+			mipOpts.Parallelism = opts.Parallelism
+		}
+		part, stats, err := partition.MIP(params, mipOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +176,7 @@ func PlanMobius(opts Options) (*Plan, error) {
 	start := time.Now()
 	switch opts.MappingScheme {
 	case mapping.SchemeCross:
-		plan.Mapping, err = mapping.Cross(opts.Topology, plan.Partition.NumStages())
+		plan.Mapping, err = mapping.CrossN(opts.Topology, plan.Partition.NumStages(), opts.Parallelism)
 	case mapping.SchemeSequential:
 		plan.Mapping, err = mapping.Sequential(opts.Topology, plan.Partition.NumStages())
 	default:

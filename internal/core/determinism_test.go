@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mobius/internal/model"
+	"mobius/internal/partition"
+)
+
+// TestPlanDeterministicAcrossParallelism verifies the tentpole invariant
+// of the parallel planning pipeline: the plan — down to its serialized
+// bytes — is identical whether the MIP sweep and cross-mapping search
+// run serially or across 8 workers. The MIP cache is disabled so the
+// parallel run cannot trivially reuse the serial run's result; the only
+// field excluded is the wall-clock SolveTime, which no scheduler can
+// make reproducible.
+func TestPlanDeterministicAcrossParallelism(t *testing.T) {
+	for _, m := range []model.Config{model.GPT8B, model.GPT15B} {
+		baseline := map[int][]byte{}
+		for _, par := range []int{1, 8} {
+			opts := Options{
+				Model:       m,
+				Topology:    topo22(),
+				MIP:         partition.MIPOptions{DisableCache: true, MaxStages: 12},
+				Parallelism: par,
+			}
+			plan, err := PlanMobius(opts)
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", m.Name, par, err)
+			}
+			plan.MIPStats.SolveTime = 0 // wall-clock, never reproducible
+			data, err := MarshalPlan(plan, opts)
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", m.Name, par, err)
+			}
+			baseline[par] = data
+		}
+		if !bytes.Equal(baseline[1], baseline[8]) {
+			t.Errorf("%s: serialized plan differs between parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				m.Name, baseline[1], baseline[8])
+		}
+	}
+}
+
+// TestRunDeterministicAcrossParallelism checks that the simulated step
+// time downstream of the plan is bit-identical at both parallelism
+// levels too: an undetected plan divergence would surface here even if
+// serialization masked it.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	times := map[int]float64{}
+	for _, par := range []int{1, 8} {
+		r, err := Run(SystemMobius, Options{
+			Model:       model.GPT15B,
+			Topology:    topo22(),
+			MIP:         partition.MIPOptions{DisableCache: true, MaxStages: 8},
+			Parallelism: par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		times[par] = r.StepTime
+	}
+	if times[1] != times[8] {
+		t.Errorf("step time differs: serial %v vs parallel %v", times[1], times[8])
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"mobius/internal/core"
@@ -72,6 +73,53 @@ func mustRun(sys core.System, opts core.Options) *core.StepReport {
 		panic(fmt.Sprintf("experiments: %s on %s/%s: %v", sys, opts.Model.Name, opts.Topology.Name, err))
 	}
 	return r
+}
+
+// Prewarm fills the memoized run cache for the main evaluation grid —
+// every (system, model, topology) cell behind Figures 2 and 5-8 —
+// using a bounded worker pool. parallelism caps the concurrent
+// simulations (0 means GOMAXPROCS). The figure tables are still
+// assembled serially from the cache afterwards, so their output (and
+// the order any failure surfaces in) is identical with or without a
+// prewarm; errors are deliberately dropped here because mustRun
+// re-executes the failing cell during assembly.
+func Prewarm(parallelism int) {
+	type cell struct {
+		sys  core.System
+		opts core.Options
+	}
+	var cells []cell
+	for _, m := range model.Table3() {
+		for _, topo := range commodityTopologies() {
+			for _, sys := range core.Systems() {
+				cells = append(cells, cell{sys, core.Options{Model: m, Topology: topo}})
+			}
+		}
+	}
+
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	work := make(chan cell)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				run(c.sys, c.opts) //nolint:errcheck // see doc comment
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
 }
 
 // Figure2 reproduces the motivation plot: the GPU communication

@@ -7,6 +7,7 @@ import (
 	"mobius/internal/core"
 	"mobius/internal/hw"
 	"mobius/internal/model"
+	"mobius/internal/partition"
 	"mobius/internal/trace"
 )
 
@@ -266,5 +267,45 @@ func TestMarkdownRendering(t *testing.T) {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q:\n%s", want, md)
 		}
+	}
+}
+
+// TestFigure5GridDeterministicAcrossParallelism re-runs the Mobius cells
+// of the Figure 5 grid with planning parallelism 1 and 8 (MIP cache off,
+// so the parallel run cannot reuse the serial solve) and requires
+// bit-identical step times. This is the grid-level form of the
+// plan-determinism invariant: concurrency must never change a result.
+func TestFigure5GridDeterministicAcrossParallelism(t *testing.T) {
+	mip := partition.MIPOptions{DisableCache: true, MaxStages: 8}
+	for _, m := range []model.Config{model.GPT8B, model.GPT15B} {
+		for _, topo := range commodityTopologies() {
+			times := map[int]float64{}
+			for _, par := range []int{1, 8} {
+				r, err := core.Run(core.SystemMobius, core.Options{
+					Model: m, Topology: topo, MIP: mip, Parallelism: par,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s parallelism %d: %v", m.Name, topo.Name, par, err)
+				}
+				times[par] = r.StepTime
+			}
+			if times[1] != times[8] {
+				t.Errorf("%s/%s: step time %v serial vs %v parallel",
+					m.Name, topo.Name, times[1], times[8])
+			}
+		}
+	}
+}
+
+// TestPrewarmMatchesSerialAssembly checks that a concurrent Prewarm
+// followed by serial table assembly renders the same Figure 5 table as
+// assembly alone: the prewarm only fills the memoized cache, it must
+// never change what the figures report.
+func TestPrewarmMatchesSerialAssembly(t *testing.T) {
+	before := Figure5().String()
+	Prewarm(8)
+	after := Figure5().String()
+	if before != after {
+		t.Errorf("Figure 5 changed after Prewarm:\n--- before ---\n%s\n--- after ---\n%s", before, after)
 	}
 }

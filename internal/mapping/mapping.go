@@ -17,6 +17,8 @@ package mapping
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"mobius/internal/hw"
 )
@@ -97,34 +99,167 @@ func Sequential(topo *hw.Topology, numStages int) (*Mapping, error) {
 	}, nil
 }
 
-// Cross searches every GPU permutation and returns the one with minimal
-// contention degree. Ties keep the first minimum in enumeration order,
-// starting from the identity, so the result is deterministic.
+// Cross returns the permutation with minimal contention degree, searching
+// with all available cores. Ties keep the first minimum in enumeration
+// order, starting from the identity, so the result is deterministic.
 func Cross(topo *hw.Topology, numStages int) (*Mapping, error) {
+	return CrossN(topo, numStages, 0)
+}
+
+// CrossN is Cross with an explicit parallelism bound: the number of
+// goroutines exploring top-level search branches (0 means GOMAXPROCS).
+// The result is identical for every parallelism level.
+//
+// The search is an incremental branch and bound over partial permutations
+// rather than a brute-force scan of all N! orders: filling position k adds
+// only the contention of stage pairs whose positions are both decided, and
+// since every pair contributes a nonnegative term, the accumulated prefix
+// contention is a lower bound on every completion of the prefix. A branch
+// whose prefix cost cannot beat the best known score (within the float
+// tie tolerance) is pruned whole.
+//
+// The N top-level branches (the choice of GPU for position 0, in the same
+// swap order as the brute-force enumeration) are explored by a worker
+// pool. Each branch runs independently and reports the best permutation
+// of its subtree; the results are then merged in branch order with the
+// same first-strict-improvement rule the serial scan applies, which keeps
+// the deterministic first-minimum tie-break independent of goroutine
+// scheduling.
+func CrossN(topo *hw.Topology, numStages, parallelism int) (*Mapping, error) {
 	if err := checkArgs(topo, numStages); err != nil {
 		return nil, err
 	}
 	n := topo.NumGPUs()
-	best := make([]int, n)
-	for i := range best {
-		best[i] = i
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
 	}
-	bestScore := ContentionDegree(topo, best, numStages)
+	identityScore := ContentionDegree(topo, identity, numStages)
 
-	perm := append([]int(nil), best...)
-	permute(perm, 0, func(p []int) {
-		score := ContentionDegree(topo, p, numStages)
-		if score < bestScore-1e-12 {
-			bestScore = score
-			copy(best, p)
+	w := pairWeights(n, numStages)
+	rcOf := make([]int, n)
+	szOf := make([]float64, n)
+	for g := 0; g < n; g++ {
+		rcOf[g] = topo.GPUs[g].RootComplex
+		szOf[g] = float64(topo.GroupSize(g))
+	}
+
+	results := make([]branchResult, n)
+
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	branches := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range branches {
+				results[k] = exploreBranch(identity, k, identityScore, w, rcOf, szOf)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		branches <- k
+	}
+	close(branches)
+	wg.Wait()
+
+	// Merge in branch order with the serial acceptance rule.
+	best := identity
+	bestScore := identityScore
+	for k := 0; k < n; k++ {
+		if results[k].found && results[k].score < bestScore-1e-12 {
+			bestScore = results[k].score
+			best = results[k].perm
 		}
-	})
+	}
 	return &Mapping{
 		Perm:       best,
 		NumStages:  numStages,
 		Scheme:     SchemeCross,
 		Contention: bestScore,
 	}, nil
+}
+
+// branchResult is the best permutation found in one top-level subtree.
+type branchResult struct {
+	found bool
+	score float64
+	perm  []int
+}
+
+// exploreBranch runs the branch-and-bound DFS over the subtree rooted at
+// the top-level swap of positions 0 and k, seeded with the identity score
+// so the exploration is independent of every other branch.
+func exploreBranch(identity []int, k int, seedScore float64, w [][]float64, rcOf []int, szOf []float64) (res branchResult) {
+	n := len(identity)
+	p := append([]int(nil), identity...)
+	p[0], p[k] = p[k], p[0]
+	res.score = seedScore
+	res.perm = make([]int, n)
+
+	var dfs func(i int, cost float64)
+	dfs = func(i int, cost float64) {
+		if cost >= res.score-1e-12 {
+			return // lower bound cannot beat the incumbent
+		}
+		if i == n {
+			res.found = true
+			res.score = cost
+			copy(res.perm, p)
+			return
+		}
+		for j := i; j < n; j++ {
+			p[i], p[j] = p[j], p[i]
+			dfs(i+1, cost+placementCost(p, i, w, rcOf, szOf))
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	dfs(1, placementCost(p, 0, w, rcOf, szOf))
+	return res
+}
+
+// placementCost returns the contention added by deciding position i of
+// the permutation: the Eq. 13 terms of all stage pairs whose two
+// positions are now both fixed (including same-position pairs, i.e.
+// stages N apart on one GPU).
+func placementCost(p []int, i int, w [][]float64, rcOf []int, szOf []float64) float64 {
+	g := p[i]
+	var c float64
+	for a := 0; a <= i; a++ {
+		if rcOf[p[a]] == rcOf[g] {
+			c += szOf[g] * w[a][i]
+		}
+	}
+	return c
+}
+
+// pairWeights precomputes, for every unordered pair of permutation
+// positions (a, b), the sum of 1/|i-j| over the stage pairs i < j with
+// {i mod N, j mod N} == {a, b}. Contention for a concrete GPU assignment
+// is then shared(ga, gb) * w[a][b], with shared constant per root-complex
+// group.
+func pairWeights(n, numStages int) [][]float64 {
+	w := make([][]float64, n)
+	for a := range w {
+		w[a] = make([]float64, n)
+	}
+	for i := 0; i < numStages; i++ {
+		for j := i + 1; j < numStages; j++ {
+			a, b := i%n, j%n
+			if a > b {
+				a, b = b, a
+			}
+			w[a][b] += 1 / float64(j-i)
+		}
+	}
+	return w
 }
 
 func checkArgs(topo *hw.Topology, numStages int) error {
@@ -135,18 +270,4 @@ func checkArgs(topo *hw.Topology, numStages int) error {
 		return fmt.Errorf("mapping: numStages must be positive, got %d", numStages)
 	}
 	return nil
-}
-
-// permute enumerates all permutations of p by recursive swapping and
-// calls visit for each. The enumeration order is deterministic.
-func permute(p []int, i int, visit func([]int)) {
-	if i == len(p) {
-		visit(p)
-		return
-	}
-	for k := i; k < len(p); k++ {
-		p[i], p[k] = p[k], p[i]
-		permute(p, i+1, visit)
-		p[i], p[k] = p[k], p[i]
-	}
 }

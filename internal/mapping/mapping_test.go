@@ -213,3 +213,41 @@ func TestCrossMappingEightGPUScale(t *testing.T) {
 		seen[g] = true
 	}
 }
+
+// TestCrossNDeterministicAcrossParallelism checks that the branch-order
+// merge makes the search result independent of the worker count,
+// including the first-minimum tie-break.
+func TestCrossNDeterministicAcrossParallelism(t *testing.T) {
+	cases := []struct {
+		topo   *hw.Topology
+		stages int
+	}{
+		{hw.Commodity(hw.RTX3090Ti, 2, 2), 8},
+		{hw.Commodity(hw.RTX3090Ti, 1, 3), 12},
+		{hw.Commodity(hw.RTX3090Ti, 4, 4), 16},
+		{hw.Commodity(hw.RTX3090Ti, 2, 3, 3), 24},
+	}
+	for _, c := range cases {
+		serial, err := CrossN(c.topo, c.stages, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.topo.Name, err)
+		}
+		for _, par := range []int{2, 8} {
+			got, err := CrossN(c.topo, c.stages, par)
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", c.topo.Name, par, err)
+			}
+			if got.Contention != serial.Contention {
+				t.Errorf("%s: contention %v at parallelism %d vs %v serial",
+					c.topo.Name, got.Contention, par, serial.Contention)
+			}
+			for i := range serial.Perm {
+				if got.Perm[i] != serial.Perm[i] {
+					t.Errorf("%s: perm %v at parallelism %d vs %v serial",
+						c.topo.Name, got.Perm, par, serial.Perm)
+					break
+				}
+			}
+		}
+	}
+}

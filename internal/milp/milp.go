@@ -21,12 +21,23 @@ type Options struct {
 	TimeLimit time.Duration
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
-	// Incumbent, when finite, seeds the upper bound with a known feasible
-	// objective so the search can prune immediately.
+	// Incumbent seeds the upper bound with a known feasible objective so
+	// the search can prune immediately. The zero value of Options means
+	// "no incumbent"; to seed a legitimate zero-valued bound, set
+	// IncumbentSet (an unset incumbent can also be spelled NaN).
 	Incumbent float64
+	// IncumbentSet marks Incumbent as meaningful even when it is zero.
+	// Any nonzero finite Incumbent is treated as set for compatibility.
+	IncumbentSet bool
 	// GapTol is the relative optimality gap: nodes whose LP bound is
 	// within GapTol of the incumbent are pruned. Zero means exact.
 	GapTol float64
+	// Cancel, when non-nil, is polled between branch-and-bound nodes;
+	// returning true abandons the search early (the result is then
+	// best-effort, as if a node or time limit had been hit). It lets a
+	// caller running several solves concurrently stop work whose outcome
+	// it already knows it will discard.
+	Cancel func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -39,7 +50,7 @@ func (o Options) withDefaults() Options {
 	if o.IntTol <= 0 {
 		o.IntTol = 1e-6
 	}
-	if o.Incumbent == 0 {
+	if math.IsNaN(o.Incumbent) || (o.Incumbent == 0 && !o.IncumbentSet) {
 		o.Incumbent = math.Inf(1)
 	}
 	return o
@@ -184,6 +195,10 @@ func Solve(p *lp.Problem, intVars []int, opts Options) (*Result, error) {
 	exhausted := true
 	for open.Len() > 0 {
 		if res.Nodes >= opts.MaxNodes || time.Now().After(deadline) {
+			exhausted = false
+			break
+		}
+		if opts.Cancel != nil && opts.Cancel() {
 			exhausted = false
 			break
 		}

@@ -105,6 +105,52 @@ func TestIncumbentSeedPrunes(t *testing.T) {
 	}
 }
 
+func TestZeroIncumbentIsHonored(t *testing.T) {
+	// min x+y s.t. x+y >= 0, integer. The optimum is 0, and an incumbent
+	// of exactly 0 is a legitimate known bound: the search must prune
+	// everything (nothing beats 0) instead of discarding the seed as
+	// "unset" and re-discovering the optimum.
+	build := func() *lp.Problem {
+		p := lp.NewProblem(2)
+		p.SetObjectiveCoeff(0, 1)
+		p.SetObjectiveCoeff(1, 1)
+		p.SetBounds(0, 0, 4)
+		p.SetBounds(1, 0, 4)
+		p.AddConstraint([]lp.Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, lp.GE, 0)
+		return p
+	}
+
+	seeded, err := Solve(build(), []int{0, 1}, Options{Incumbent: 0, IncumbentSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Status == lp.Optimal && seeded.Objective < -1e-9 {
+		t.Fatalf("found objective %g below the seeded bound 0", seeded.Objective)
+	}
+	if seeded.Status == lp.Optimal && seeded.Objective > 1e-9 {
+		t.Fatalf("seeded solve returned objective %g worse than the incumbent", seeded.Objective)
+	}
+
+	// NaN spells "unset" explicitly.
+	nan, err := Solve(build(), []int{0, 1}, Options{Incumbent: math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nan.Status != lp.Optimal || math.Abs(nan.Objective) > 1e-9 {
+		t.Fatalf("NaN incumbent must behave as unset: status=%v obj=%g", nan.Status, nan.Objective)
+	}
+
+	// The zero value of Options still means "no incumbent": the solve must
+	// find the optimum normally.
+	unset, err := Solve(build(), []int{0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unset.Status != lp.Optimal || math.Abs(unset.Objective) > 1e-9 {
+		t.Fatalf("unset incumbent: status=%v obj=%g want optimal 0", unset.Status, unset.Objective)
+	}
+}
+
 func TestNodeLimitReturnsIncumbent(t *testing.T) {
 	// A knapsack-ish problem with enough integer vars to need nodes; with
 	// MaxNodes 1 the rounding heuristic should still deliver something.

@@ -1,0 +1,31 @@
+package partition
+
+import (
+	"testing"
+
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/profile"
+)
+
+// BenchmarkMIPPartitionSweep measures an uncached sweep of MILP partition
+// solves over candidate stage counts for the 8B model on 4 GPUs.
+func BenchmarkMIPPartitionSweep(b *testing.B) {
+	prof, err := profile.Run(model.GPT8B, hw.RTX3090Ti, profile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := Params{
+		Profile:   prof,
+		NumGPUs:   4,
+		GPUMem:    hw.RTX3090Ti.MemBytes * 0.92,
+		Bandwidth: 13.1e9,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MIP(params, MIPOptions{DisableCache: true, MaxStages: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

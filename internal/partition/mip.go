@@ -3,9 +3,10 @@ package partition
 import (
 	"fmt"
 	"math"
-	"time"
-
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mobius/internal/lp"
 	"mobius/internal/milp"
@@ -24,6 +25,12 @@ type MIPOptions struct {
 	// NodeLimit and TimeLimit bound each MILP solve.
 	NodeLimit int
 	TimeLimit time.Duration
+	// Parallelism is the number of candidate stage counts solved
+	// concurrently (0 means GOMAXPROCS, 1 means serial). The sweep result
+	// is identical at every level: candidate solves are independent, the
+	// shared incumbent bound is sealed before the fan-out, and results are
+	// replayed in candidate order.
+	Parallelism int
 	// DisableCache forces a fresh solve. MIP results are otherwise
 	// memoized per (model, GPU, N, M, G, B, options) for the lifetime of
 	// the process, since the same planning problem recurs across
@@ -65,7 +72,8 @@ type MIPStats struct {
 	TriedStageCounts []int
 	// Nodes is the total branch-and-bound node count across candidates.
 	Nodes int
-	// SolveTime is the wall-clock time spent in the MILP solver.
+	// SolveTime is the cumulative time spent in the MILP solver, summed
+	// over candidate solves (equals wall-clock when Parallelism is 1).
 	SolveTime time.Duration
 	// BestStageCount is the S of the returned partition.
 	BestStageCount int
@@ -137,6 +145,10 @@ func MIP(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 		return nil, nil, err
 	}
 	if !opts.DisableCache {
+		// Parallelism does not change the result, so it is stripped from
+		// the cache key: runs at different worker counts share entries.
+		kopts := opts
+		kopts.Parallelism = 0
 		key := mipKey{
 			model:     params.Profile.Model,
 			gpu:       params.Profile.GPU.Name,
@@ -145,7 +157,7 @@ func MIP(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 			mem:       params.GPUMem,
 			bandwidth: params.Bandwidth,
 			latency:   params.Latency,
-			opts:      opts,
+			opts:      kopts,
 		}
 		mipCacheMu.Lock()
 		if e, ok := mipCache[key]; ok {
@@ -183,6 +195,27 @@ var (
 	mipCache   = map[mipKey]mipCacheEntry{}
 )
 
+// atomicBound is a lock-free monotonically decreasing float64, used to
+// share the best known incumbent objective across concurrent solves.
+type atomicBound struct{ bits atomic.Uint64 }
+
+func (b *atomicBound) store(v float64) { b.bits.Store(math.Float64bits(v)) }
+
+func (b *atomicBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// min lowers the bound to v if v is smaller.
+func (b *atomicBound) min(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 	bs, err := gatherBlockStats(params)
 	if err != nil {
@@ -209,24 +242,107 @@ func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 	}
 
 	maxB := maxLayersPerStage(params)
-	sinceImprove := 0
+	var cands []int
 	for s := params.NumGPUs; s <= opts.MaxStages; s += params.NumGPUs {
 		if s*maxB < bs.blocks {
 			continue // cannot fit the model into s stages
 		}
-		start := time.Now()
-		part, nodes, err := solveOne(params, bs, s, opts)
-		stats.SolveTime += time.Since(start)
-		stats.Nodes += nodes
-		stats.TriedStageCounts = append(stats.TriedStageCounts, s)
-		if err != nil {
-			return nil, nil, err
+		cands = append(cands, s)
+	}
+
+	// Balanced-heuristic incumbent seeds for every candidate, computed
+	// before the fan-out. The shared bound is sealed at the minimum over
+	// all seeds: every solve prunes against the same value no matter when
+	// it starts, so the sweep result is identical at every parallelism
+	// level (mid-flight tightening would make pruning timing-dependent).
+	type seeded struct {
+		balanced *Partition
+		inc      float64
+	}
+	seeds := make([]seeded, len(cands))
+	var bound atomicBound
+	bound.store(math.Inf(1))
+	for i, s := range cands {
+		balanced, balErr := Balanced(params, s)
+		if balErr != nil {
+			seeds[i].inc = math.Inf(1)
+			continue
 		}
-		if part == nil {
+		seeds[i] = seeded{balanced: balanced, inc: math.Inf(1)}
+		if t, err := StepTime(params, balanced); err == nil && !math.IsInf(t, 1) {
+			// Seed with slack: the analytic evaluator and the LP agree on
+			// the model, but the seed must never over-prune the optimum.
+			seeds[i].inc = (t - bs.tbEmb) * 1.001
+			bound.min(seeds[i].inc)
+		}
+	}
+
+	type solveRes struct {
+		part  *Partition
+		nodes int
+		dur   time.Duration
+		err   error
+	}
+	results := make([]chan solveRes, len(cands))
+	for i := range results {
+		results[i] = make(chan solveRes, 1)
+	}
+
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(cands) {
+		par = len(cands)
+	}
+	if par < 1 {
+		par = 1
+	}
+
+	var cancelled atomic.Bool
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		go func() {
+			for i := range work {
+				if cancelled.Load() {
+					results[i] <- solveRes{} // discarded by the replay
+					continue
+				}
+				start := time.Now()
+				inc := math.Min(seeds[i].inc, bound.load())
+				part, nodes, err := solveOne(params, bs, cands[i], opts, inc, seeds[i].balanced, &cancelled)
+				results[i] <- solveRes{part: part, nodes: nodes, dur: time.Since(start), err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range cands {
+			work <- i
+		}
+		close(work)
+	}()
+
+	// Replay completed solves in candidate order, applying the serial
+	// patience rule, so both the chosen partition and the reported stats
+	// are independent of completion timing. Once the sweep outcome is
+	// sealed, in-flight and unstarted solves are cancelled; their results
+	// would be discarded anyway.
+	sinceImprove := 0
+	for i := range cands {
+		r := <-results[i]
+		if r.err != nil {
+			cancelled.Store(true)
+			return nil, nil, r.err
+		}
+		stats.SolveTime += r.dur
+		stats.Nodes += r.nodes
+		stats.TriedStageCounts = append(stats.TriedStageCounts, cands[i])
+		if r.part == nil {
 			continue // infeasible for this S
 		}
 		before := stats.StepTime
-		if err := consider(part, s, true); err != nil {
+		if err := consider(r.part, cands[i], true); err != nil {
+			cancelled.Store(true)
 			return nil, nil, err
 		}
 		if stats.StepTime < before {
@@ -234,6 +350,7 @@ func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 		} else {
 			sinceImprove++
 			if sinceImprove >= opts.Patience {
+				cancelled.Store(true)
 				break
 			}
 		}
@@ -255,8 +372,12 @@ func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 }
 
 // solveOne formulates and solves the MILP for a fixed stage count S.
-// It returns a nil partition when the instance is infeasible.
-func solveOne(params Params, bs *blockStats, S int, opts MIPOptions) (*Partition, int, error) {
+// It returns a nil partition when the instance is infeasible. The
+// incumbent objective (already in the MILP's objective space) and the
+// balanced-heuristic fallback partition are computed by the caller so
+// they can be shared across concurrent solves; cancelled is polled by
+// the solver to abandon work whose result the sweep will discard.
+func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent float64, balanced *Partition, cancelled *atomic.Bool) (*Partition, int, error) {
 	N := params.NumGPUs
 	M := params.Microbatches
 	G := params.GPUMem * 1e-9    // GB
@@ -433,19 +554,17 @@ func solveOne(params Params, bs *blockStats, S int, opts MIPOptions) (*Partition
 	p.SetObjectiveCoeff(tbAt(0, M-1), 1)
 	p.SetObjectiveCoeff(nVarAt(0), bs.tbBlk)
 
-	// Incumbent from the balanced heuristic.
 	intVars := make([]int, S)
 	for j := 0; j < S; j++ {
 		intVars[j] = j
 	}
 	mopts := milp.Options{MaxNodes: opts.NodeLimit, TimeLimit: opts.TimeLimit, GapTol: mipGapTol}
-	balanced, balErr := Balanced(params, S)
-	if balErr == nil {
-		if t, err := StepTime(params, balanced); err == nil && !math.IsInf(t, 1) {
-			// Seed with slack: the analytic evaluator and the LP agree on
-			// the model, but the seed must never over-prune the optimum.
-			mopts.Incumbent = (t - cB[0]) * 1.001
-		}
+	if !math.IsInf(incumbent, 1) {
+		mopts.Incumbent = incumbent
+		mopts.IncumbentSet = true
+	}
+	if cancelled != nil {
+		mopts.Cancel = cancelled.Load
 	}
 
 	res, err := milp.Solve(p, intVars, mopts)
@@ -455,7 +574,7 @@ func solveOne(params Params, bs *blockStats, S int, opts MIPOptions) (*Partition
 	if res.Status != lp.Optimal {
 		// Limits hit with no MILP incumbent: fall back to the balanced
 		// heuristic so the sweep still has a candidate for this S.
-		if balErr == nil {
+		if balanced != nil {
 			return balanced, res.Nodes, nil
 		}
 		return nil, res.Nodes, nil

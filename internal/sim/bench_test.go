@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// benchFlowSim builds a simulator with a contended flow set resembling a
+// Mobius step: nFlows transfers spread over shared root complexes and
+// per-GPU links, in several priority classes.
+func benchFlowSim(nFlows int) *Sim {
+	s := New()
+	rc := []*Resource{
+		s.NewResource("rc0", 13.1e9),
+		s.NewResource("rc1", 13.1e9),
+	}
+	links := make([]*Resource, 8)
+	for i := range links {
+		links[i] = s.NewResource("link", 26.2e9)
+	}
+	for f := 0; f < nFlows; f++ {
+		path := Path(links[f%len(links)], rc[f%len(rc)])
+		t := s.Transfer("t", nil, path, float64(1+f)*1e8, f%4)
+		s.beginFlow(t)
+	}
+	return s
+}
+
+// BenchmarkSimRecomputeRates measures one full max-min fair rate
+// recomputation over a contended 64-flow set — the per-event hot path of
+// the discrete-event simulator.
+func BenchmarkSimRecomputeRates(b *testing.B) {
+	s := benchFlowSim(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ratesDirty = true
+		s.recomputeRates()
+	}
+}

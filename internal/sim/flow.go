@@ -1,7 +1,5 @@
 package sim
 
-import "sort"
-
 // flow is an in-flight transfer task: remaining payload bytes plus the
 // rate currently assigned by the fair-sharing computation.
 type flow struct {
@@ -25,6 +23,12 @@ const infiniteRate = 1e30
 // A flow with PathElem weight w consumes w bytes of resource capacity per
 // payload byte, which models staged transfers that cross a root complex
 // twice.
+//
+// The computation is allocation-free in steady state: it reuses the
+// scratch slices on Sim and the scratch fields on Resource (epoch-marked
+// residual/demand, the per-round binding flag) instead of building maps
+// per event, and relies on s.flows being kept id-ordered on insert (see
+// beginFlow) so no per-call sort is needed.
 func (s *Sim) recomputeRates() {
 	if !s.ratesDirty {
 		return
@@ -35,41 +39,63 @@ func (s *Sim) recomputeRates() {
 	}
 
 	// Reset residual capacity on every resource touched by an active flow.
-	seen := s.scratchRes
-	clear(seen)
+	// The epoch mark replaces a per-call "seen" set.
+	s.rateEpoch++
 	for _, f := range s.flows {
 		for _, pe := range f.task.path {
-			if _, ok := seen[pe.Res]; !ok {
-				seen[pe.Res] = struct{}{}
+			if pe.Res.mark != s.rateEpoch {
+				pe.Res.mark = s.rateEpoch
 				pe.Res.residual = pe.Res.capacity
 				pe.Res.demand = 0
 			}
 		}
 	}
 
-	// Group flows by priority, descending; higher classes fill first.
-	byPrio := map[int][]*flow{}
-	var prios []int
+	// Collect the distinct priorities, descending; higher classes fill
+	// first. The class count is tiny, so a linear dedup + insertion sort
+	// beats building a map.
+	prios := s.prioScratch[:0]
 	for _, f := range s.flows {
 		p := f.task.priority
-		if _, ok := byPrio[p]; !ok {
+		known := false
+		for _, q := range prios {
+			if q == p {
+				known = true
+				break
+			}
+		}
+		if !known {
 			prios = append(prios, p)
 		}
-		byPrio[p] = append(byPrio[p], f)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+	for i := 1; i < len(prios); i++ {
+		for j := i; j > 0 && prios[j] > prios[j-1]; j-- {
+			prios[j], prios[j-1] = prios[j-1], prios[j]
+		}
+	}
+	s.prioScratch = prios
 
 	for _, p := range prios {
-		class := byPrio[p]
-		sort.Slice(class, func(i, j int) bool { return class[i].task.id < class[j].task.id })
-		waterFill(class)
+		// s.flows is id-ordered, so the class inherits id order.
+		class := s.classScratch[:0]
+		for _, f := range s.flows {
+			if f.task.priority == p {
+				class = append(class, f)
+			}
+		}
+		s.classScratch = class
+		s.waterFill(class)
 	}
 }
 
 // waterFill performs one max-min fair allocation round for a single
 // priority class, consuming the resources' residual capacities.
-func waterFill(class []*flow) {
-	fixed := make([]bool, len(class))
+func (s *Sim) waterFill(class []*flow) {
+	fixed := s.fixedScratch[:0]
+	for range class {
+		fixed = append(fixed, false)
+	}
+	s.fixedScratch = fixed
 	unfixed := len(class)
 
 	for unfixed > 0 {
@@ -110,12 +136,11 @@ func waterFill(class []*flow) {
 					unfixed--
 				}
 			}
-			clearDemand(class)
+			clearRoundScratch(class)
 			return
 		}
 
 		// Mark binding resources before any subtraction mutates residuals.
-		bindingRes := map[*Resource]bool{}
 		for i, f := range class {
 			if fixed[i] {
 				continue
@@ -125,7 +150,7 @@ func waterFill(class []*flow) {
 					continue
 				}
 				if pe.Res.residual/pe.Res.demand <= minShare*(1+1e-12) {
-					bindingRes[pe.Res] = true
+					pe.Res.binding = true
 				}
 			}
 		}
@@ -138,7 +163,7 @@ func waterFill(class []*flow) {
 			}
 			binding := false
 			for _, pe := range f.task.path {
-				if bindingRes[pe.Res] {
+				if pe.Res.binding {
 					binding = true
 					break
 				}
@@ -157,7 +182,7 @@ func waterFill(class []*flow) {
 				}
 			}
 		}
-		clearDemand(class)
+		clearRoundScratch(class)
 		if !progress {
 			// Defensive: cannot happen with positive weights, but never
 			// spin forever on pathological float input.
@@ -172,10 +197,13 @@ func waterFill(class []*flow) {
 	}
 }
 
-func clearDemand(class []*flow) {
+// clearRoundScratch resets the per-round demand accounting and binding
+// marks on every resource the class touches.
+func clearRoundScratch(class []*flow) {
 	for _, f := range class {
 		for _, pe := range f.task.path {
 			pe.Res.demand = 0
+			pe.Res.binding = false
 		}
 	}
 }

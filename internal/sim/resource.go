@@ -13,6 +13,12 @@ type Resource struct {
 	residual float64
 	// demand is scratch: sum of weights of unfixed flows on this resource.
 	demand float64
+	// mark is the rate-computation epoch that last reset this resource's
+	// scratch state; it replaces a per-call "seen" set allocation.
+	mark uint64
+	// binding is per-round scratch: the resource was the bottleneck of the
+	// current water-filling round.
+	binding bool
 	// carried accumulates the bytes that crossed the resource.
 	carried float64
 }

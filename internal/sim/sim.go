@@ -35,7 +35,13 @@ type Sim struct {
 	// worklist of tasks whose dependencies just completed.
 	ready []*Task
 
-	scratchRes map[*Resource]struct{}
+	// Rate-computation scratch, reused across events so the hot path
+	// allocates nothing in steady state (see flow.go). rateEpoch versions
+	// the per-Resource scratch fields; the slices are recycled buffers.
+	rateEpoch    uint64
+	prioScratch  []int
+	classScratch []*flow
+	fixedScratch []bool
 
 	// TransferLatency is the fixed per-transfer setup time applied to
 	// every Transfer task (DMA descriptor setup, host staging
@@ -46,7 +52,7 @@ type Sim struct {
 
 // New creates an empty simulator.
 func New() *Sim {
-	return &Sim{scratchRes: map[*Resource]struct{}{}}
+	return &Sim{}
 }
 
 // Now returns the current simulated time.
@@ -369,7 +375,21 @@ func (s *Sim) beginFlow(t *Task) {
 			f.remaining = 0
 		}
 	}
-	s.flows = append(s.flows, f)
+	// Insert keeping s.flows ordered by task id: the rate computation
+	// depends on id order within each priority class, and maintaining it
+	// here avoids a per-event sort.
+	lo, hi := 0, len(s.flows)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.flows[mid].task.id < t.id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.flows = append(s.flows, nil)
+	copy(s.flows[lo+1:], s.flows[lo:])
+	s.flows[lo] = f
 	s.ratesDirty = true
 }
 
