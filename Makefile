@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race check check-faults bench
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1 gate: everything must compile, vet clean, and pass
-# the test suite under the race detector (the planning pipeline is
-# concurrent, so plain `go test` alone is not enough).
-check: build vet race
+# check-faults is the fault-matrix smoke test: every fault class (link
+# degradation, straggler, transient retries, memory pressure), alone and
+# combined, replayed end-to-end through core.Run for Mobius and GPipe
+# under the race detector.
+check-faults:
+	$(GO) test -race -run 'TestFaultMatrix' -count=1 ./internal/fault/
+
+# check is the tier-1 gate: everything must compile, vet clean, pass the
+# test suite under the race detector (the planning pipeline is
+# concurrent, so plain `go test` alone is not enough), and survive the
+# fault matrix.
+check: build vet race check-faults
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/

@@ -35,7 +35,11 @@ func printOnce(id string) {
 		return
 	}
 	printed[id] = true
-	fmt.Println(experiments.All()[id]().String())
+	tab, err := experiments.All()[id]()
+	if err != nil {
+		panic(fmt.Sprintf("experiment %s: %v", id, err))
+	}
+	fmt.Println(tab.String())
 }
 
 // stepSim is the repeated unit of measurement for figure benchmarks: one

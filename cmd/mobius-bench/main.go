@@ -42,7 +42,12 @@ func main() {
 		}
 		for name, render := range experiments.Charts() {
 			path := *svgDir + "/" + name + ".svg"
-			if err := os.WriteFile(path, []byte(render()), 0o644); err != nil {
+			svg, err := render()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "render %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 				os.Exit(1)
 			}
@@ -71,7 +76,11 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		table := gen()
+		table, err := gen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
 		if *format == "md" {
 			fmt.Println(table.Markdown())
 		} else {

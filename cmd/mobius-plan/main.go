@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,7 @@ func main() {
 	scheme := flag.String("mapping", mapping.SchemeCross, "mapping scheme: cross, sequential")
 	mbs := flag.Int("mbs", 0, "microbatch size override (0 = Table 3 default)")
 	asJSON := flag.Bool("json", false, "emit the plan as JSON instead of text")
+	deadline := flag.Duration("deadline", 0, "planning deadline; on expiry the plan degrades to the greedy fallback (0 = none)")
 	flag.Parse()
 
 	m := parseModel(*modelName)
@@ -63,9 +65,21 @@ func main() {
 		PartitionAlgo: *algo,
 		MappingScheme: *scheme,
 	}
-	plan, err := core.PlanMobius(opts)
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	plan, err := core.PlanMobiusCtx(ctx, opts)
 	if err != nil {
 		fail("planning failed: %v", err)
+	}
+	if plan.Fallback {
+		fmt.Printf("note: deadline expired (%s); this is the greedy fallback plan\n", plan.FallbackReason)
+	}
+	if err := plan.Validate(topo); err != nil {
+		fail("plan failed validation: %v", err)
 	}
 
 	if *asJSON {

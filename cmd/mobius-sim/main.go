@@ -5,14 +5,18 @@
 //
 //	mobius-sim -model 15B -topo 2+2 -system mobius
 //	mobius-sim -model 8B -topo 4 -system ds-hetero
+//	mobius-sim -model 8B -topo 4+4 -faults degraded.json
+//	mobius-sim -model 51B -topo 4+4 -plan-deadline 1ms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"mobius/internal/core"
+	"mobius/internal/fault"
 	"mobius/internal/hw"
 	"mobius/internal/model"
 )
@@ -29,6 +33,8 @@ func main() {
 	system := flag.String("system", "mobius", "system: mobius, gpipe, ds-pipeline, ds-hetero, zero-offload, zero-nvme")
 	width := flag.Int("width", 100, "timeline width in characters")
 	csvPath := flag.String("csv", "", "write the full event trace as CSV to this path")
+	faultsPath := flag.String("faults", "", "JSON fault spec injected into the simulated hardware (mobius/gpipe only)")
+	planDeadline := flag.Duration("plan-deadline", 0, "planning deadline; on expiry the Mobius plan degrades to the greedy fallback (0 = none)")
 	flag.Parse()
 
 	var m model.Config
@@ -57,6 +63,18 @@ func main() {
 		fail("%v", err)
 	}
 
+	var spec *fault.Spec
+	if *faultsPath != "" {
+		data, rerr := os.ReadFile(*faultsPath)
+		if rerr != nil {
+			fail("%v", rerr)
+		}
+		spec, err = fault.ParseJSON(data)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
 	sys := map[string]core.System{
 		"mobius":       core.SystemMobius,
 		"gpipe":        core.SystemGPipe,
@@ -69,12 +87,28 @@ func main() {
 		fail("unknown system %q", *system)
 	}
 
-	report, err := core.Run(sys, core.Options{Model: m, Topology: topo})
+	ctx := context.Background()
+	if *planDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *planDeadline)
+		defer cancel()
+	}
+
+	report, err := core.RunCtx(ctx, sys, core.Options{Model: m, Topology: topo, Faults: spec})
 	if err != nil {
 		fail("simulation failed: %v", err)
 	}
+	if report.Plan != nil && report.Plan.Fallback {
+		fmt.Printf("planning deadline expired (%s); using the greedy fallback plan\n", report.Plan.FallbackReason)
+	}
 	fmt.Println(report)
+	if report.FaultInjection != nil {
+		fmt.Println(report.FaultInjection)
+	}
 	if report.OOM {
+		if report.OOMCause != "" {
+			fmt.Printf("OOM cause: %s\n", report.OOMCause)
+		}
 		return
 	}
 	fmt.Printf("\nbandwidth CDF (all transfers):\n%s\n", report.BandwidthCDF.Render(13.1e9, 60))

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"mobius/internal/experiments"
 )
@@ -18,5 +19,10 @@ import (
 func main() {
 	steps := flag.Int("steps", 150, "training steps")
 	flag.Parse()
-	fmt.Println(experiments.Figure13(*steps).String())
+	tab, err := experiments.Figure13(*steps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobius-train: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tab.String())
 }

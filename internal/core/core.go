@@ -6,9 +6,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"mobius/internal/fault"
 	"mobius/internal/hw"
 	"mobius/internal/mapping"
 	"mobius/internal/model"
@@ -81,6 +84,11 @@ type Options struct {
 	// the MIP stage-count sweep and the cross-mapping search (0 means
 	// GOMAXPROCS, 1 means serial). Plans are identical at every level.
 	Parallelism int
+	// Faults injects a degraded-hardware scenario into the simulated
+	// server (Mobius and GPipe only; nil means nominal hardware). The
+	// plan is still computed against the nominal topology — faults model
+	// unplanned degradation, not a different machine.
+	Faults *fault.Spec
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -127,10 +135,68 @@ type Plan struct {
 	// PredictedStep is the analytic step-time estimate of the partition
 	// evaluator.
 	PredictedStep float64
+	// Fallback is true when a planning deadline expired and the plan is
+	// the deterministic greedy fallback rather than the MIP optimum.
+	Fallback bool
+	// FallbackReason describes why the fallback engaged.
+	FallbackReason string
+}
+
+// Validate checks the plan is internally consistent and executable on the
+// topology: the partition covers the profile's layers exactly, the
+// mapping is a permutation of the GPUs sized for the stage count, and
+// every stage's forward and backward footprint fits its GPU's usable
+// memory. A nil error means the pipeline runner can execute the plan.
+func (p *Plan) Validate(topo *hw.Topology) error {
+	if p == nil {
+		return fmt.Errorf("core: nil plan")
+	}
+	if p.Profile == nil || p.Partition == nil || p.Mapping == nil {
+		return fmt.Errorf("core: incomplete plan (profile/partition/mapping missing)")
+	}
+	if topo == nil {
+		return fmt.Errorf("core: topology is required")
+	}
+	if err := p.Partition.Validate(p.Profile); err != nil {
+		return err
+	}
+	n := topo.NumGPUs()
+	if len(p.Mapping.Perm) != n {
+		return fmt.Errorf("core: mapping permutes %d GPUs, topology has %d", len(p.Mapping.Perm), n)
+	}
+	seen := make([]bool, n)
+	for _, g := range p.Mapping.Perm {
+		if g < 0 || g >= n || seen[g] {
+			return fmt.Errorf("core: mapping %v is not a permutation of %d GPUs", p.Mapping.Perm, n)
+		}
+		seen[g] = true
+	}
+	if p.Mapping.NumStages != p.Partition.NumStages() {
+		return fmt.Errorf("core: mapping scored for %d stages, partition has %d", p.Mapping.NumStages, p.Partition.NumStages())
+	}
+	for j, st := range p.Partition.Stages {
+		gpu := p.Mapping.GPUOf(j)
+		usable := topo.GPUMem(gpu) * UsableMemFraction
+		if st.MemFwd() > usable || st.MemBwd() > usable {
+			return fmt.Errorf("core: stage %d (fwd %.1f GB, bwd %.1f GB) exceeds usable memory %.1f GB on gpu %d",
+				j, st.MemFwd()/1e9, st.MemBwd()/1e9, usable/1e9, gpu)
+		}
+	}
+	return nil
 }
 
 // PlanMobius profiles the model and computes partition and mapping.
 func PlanMobius(opts Options) (*Plan, error) {
+	return PlanMobiusCtx(context.Background(), opts)
+}
+
+// PlanMobiusCtx is PlanMobius honoring a context deadline: when ctx
+// expires before the MIP sweep completes, the plan degrades to the
+// guaranteed-feasible greedy partition with a sequential mapping instead
+// of failing. The fallback is a pure function of the profile — no solver,
+// no timing dependence — so every caller at every parallelism level
+// derives the identical degraded plan (Plan.Fallback reports it).
+func PlanMobiusCtx(ctx context.Context, opts Options) (*Plan, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -155,7 +221,10 @@ func PlanMobius(opts Options) (*Plan, error) {
 		if mipOpts.Parallelism == 0 {
 			mipOpts.Parallelism = opts.Parallelism
 		}
-		part, stats, err := partition.MIP(params, mipOpts)
+		part, stats, err := partition.MIPCtx(ctx, params, mipOpts)
+		if errors.Is(err, partition.ErrCancelled) {
+			return fallbackPlan(plan, params, opts, err)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -173,6 +242,14 @@ func PlanMobius(opts Options) (*Plan, error) {
 		return nil, err
 	}
 
+	// The mapping search is branch-and-bound too; a deadline that expired
+	// after partitioning degrades the whole plan, not just the mapping —
+	// mixing an optimal partition with a fallback mapping would make the
+	// result depend on where exactly the deadline hit.
+	if cerr := ctx.Err(); cerr != nil {
+		return fallbackPlan(plan, params, opts, cerr)
+	}
+
 	start := time.Now()
 	switch opts.MappingScheme {
 	case mapping.SchemeCross:
@@ -188,6 +265,29 @@ func PlanMobius(opts Options) (*Plan, error) {
 	}
 
 	if t, err := partition.StepTime(params, plan.Partition); err == nil {
+		plan.PredictedStep = t
+	}
+	return plan, nil
+}
+
+// fallbackPlan replaces whatever planning had produced so far with the
+// deterministic degraded plan: greedy partition + sequential mapping.
+func fallbackPlan(plan *Plan, params partition.Params, opts Options, cause error) (*Plan, error) {
+	part, err := partition.Greedy(params)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning cancelled (%v) and no feasible fallback exists: %w", cause, err)
+	}
+	mp, err := mapping.Sequential(opts.Topology, part.NumStages())
+	if err != nil {
+		return nil, err
+	}
+	plan.Partition = part
+	plan.Mapping = mp
+	plan.MIPStats = nil
+	plan.CrossMapTime = 0
+	plan.Fallback = true
+	plan.FallbackReason = cause.Error()
+	if t, err := partition.StepTime(params, part); err == nil {
 		plan.PredictedStep = t
 	}
 	return plan, nil
@@ -220,16 +320,34 @@ type StepReport struct {
 	// Server exposes the simulated hardware (resource utilization,
 	// memory peaks) after the run.
 	Server *hw.Server
+	// FaultInjection records the applied fault scenario and the retry
+	// traffic it induced; nil for nominal runs.
+	FaultInjection *fault.Injection
+	// OOMCause describes the structured OOM event when OOM is true and
+	// the failure surfaced during simulation (fault-injected memory
+	// pressure) rather than in the pre-run memory check.
+	OOMCause string
 }
 
 // Run plans (when needed) and simulates one training step of the given
 // system.
 func Run(system System, opts Options) (*StepReport, error) {
+	return RunCtx(context.Background(), system, opts)
+}
+
+// RunCtx is Run honoring a context for the planning phase: a deadline
+// that expires mid-planning degrades the Mobius plan to the greedy
+// fallback (see PlanMobiusCtx) instead of failing the run.
+func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	report := &StepReport{System: system, Model: opts.Model, Topology: opts.Topology}
+
+	if !opts.Faults.Empty() && system != SystemMobius && system != SystemGPipe {
+		return nil, fmt.Errorf("core: fault injection is only supported for %s and %s (got %s)", SystemMobius, SystemGPipe, system)
+	}
 
 	// Heterogeneous-memory systems keep the full model states in DRAM;
 	// the paper assumes pretrained models fit there (§3.1).
@@ -241,7 +359,7 @@ func Run(system System, opts Options) (*StepReport, error) {
 	var res *pipeline.Result
 	switch system {
 	case SystemMobius:
-		plan, err := PlanMobius(opts)
+		plan, err := PlanMobiusCtx(ctx, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -252,6 +370,7 @@ func Run(system System, opts Options) (*StepReport, error) {
 			Microbatches:            opts.Microbatches,
 			DisablePrefetchPriority: opts.DisablePrefetchPriority,
 			DisablePrefetch:         opts.DisablePrefetch,
+			Faults:                  opts.Faults,
 		})
 		if err != nil {
 			return nil, err
@@ -261,7 +380,7 @@ func Run(system System, opts Options) (*StepReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err = pipeline.RunGPipe(opts.Topology, pipeline.GPipeConfig{Profile: prof, Microbatches: opts.Microbatches})
+		res, err = pipeline.RunGPipe(opts.Topology, pipeline.GPipeConfig{Profile: prof, Microbatches: opts.Microbatches, Faults: opts.Faults})
 		if err != nil {
 			return nil, err
 		}
@@ -314,8 +433,10 @@ func Run(system System, opts Options) (*StepReport, error) {
 
 	report.StepTime = res.StepTime
 	report.OOM = res.OOM
+	report.OOMCause = res.OOMCause
 	report.Recorder = res.Recorder
 	report.Server = res.Server
+	report.FaultInjection = res.Faults
 	if !res.OOM && res.Recorder != nil {
 		report.TrafficBytes = res.Recorder.TotalBytes(nil)
 		report.BandwidthCDF = res.Recorder.BandwidthCDF(nil)

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+)
+
+// TestCancelledPlanFallbackDeterministicAcrossParallelism plans with an
+// already-cancelled context at parallelism 1 and 8: both must degrade to
+// the greedy fallback and serialize to byte-identical plans — the
+// fallback is a pure function of the profile, untouched by how many
+// workers the doomed solve briefly employed.
+func TestCancelledPlanFallbackDeterministicAcrossParallelism(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []model.Config{model.GPT8B, model.GPT15B} {
+		baseline := map[int][]byte{}
+		for _, par := range []int{1, 8} {
+			opts := Options{
+				Model:       m,
+				Topology:    topo22(),
+				MIP:         partition.MIPOptions{DisableCache: true},
+				Parallelism: par,
+			}
+			plan, err := PlanMobiusCtx(ctx, opts)
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", m.Name, par, err)
+			}
+			if !plan.Fallback {
+				t.Fatalf("%s parallelism %d: cancelled plan did not fall back", m.Name, par)
+			}
+			if plan.FallbackReason == "" {
+				t.Fatalf("%s parallelism %d: fallback without a reason", m.Name, par)
+			}
+			if err := plan.Validate(opts.Topology); err != nil {
+				t.Fatalf("%s parallelism %d: fallback plan invalid: %v", m.Name, par, err)
+			}
+			data, err := MarshalPlan(plan, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline[par] = data
+		}
+		if !bytes.Equal(baseline[1], baseline[8]) {
+			t.Errorf("%s: fallback plan differs between parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				m.Name, baseline[1], baseline[8])
+		}
+	}
+}
+
+// TestGenerousDeadlineReproducesSeedPlan checks that a deadline with
+// plenty of headroom changes nothing: the deadline-bearing plan is
+// byte-identical to the unbounded one and never marked as a fallback.
+func TestGenerousDeadlineReproducesSeedPlan(t *testing.T) {
+	opts := Options{
+		Model:    model.GPT8B,
+		Topology: topo22(),
+		MIP:      partition.MIPOptions{DisableCache: true, MaxStages: 12},
+	}
+	seed, err := PlanMobius(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	bounded, err := PlanMobiusCtx(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Fallback {
+		t.Fatalf("generous deadline triggered the fallback: %s", bounded.FallbackReason)
+	}
+	seed.MIPStats.SolveTime = 0
+	bounded.MIPStats.SolveTime = 0
+	a, err := MarshalPlan(seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalPlan(bounded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("deadline-bearing plan differs from the seed plan:\n--- seed ---\n%s\n--- bounded ---\n%s", a, b)
+	}
+}
+
+// TestTightDeadline51BFallsBackToValidPlan is the planner-deadline
+// acceptance check: a 1ms deadline on the 51B model must yield a valid
+// fallback plan (Validate passes) instead of an error.
+func TestTightDeadline51BFallsBackToValidPlan(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 4, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	opts := Options{
+		Model:    model.GPT51B,
+		Topology: topo,
+		MIP:      partition.MIPOptions{DisableCache: true},
+	}
+	plan, err := PlanMobiusCtx(ctx, opts)
+	if err != nil {
+		t.Fatalf("tight deadline must degrade, not fail: %v", err)
+	}
+	if !plan.Fallback {
+		t.Skip("solver beat the 1ms deadline; nothing to degrade")
+	}
+	if err := plan.Validate(topo); err != nil {
+		t.Fatalf("fallback plan failed validation: %v", err)
+	}
+	if plan.Partition.Algorithm != partition.AlgoGreedy {
+		t.Errorf("fallback algorithm: got %q, want %q", plan.Partition.Algorithm, partition.AlgoGreedy)
+	}
+	if plan.PredictedStep <= 0 {
+		t.Errorf("fallback plan has no predicted step time")
+	}
+}
+
+// TestRunWithExpiredContextStillSimulates checks the end-to-end path: an
+// expired planning context degrades the plan but the simulation itself
+// still runs to completion and reports a step time.
+func TestRunWithExpiredContextStillSimulates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := RunCtx(ctx, SystemMobius, Options{
+		Model:    model.GPT8B,
+		Topology: topo22(),
+		MIP:      partition.MIPOptions{DisableCache: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan == nil || !r.Plan.Fallback {
+		t.Fatal("expired context did not produce a fallback plan")
+	}
+	if r.OOM || r.StepTime <= 0 {
+		t.Fatalf("fallback run did not simulate: oom=%v step=%v", r.OOM, r.StepTime)
+	}
+}

@@ -15,7 +15,7 @@ import (
 // Figure9 reproduces the partition-algorithm ablation: per-step time of
 // the MIP partition against the maximum-stage and minimum-stage
 // baselines, across microbatch sizes, on Topo 2+2 (normalized to MIP).
-func Figure9() *Table {
+func Figure9() (*Table, error) {
 	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
 	t := &Table{
 		Title:  "Figure 9: per-step time by partition algorithm (normalized to MIP)",
@@ -28,13 +28,17 @@ func Figure9() *Table {
 		{model.GPT8B, []int{2, 4, 8}},
 		{model.GPT15B, []int{1, 2, 3}},
 	}
+	sr := &stepRunner{}
 	worst := 1.0
 	for _, c := range cases {
 		for _, mbs := range c.mbs {
 			m := c.m.WithMicrobatch(mbs)
-			mip := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoMIP})
-			maxS := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoMaxStage})
-			minS := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoMinStage})
+			mip := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoMIP})
+			maxS := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoMaxStage})
+			minS := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoMinStage})
+			if sr.err != nil {
+				return nil, sr.err
+			}
 			t.Add(m.Name, fmt.Sprintf("%d", mbs), secs(mip.StepTime),
 				ratio(maxS.StepTime/mip.StepTime), ratio(minS.StepTime/mip.StepTime))
 			for _, r := range []float64{maxS.StepTime / mip.StepTime, minS.StepTime / mip.StepTime} {
@@ -45,12 +49,12 @@ func Figure9() *Table {
 		}
 	}
 	t.Note("MIP partition saves up to %.0f%% vs the worst baseline (paper: up to 51%%)", (1-1/worst)*100)
-	return t
+	return sr.table(t)
 }
 
 // Figure10 reproduces the mapping ablation: cross vs sequential mapping
 // on an 8-GPU server where every four GPUs share a root complex.
-func Figure10() *Table {
+func Figure10() (*Table, error) {
 	topo := hw.Commodity(hw.RTX3090Ti, 4, 4)
 	t := &Table{
 		Title:  "Figure 10: per-step time, cross vs sequential mapping (8 GPUs, Topo 4+4)",
@@ -63,12 +67,16 @@ func Figure10() *Table {
 		{model.GPT8B, []int{2, 4, 8}},
 		{model.GPT15B, []int{1, 2, 3}},
 	}
+	sr := &stepRunner{}
 	best := 0.0
 	for _, c := range cases {
 		for _, mbs := range c.mbs {
 			m := c.m.WithMicrobatch(mbs)
-			seq := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: mapping.SchemeSequential})
-			cross := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: mapping.SchemeCross})
+			seq := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: mapping.SchemeSequential})
+			cross := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: mapping.SchemeCross})
+			if sr.err != nil {
+				return nil, sr.err
+			}
 			imp := 1 - cross.StepTime/seq.StepTime
 			if imp > best {
 				best = imp
@@ -77,12 +85,12 @@ func Figure10() *Table {
 		}
 	}
 	t.Note("paper: cross mapping reduces per-step time by 11.3-18.1%%; best here %.1f%%", best*100)
-	return t
+	return sr.table(t)
 }
 
 // Figure11 reproduces the bandwidth CDFs behind Figure 10: cross mapping
 // moves more data at high bandwidth.
-func Figure11() *Table {
+func Figure11() (*Table, error) {
 	topo := hw.Commodity(hw.RTX3090Ti, 4, 4)
 	t := &Table{
 		Title:  "Figure 11: bandwidth CDF by mapping scheme (8 GPUs, Topo 4+4)",
@@ -95,11 +103,12 @@ func Figure11() *Table {
 		{model.GPT8B, []int{2, 4, 8}},
 		{model.GPT15B, []int{1, 2, 3}},
 	}
+	sr := &stepRunner{}
 	for _, c := range cases {
 		for _, mbs := range c.mbs {
 			m := c.m.WithMicrobatch(mbs)
-			seq := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: mapping.SchemeSequential})
-			cross := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: mapping.SchemeCross})
+			seq := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: mapping.SchemeSequential})
+			cross := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo, MappingScheme: mapping.SchemeCross})
 			t.Add(m.Name, fmt.Sprintf("%d", mbs),
 				fmt.Sprintf("%.2f", seq.BandwidthCDF.Median()/1e9),
 				fmt.Sprintf("%.2f", cross.BandwidthCDF.Median()/1e9),
@@ -108,7 +117,7 @@ func Figure11() *Table {
 		}
 	}
 	t.Note("paper: with cross mapping more data transfers at higher bandwidth")
-	return t
+	return sr.table(t)
 }
 
 // Figure12 reproduces the Mobius overhead breakdown: profiling time (with
@@ -116,7 +125,7 @@ func Figure11() *Table {
 // Topo 1+3. Profiling is the simulated GPU time of the compressed
 // profile; solver and mapping are real wall-clock times with the cache
 // disabled.
-func Figure12() *Table {
+func Figure12() (*Table, error) {
 	topo := hw.Commodity(hw.RTX3090Ti, 1, 3)
 	t := &Table{
 		Title:  "Figure 12: Mobius planning overhead (Topo 1+3)",
@@ -125,7 +134,7 @@ func Figure12() *Table {
 	for _, m := range []model.Config{model.GPT8B, model.GPT15B, model.GPT51B} {
 		prof, err := profile.Run(m, hw.RTX3090Ti, profile.Options{})
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: figure 12 profile %s: %w", m.Name, err)
 		}
 		params := partition.Params{
 			Profile:   prof,
@@ -135,11 +144,11 @@ func Figure12() *Table {
 		}
 		part, stats, err := partition.MIP(params, partition.MIPOptions{DisableCache: true})
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: figure 12 partition %s: %w", m.Name, err)
 		}
 		start := time.Now()
 		if _, err := mapping.Cross(topo, part.NumStages()); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: figure 12 mapping %s: %w", m.Name, err)
 		}
 		mapTime := time.Since(start)
 		t.Add(m.Name,
@@ -151,5 +160,5 @@ func Figure12() *Table {
 	}
 	t.Note("paper: overheads are negligible against fine-tuning runs of hours to days;")
 	t.Note("8B and 15B profile in similar time thanks to layer similarity")
-	return t
+	return t, nil
 }

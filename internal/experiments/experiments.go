@@ -22,16 +22,20 @@ func commodityTopologies() []*hw.Topology {
 }
 
 // runKey caches simulation results across experiments: many figures
-// reuse the same (system, model, topology) run.
+// reuse the same (system, model, topology) run. The microbatch override
+// and fault fingerprint keep ablation and degraded runs from colliding
+// with the nominal cells.
 type runKey struct {
-	sys   core.System
-	model string
-	mbs   int
-	topo  string
-	algo  string
-	mapS  string
-	noPri bool
-	noPre bool
+	sys    core.System
+	model  string
+	mbs    int
+	M      int
+	topo   string
+	algo   string
+	mapS   string
+	noPri  bool
+	noPre  bool
+	faults string
 }
 
 var (
@@ -42,14 +46,16 @@ var (
 // run executes (with memoization) one training-step simulation.
 func run(sys core.System, opts core.Options) (*core.StepReport, error) {
 	key := runKey{
-		sys:   sys,
-		model: opts.Model.Name,
-		mbs:   opts.Model.MicrobatchSize,
-		topo:  opts.Topology.Name,
-		algo:  opts.PartitionAlgo,
-		mapS:  opts.MappingScheme,
-		noPri: opts.DisablePrefetchPriority,
-		noPre: opts.DisablePrefetch,
+		sys:    sys,
+		model:  opts.Model.Name,
+		mbs:    opts.Model.MicrobatchSize,
+		M:      opts.Microbatches,
+		topo:   opts.Topology.Name,
+		algo:   opts.PartitionAlgo,
+		mapS:   opts.MappingScheme,
+		noPri:  opts.DisablePrefetchPriority,
+		noPre:  opts.DisablePrefetch,
+		faults: opts.Faults.Fingerprint(),
 	}
 	runMu.Lock()
 	if r, ok := runCache[key]; ok {
@@ -67,12 +73,31 @@ func run(sys core.System, opts core.Options) (*core.StepReport, error) {
 	return r, nil
 }
 
-func mustRun(sys core.System, opts core.Options) *core.StepReport {
+// stepRunner collects the first simulation error so the figure builders
+// keep their straight-line shape. After an error every subsequent run
+// returns an empty report (whose accessors are all zero-safe) and the
+// builder's final Err check discards the half-built table.
+type stepRunner struct{ err error }
+
+func (sr *stepRunner) run(sys core.System, opts core.Options) *core.StepReport {
+	if sr.err != nil {
+		return &core.StepReport{}
+	}
 	r, err := run(sys, opts)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s on %s/%s: %v", sys, opts.Model.Name, opts.Topology.Name, err))
+		sr.err = fmt.Errorf("experiments: %s on %s/%s: %w", sys, opts.Model.Name, opts.Topology.Name, err)
+		return &core.StepReport{}
 	}
 	return r
+}
+
+// table returns (t, nil) or (nil, err) depending on whether any run
+// failed; builders end with `return sr.table(t)`.
+func (sr *stepRunner) table(t *Table) (*Table, error) {
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	return t, nil
 }
 
 // Prewarm fills the memoized run cache for the main evaluation grid —
@@ -81,8 +106,8 @@ func mustRun(sys core.System, opts core.Options) *core.StepReport {
 // simulations (0 means GOMAXPROCS). The figure tables are still
 // assembled serially from the cache afterwards, so their output (and
 // the order any failure surfaces in) is identical with or without a
-// prewarm; errors are deliberately dropped here because mustRun
-// re-executes the failing cell during assembly.
+// prewarm; errors are deliberately dropped here because the assembly
+// re-executes the failing cell and reports the error itself.
 func Prewarm(parallelism int) {
 	type cell struct {
 		sys  core.System
@@ -125,9 +150,10 @@ func Prewarm(parallelism int) {
 // Figure2 reproduces the motivation plot: the GPU communication
 // bandwidth CDF of DeepSpeed fine-tuning the 15B model on a 4x3090-Ti
 // server where every two GPUs share a root complex.
-func Figure2() *Table {
+func Figure2() (*Table, error) {
 	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
-	r := mustRun(core.SystemDSHetero, core.Options{Model: model.GPT15B, Topology: topo})
+	sr := &stepRunner{}
+	r := sr.run(core.SystemDSHetero, core.Options{Model: model.GPT15B, Topology: topo})
 	t := &Table{
 		Title:  "Figure 2: DeepSpeed bandwidth CDF (15B, 4x3090-Ti, 2+2)",
 		Header: []string{"quantile", "bandwidth GB/s"},
@@ -137,24 +163,25 @@ func Figure2() *Table {
 	}
 	t.Note("max observed bandwidth %.1f GB/s (root complex capacity 13.1)", r.BandwidthCDF.Max()/1e9)
 	t.Note("paper: most data below ~6 GB/s, half the root complex bandwidth")
-	return t
+	return sr.table(t)
 }
 
 // Figure5 reproduces the headline comparison: per-step training time of
 // GPipe, DeepSpeed (both modes) and Mobius across all four models and
 // three topologies.
-func Figure5() *Table {
+func Figure5() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 5: per-step time (s) by system, model, topology",
 		Header: []string{"model", "topology", "GPipe", "DS-pipeline", "DS-hetero", "Mobius", "Mobius speedup"},
 	}
+	sr := &stepRunner{}
 	var minSp, maxSp float64
 	for _, m := range model.Table3() {
 		for _, topo := range commodityTopologies() {
 			cells := []string{m.Name, topo.Name}
 			var ds, mob float64
 			for _, sys := range core.Systems() {
-				r := mustRun(sys, core.Options{Model: m, Topology: topo})
+				r := sr.run(sys, core.Options{Model: m, Topology: topo})
 				if r.OOM {
 					cells = append(cells, "OOM")
 					continue
@@ -166,6 +193,9 @@ func Figure5() *Table {
 				case core.SystemMobius:
 					mob = r.StepTime
 				}
+			}
+			if sr.err != nil {
+				return nil, sr.err
 			}
 			sp := ds / mob
 			cells = append(cells, ratio(sp))
@@ -179,40 +209,42 @@ func Figure5() *Table {
 		}
 	}
 	t.Note("Mobius speedup over DeepSpeed-hetero: %.1f-%.1fx (paper: 3.8-5.1x)", minSp, maxSp)
-	return t
+	return sr.table(t)
 }
 
 // Figure6 reproduces the communication-traffic comparison: bytes moved
 // per step relative to the model size.
-func Figure6() *Table {
+func Figure6() (*Table, error) {
 	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
 	t := &Table{
 		Title:  "Figure 6: communication traffic per step (GB)",
 		Header: []string{"model", "model size", "DeepSpeed", "Mobius", "DS ratio", "Mobius ratio"},
 	}
+	sr := &stepRunner{}
 	for _, m := range []model.Config{model.GPT8B, model.GPT15B, model.GPT51B} {
-		ds := mustRun(core.SystemDSHetero, core.Options{Model: m, Topology: topo})
-		mob := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo})
+		ds := sr.run(core.SystemDSHetero, core.Options{Model: m, Topology: topo})
+		mob := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo})
 		size := m.ParamBytesFP32()
 		t.Add(m.Name, gb(size), gb(ds.TrafficBytes), gb(mob.TrafficBytes),
 			ratio(ds.TrafficBytes/size), ratio(mob.TrafficBytes/size))
 	}
 	t.Note("paper: DeepSpeed ~7.3x model size, Mobius ~1.8x; the red line is the FP32 model size")
-	return t
+	return sr.table(t)
 }
 
 // Figure7 reproduces the bandwidth CDF grid: DeepSpeed vs Mobius across
 // three models and three topologies (median and fraction of data above
 // 12 GB/s).
-func Figure7() *Table {
+func Figure7() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 7: bandwidth CDF summary (DeepSpeed vs Mobius)",
 		Header: []string{"model", "topology", "DS median GB/s", "Mobius median GB/s", "DS >12GB/s", "Mobius >12GB/s"},
 	}
+	sr := &stepRunner{}
 	for _, m := range []model.Config{model.GPT8B, model.GPT15B, model.GPT51B} {
 		for _, topo := range commodityTopologies() {
-			ds := mustRun(core.SystemDSHetero, core.Options{Model: m, Topology: topo})
-			mob := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo})
+			ds := sr.run(core.SystemDSHetero, core.Options{Model: m, Topology: topo})
+			mob := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo})
 			t.Add(m.Name, topo.Name,
 				fmt.Sprintf("%.2f", ds.BandwidthCDF.Median()/1e9),
 				fmt.Sprintf("%.2f", mob.BandwidthCDF.Median()/1e9),
@@ -221,26 +253,27 @@ func Figure7() *Table {
 		}
 	}
 	t.Note("paper: Mobius moves >half its data above 12 GB/s; DeepSpeed mostly below 6 GB/s")
-	return t
+	return sr.table(t)
 }
 
 // Figure8 reproduces the non-overlapped communication proportion for the
 // 15B and 51B models across topologies.
-func Figure8() *Table {
+func Figure8() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 8: proportion of non-overlapped communication time",
 		Header: []string{"model", "topology", "DeepSpeed", "Mobius", "reduction"},
 	}
+	sr := &stepRunner{}
 	for _, m := range []model.Config{model.GPT15B, model.GPT51B} {
 		for _, topo := range commodityTopologies() {
-			ds := mustRun(core.SystemDSHetero, core.Options{Model: m, Topology: topo})
-			mob := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo})
+			ds := sr.run(core.SystemDSHetero, core.Options{Model: m, Topology: topo})
+			mob := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo})
 			t.Add(m.Name, topo.Name, pct(ds.NonOverlapFraction), pct(mob.NonOverlapFraction),
 				pct((ds.NonOverlapFraction-mob.NonOverlapFraction)/ds.NonOverlapFraction))
 		}
 	}
 	t.Note("paper: Mobius reduces the non-overlapped proportion by up to 46%%")
-	return t
+	return sr.table(t)
 }
 
 // TrafficByKind decomposes one system's step traffic, an auxiliary view

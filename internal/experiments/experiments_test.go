@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -13,6 +14,26 @@ import (
 
 // The experiment tests assert the headline *shape* claims of each paper
 // figure on the simulated substrate; EXPERIMENTS.md records the numbers.
+
+// mustRun is the test-side shorthand over the memoized run: production
+// code returns errors, tests may panic.
+func mustRun(sys core.System, opts core.Options) *core.StepReport {
+	r, err := run(sys, opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s on %s/%s: %v", sys, opts.Model.Name, opts.Topology.Name, err))
+	}
+	return r
+}
+
+// mustTable runs a generator and unwraps its result.
+func mustTable(t *testing.T, gen func() (*Table, error)) *Table {
+	t.Helper()
+	tab, err := gen()
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	return tab
+}
 
 func TestTableRendering(t *testing.T) {
 	tab := &Table{Title: "t", Header: []string{"a", "bbbb"}}
@@ -28,10 +49,10 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestTable1And3Shapes(t *testing.T) {
-	if got := len(Table1().Rows); got != 4 {
+	if got := len(mustTable(t, Table1).Rows); got != 4 {
 		t.Errorf("table1 rows: %d", got)
 	}
-	if got := len(Table3Models().Rows); got != 4 {
+	if got := len(mustTable(t, Table3Models).Rows); got != 4 {
 		t.Errorf("table3 rows: %d", got)
 	}
 }
@@ -44,7 +65,7 @@ func TestFigure2ShowsContention(t *testing.T) {
 	if med := r.BandwidthCDF.Median(); med > 7.5e9 {
 		t.Errorf("DeepSpeed median bandwidth %.2f GB/s, expected heavy contention", med/1e9)
 	}
-	if tab := Figure2(); len(tab.Rows) == 0 {
+	if tab := mustTable(t, Figure2); len(tab.Rows) == 0 {
 		t.Error("empty figure 2 table")
 	}
 }
@@ -147,7 +168,7 @@ func TestFigure15ShapeHolds(t *testing.T) {
 }
 
 func TestFigure13Converges(t *testing.T) {
-	tab := Figure13(20)
+	tab := mustTable(t, func() (*Table, error) { return Figure13(20) })
 	if len(tab.Rows) == 0 {
 		t.Fatal("no convergence rows")
 	}
@@ -212,8 +233,8 @@ func TestAblationPriorityNeverHurts(t *testing.T) {
 
 func TestAblationMicrobatchAmortization(t *testing.T) {
 	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
-	m2 := mustRun2(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, Microbatches: 2})
-	m8 := mustRun2(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, Microbatches: 8})
+	m2 := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, Microbatches: 2})
+	m8 := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, Microbatches: 8})
 	if m8.StepTime/8 >= m2.StepTime/2 {
 		t.Errorf("per-sample time must improve with more microbatches: %.3f vs %.3f",
 			m8.StepTime/8, m2.StepTime/2)
@@ -231,7 +252,10 @@ func TestDRAMCapacityEnforced(t *testing.T) {
 func TestChartsRenderWellFormedSVG(t *testing.T) {
 	// The cheap charts (cached runs) must emit parseable SVG documents.
 	for _, name := range []string{"figure2-cdf", "figure5-bars", "figure7-cdf", "figure14-scaling"} {
-		svg := Charts()[name]()
+		svg, err := Charts()[name]()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
 			t.Errorf("%s: not an SVG document", name)
 		}
@@ -242,7 +266,7 @@ func TestChartsRenderWellFormedSVG(t *testing.T) {
 }
 
 func TestRelatedWorkShape(t *testing.T) {
-	tab := RelatedWork()
+	tab := mustTable(t, RelatedWork)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows: %d", len(tab.Rows))
 	}
@@ -266,6 +290,37 @@ func TestMarkdownRendering(t *testing.T) {
 	for _, want := range []string{"### T", "| a | b |", "| --- | --- |", "| 1 | 2 |", "_n_"} {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestResilienceMobiusDegradesLess is the acceptance check of the fault
+// archetype: with one root complex degraded to 25% bandwidth on the
+// 8-GPU topology, the run completes with no panics, both systems slow
+// down (never speed up), and Mobius' degraded step time stays strictly
+// below GPipe's degraded step time — the optimized plan loses part of
+// its lead to the fault but never falls behind the baseline it beat.
+// (GPipe's relative slowdown is near-zero because its parameters stay
+// resident; the absolute ordering is the invariant worth holding.)
+func TestResilienceMobiusDegradesLess(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 4, 4)
+	spec := resilienceSpec()
+	for _, m := range []model.Config{model.GPT3B, model.GPT8B} {
+		deg := map[core.System]float64{}
+		for _, sys := range []core.System{core.SystemGPipe, core.SystemMobius} {
+			nom := mustRun(sys, core.Options{Model: m, Topology: topo})
+			flt := mustRun(sys, core.Options{Model: m, Topology: topo, Faults: spec})
+			if nom.OOM || flt.OOM {
+				t.Fatalf("%s/%s: unexpected OOM (nominal %v, degraded %v)", sys, m.Name, nom.OOM, flt.OOM)
+			}
+			if flt.StepTime < nom.StepTime {
+				t.Errorf("%s/%s: degraded step %.3f faster than nominal %.3f", sys, m.Name, flt.StepTime, nom.StepTime)
+			}
+			deg[sys] = flt.StepTime
+		}
+		if deg[core.SystemMobius] >= deg[core.SystemGPipe] {
+			t.Errorf("%s: degraded Mobius step %.3fs must stay strictly below degraded GPipe's %.3fs",
+				m.Name, deg[core.SystemMobius], deg[core.SystemGPipe])
 		}
 	}
 }
@@ -302,9 +357,9 @@ func TestFigure5GridDeterministicAcrossParallelism(t *testing.T) {
 // assembly alone: the prewarm only fills the memoized cache, it must
 // never change what the figures report.
 func TestPrewarmMatchesSerialAssembly(t *testing.T) {
-	before := Figure5().String()
+	before := mustTable(t, Figure5).String()
 	Prewarm(8)
-	after := Figure5().String()
+	after := mustTable(t, Figure5).String()
 	if before != after {
 		t.Errorf("Figure 5 changed after Prewarm:\n--- before ---\n%s\n--- after ---\n%s", before, after)
 	}

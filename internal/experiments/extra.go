@@ -13,7 +13,7 @@ import (
 )
 
 // Table1 prints the GPU spec and price comparison motivating the paper.
-func Table1() *Table {
+func Table1() (*Table, error) {
 	t := &Table{
 		Title:  "Table 1: commodity vs data-center GPU",
 		Header: []string{"", "3090-Ti", "A100"},
@@ -24,12 +24,12 @@ func Table1() *Table {
 	t.Add("Memory (GB)", fmt.Sprintf("%.0f", g.MemBytes/1e9), fmt.Sprintf("%.0f", a.MemBytes/1e9))
 	t.Add("GPUDirect P2P", fmt.Sprintf("%v", g.P2P), fmt.Sprintf("%v", a.P2P))
 	t.Note("a 3090-Ti delivers comparable tensor throughput at ~1/7 the price")
-	return t
+	return t, nil
 }
 
 // Table3Models prints the evaluation model configurations with derived
 // parameter counts.
-func Table3Models() *Table {
+func Table3Models() (*Table, error) {
 	t := &Table{
 		Title:  "Table 3: model configurations",
 		Header: []string{"name", "params (B)", "heads", "hidden", "layers", "microbatch"},
@@ -44,30 +44,30 @@ func Table3Models() *Table {
 	}
 	t.Note("parameter counts are derived from the architecture (12h^2 per block + untied embeddings);")
 	t.Note("the \"15B\" architecture of Table 3 derives to ~13B — see EXPERIMENTS.md")
-	return t
+	return t, nil
 }
 
 // Figure13 reproduces the convergence experiment on the real training
 // substrate: GPipe and the Mobius execution order fine-tune the same
 // small GPT on the synthetic corpus; their loss curves must overlap.
-func Figure13(steps int) *Table {
+func Figure13(steps int) (*Table, error) {
 	if steps <= 0 {
 		steps = 120
 	}
 	cfg := nn.Config{Vocab: 64, Seq: 16, Dim: 32, Heads: 4, Layers: 4, Seed: 7}
 	corpus, err := textgen.Generate(cfg.Vocab, 30000, 13)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("experiments: figure 13 corpus: %w", err)
 	}
 	mG, _ := nn.NewGPT(cfg)
 	mM, _ := nn.NewGPT(cfg)
 	tG, err := train.New(mG, 3, 3e-3, train.ModeGPipe)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("experiments: figure 13 trainer: %w", err)
 	}
 	tM, err := train.New(mM, 3, 3e-3, train.ModeMobius)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("experiments: figure 13 trainer: %w", err)
 	}
 
 	t := &Table{
@@ -96,22 +96,26 @@ func Figure13(steps int) *Table {
 	}
 	t.Note("max |GPipe - Mobius| loss difference over %d steps: %.3g", steps, maxDiff)
 	t.Note("paper: the curves almost overlap; here the execution orders are numerically identical")
-	return t
+	return t, nil
 }
 
 // Figure14 reproduces the scalability sweep: 15B model, microbatch 1,
 // 2-8 GPUs with each half under a separate root complex; the batch grows
 // with the GPU count.
-func Figure14() *Table {
+func Figure14() (*Table, error) {
 	t := &Table{
 		Title:  "Figure 14: Mobius scalability (15B, microbatch 1)",
 		Header: []string{"GPUs", "step time (s)", "samples/s", "speedup", "perfect"},
 	}
 	m := model.GPT15B.WithMicrobatch(1)
+	sr := &stepRunner{}
 	var base float64
 	for _, n := range []int{2, 4, 6, 8} {
 		topo := hw.Commodity(hw.RTX3090Ti, n/2, n-n/2)
-		r := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo})
+		r := sr.run(core.SystemMobius, core.Options{Model: m, Topology: topo})
+		if sr.err != nil {
+			return nil, sr.err
+		}
 		thr := float64(n) * float64(m.MicrobatchSize) / r.StepTime // M = n microbatches
 		if n == 2 {
 			base = thr
@@ -120,24 +124,25 @@ func Figure14() *Table {
 			fmt.Sprintf("%.2f", thr), ratio(thr/base), ratio(float64(n)/2))
 	}
 	t.Note("paper: Mobius meets or exceeds linear scaling; odd splits degrade slightly")
-	return t
+	return sr.table(t)
 }
 
 // Figure15 reproduces the data-center comparison: per-step time and
 // price for DeepSpeed and Mobius on the commodity 4x3090-Ti server vs
 // the 4xV100 NVLink server.
-func Figure15() *Table {
+func Figure15() (*Table, error) {
 	commodity := hw.Commodity(hw.RTX3090Ti, 2, 2)
 	dc := hw.DataCenter(hw.V100, 4, 300*hw.GB)
 	t := &Table{
 		Title:  "Figure 15: time and price per step, commodity vs data center (mbs 2)",
 		Header: []string{"model", "system", "server", "step (s)", "price ($/step)"},
 	}
+	sr := &stepRunner{}
 	var mobC, dsDC float64
 	for _, m := range []model.Config{model.GPT8B.WithMicrobatch(2), model.GPT15B.WithMicrobatch(2)} {
 		for _, sys := range []core.System{core.SystemDSHetero, core.SystemMobius} {
 			for _, topo := range []*hw.Topology{dc, commodity} {
-				r := mustRun(sys, core.Options{Model: m, Topology: topo})
+				r := sr.run(sys, core.Options{Model: m, Topology: topo})
 				server := "commodity"
 				if topo.HasP2P() {
 					server = "data center"
@@ -153,24 +158,28 @@ func Figure15() *Table {
 			}
 		}
 	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
 	slow := mobC/dsDC - 1
 	priceCut := 1 - core.PricePerStep(commodity, mobC)/core.PricePerStep(dc, dsDC)
 	t.Note("Mobius on commodity vs DeepSpeed on DC (15B): %.0f%% slower, %.0f%% cheaper per step", slow*100, priceCut*100)
 	t.Note("paper: +42%% time, -43%% price")
-	return t
+	return t, nil
 }
 
 // Figure16 reproduces the GPU-CPU bandwidth CDFs on the data-center
 // server.
-func Figure16() *Table {
+func Figure16() (*Table, error) {
 	dc := hw.DataCenter(hw.V100, 4, 300*hw.GB)
 	t := &Table{
 		Title:  "Figure 16: GPU-CPU bandwidth CDF on the data-center server (mbs 2)",
 		Header: []string{"model", "system", "median GB/s", "p90 GB/s"},
 	}
+	sr := &stepRunner{}
 	for _, m := range []model.Config{model.GPT8B.WithMicrobatch(2), model.GPT15B.WithMicrobatch(2)} {
 		for _, sys := range []core.System{core.SystemDSHetero, core.SystemMobius} {
-			r := mustRun(sys, core.Options{Model: m, Topology: dc})
+			r := sr.run(sys, core.Options{Model: m, Topology: dc})
 			t.Add(m.Name, string(sys),
 				fmt.Sprintf("%.2f", r.HostLinkCDF.Median()/1e9),
 				fmt.Sprintf("%.2f", r.HostLinkCDF.Quantile(0.9)/1e9))
@@ -178,13 +187,14 @@ func Figure16() *Table {
 	}
 	t.Note("paper: on the DC server the contention gap between the systems narrows,")
 	t.Note("but Mobius' host traffic still sees less simultaneous transfer")
-	return t
+	return sr.table(t)
 }
 
 // All returns every experiment generator keyed by its paper id, for the
-// CLI.
-func All() map[string]func() *Table {
-	return map[string]func() *Table{
+// CLI. Generators return an error instead of panicking; the CLI converts
+// it into a non-zero exit code.
+func All() map[string]func() (*Table, error) {
+	return map[string]func() (*Table, error){
 		"table1":   Table1,
 		"table3":   Table3Models,
 		"figure2":  Figure2,
@@ -196,7 +206,7 @@ func All() map[string]func() *Table {
 		"figure10": Figure10,
 		"figure11": Figure11,
 		"figure12": Figure12,
-		"figure13": func() *Table { return Figure13(120) },
+		"figure13": func() (*Table, error) { return Figure13(120) },
 		"figure14": Figure14,
 		"figure15": Figure15,
 		"figure16": Figure16,
@@ -207,6 +217,7 @@ func All() map[string]func() *Table {
 		"related-work":           RelatedWork,
 		"convergence-async":      ConvergenceAsync,
 		"ablation-checkpointing": AblationCheckpointing,
+		"resilience":             Resilience,
 	}
 }
 
@@ -218,5 +229,6 @@ func Order() []string {
 		"figure13", "figure14", "figure15", "figure16",
 		"ablation-prefetch", "ablation-priority", "ablation-microbatches",
 		"related-work", "convergence-async", "ablation-checkpointing",
+		"resilience",
 	}
 }

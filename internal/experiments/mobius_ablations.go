@@ -16,26 +16,30 @@ import (
 // memory (§3.1): Mobius with and without prefetch on the paper's
 // commodity topologies. Without prefetch every stage upload is exposed
 // on the critical path.
-func AblationPrefetch() *Table {
+func AblationPrefetch() (*Table, error) {
 	t := &Table{
 		Title:  "Ablation A1: stage prefetching (Mobius, 15B)",
 		Header: []string{"topology", "no prefetch (s)", "prefetch (s)", "saving"},
 	}
+	sr := &stepRunner{}
 	for _, topo := range commodityTopologies() {
-		off := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, DisablePrefetch: true})
-		on := mustRun(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo})
+		off := sr.run(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, DisablePrefetch: true})
+		on := sr.run(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo})
+		if sr.err != nil {
+			return nil, sr.err
+		}
 		t.Add(topo.Name, secs(off.StepTime), secs(on.StepTime), pct(1-on.StepTime/off.StepTime))
 	}
 	t.Note("prefetching overlaps stage swaps with computation (§3.1); on the fully-shared")
 	t.Note("Topo 4 eager prefetches can contend with critical-path traffic — the effect the")
 	t.Note("MIP's window constraint (6) exists to limit")
-	return t
+	return sr.table(t)
 }
 
 // AblationPriority quantifies the prefetch-priority policy (§3.3): when
 // several prefetches contend under one root complex, the stage that
 // executes earlier gets the bandwidth first.
-func AblationPriority() *Table {
+func AblationPriority() (*Table, error) {
 	t := &Table{
 		Title:  "Ablation A2: prefetch priority (Mobius, Topo 4 and 4+4)",
 		Header: []string{"model", "topology", "no priority (s)", "priority (s)", "saving"},
@@ -48,58 +52,62 @@ func AblationPriority() *Table {
 		{model.GPT15B, hw.Commodity(hw.RTX3090Ti, 4, 4)},
 		{model.GPT51B, hw.Commodity(hw.RTX3090Ti, 4)},
 	}
+	sr := &stepRunner{}
 	for _, c := range cases {
-		off := mustRun(core.SystemMobius, core.Options{Model: c.m, Topology: c.topo, DisablePrefetchPriority: true})
-		on := mustRun(core.SystemMobius, core.Options{Model: c.m, Topology: c.topo})
+		off := sr.run(core.SystemMobius, core.Options{Model: c.m, Topology: c.topo, DisablePrefetchPriority: true})
+		on := sr.run(core.SystemMobius, core.Options{Model: c.m, Topology: c.topo})
+		if sr.err != nil {
+			return nil, sr.err
+		}
 		t.Add(c.m.Name, c.topo.Name, secs(off.StepTime), secs(on.StepTime), pct(1-on.StepTime/off.StepTime))
 	}
 	t.Note("implements cudaStreamCreateWithPriority: earlier stages' prefetches preempt later ones")
-	return t
+	return sr.table(t)
 }
 
 // AblationMicrobatches sweeps M (the paper fixes M = N): more
 // microbatches shrink pipeline bubbles but enlarge activation traffic
-// and checkpoint uploads.
-func AblationMicrobatches() *Table {
+// and checkpoint uploads. The run cache keys on the M override, so
+// these cells never collide with the main M = N grid.
+func AblationMicrobatches() (*Table, error) {
 	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
 	t := &Table{
 		Title:  "Ablation A3: microbatch count M (Mobius, 15B, Topo 2+2)",
 		Header: []string{"M", "step time (s)", "s per sample"},
 	}
+	sr := &stepRunner{}
 	for _, m := range []int{2, 4, 8, 16} {
-		r := mustRun2(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, Microbatches: m})
+		r := sr.run(core.SystemMobius, core.Options{Model: model.GPT15B, Topology: topo, Microbatches: m})
+		if sr.err != nil {
+			return nil, sr.err
+		}
 		t.Add(fmt.Sprintf("%d", m), secs(r.StepTime), fmt.Sprintf("%.3f", r.StepTime/float64(m)))
 	}
 	t.Note("the paper fixes M = N; larger M amortizes fill/drain bubbles until memory pressure bites")
-	return t
-}
-
-// mustRun2 is mustRun with the microbatch count included in the cache
-// key via a distinct topology label (the default key ignores M because
-// the main experiments always use M = N).
-func mustRun2(sys core.System, opts core.Options) *core.StepReport {
-	r, err := core.Run(sys, opts)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", sys, err))
-	}
-	return r
+	return sr.table(t)
 }
 
 // ConvergenceAsync extends Figure 13 with the §3.1 contrast case: a
 // PipeDream-style asynchronous pipeline updates weights per microbatch
 // with stale forwards, separating its loss curve from the synchronous
 // GPipe/Mobius update that Mobius deliberately keeps.
-func ConvergenceAsync() *Table {
+func ConvergenceAsync() (*Table, error) {
 	const steps = 80
 	cfg := nn.Config{Vocab: 64, Seq: 16, Dim: 32, Heads: 4, Layers: 4, Seed: 7}
 	corpus, err := textgen.Generate(cfg.Vocab, 30000, 13)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("experiments: convergence corpus: %w", err)
 	}
 	mS, _ := nn.NewGPT(cfg)
 	mA, _ := nn.NewGPT(cfg)
-	tS, _ := train.New(mS, 3, 1e-3, train.ModeGPipe)
-	tA, _ := train.New(mA, 3, 1e-3, train.ModeAsync)
+	tS, err := train.New(mS, 3, 1e-3, train.ModeGPipe)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: convergence trainer: %w", err)
+	}
+	tA, err := train.New(mA, 3, 1e-3, train.ModeAsync)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: convergence trainer: %w", err)
+	}
 
 	t := &Table{
 		Title:  "Ablation A4: synchronous (GPipe/Mobius) vs asynchronous pipeline updates",
@@ -123,7 +131,7 @@ func ConvergenceAsync() *Table {
 	}
 	t.Note("max |sync - async| loss gap: %.3g — asynchronous updates change the optimization", maxGap)
 	t.Note("trajectory; Mobius keeps GPipe's synchronous update exactly (§3.1)")
-	return t
+	return t, nil
 }
 
 // AblationCheckpointing quantifies the activation-checkpointing
@@ -132,7 +140,7 @@ func ConvergenceAsync() *Table {
 // stage must hold M microbatches' worth — for the paper's models that
 // overwhelms a 24 GB GPU, while the recompute tax is only ~1/3 of
 // backward FLOPs.
-func AblationCheckpointing() *Table {
+func AblationCheckpointing() (*Table, error) {
 	const M = 4
 	G := hw.RTX3090Ti.MemBytes
 	t := &Table{
@@ -164,5 +172,5 @@ func AblationCheckpointing() *Table {
 	}
 	t.Note("checkpointing trades ~1/3 more backward FLOPs for an order of magnitude more")
 	t.Note("blocks per GPU — without it the Mobius pipeline could barely form stages")
-	return t
+	return t, nil
 }

@@ -12,16 +12,20 @@ import (
 // Mobius argues against: bounding the model scale by a single GPU's
 // memory, and extending memory with an SSD whose bandwidth bottlenecks
 // training (§3.1).
-func RelatedWork() *Table {
+func RelatedWork() (*Table, error) {
 	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
 	t := &Table{
 		Title:  "Related work (§5): scale-up baselines on Topo 2+2",
 		Header: []string{"model", "ZeRO-Offload", "ZeRO-Infinity NVMe", "DS-hetero (DRAM)", "Mobius"},
 	}
+	sr := &stepRunner{}
 	for _, m := range []model.Config{model.GPT3B, model.GPT8B, model.GPT15B} {
 		cells := []string{m.Name}
 		for _, sys := range []core.System{core.SystemZeROOffload, core.SystemZeRONVMe, core.SystemDSHetero, core.SystemMobius} {
-			r := mustRun(sys, core.Options{Model: m, Topology: topo})
+			r := sr.run(sys, core.Options{Model: m, Topology: topo})
+			if sr.err != nil {
+				return nil, sr.err
+			}
 			if r.OOM {
 				cells = append(cells, "OOM")
 				continue
@@ -32,5 +36,5 @@ func RelatedWork() *Table {
 	}
 	t.Note("ZeRO-Offload's replicated FP16 parameters cap the model at one GPU's memory;")
 	t.Note("NVMe offload trains everything but pays the SSD's %.1f GB/s on every gather", hw.CommoditySSDBW/1e9)
-	return t
+	return sr.table(t)
 }

@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobius/internal/hw"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden .err files from current parser output")
+
+// TestParseJSONGolden runs every spec under testdata/ through the parser.
+// A spec with a sibling .err file must fail with exactly that message
+// (the golden error a user would see); one without must parse cleanly.
+// Regenerate goldens with `go test ./internal/fault -run Golden -update`.
+func TestParseJSONGolden(t *testing.T) {
+	specs, err := filepath.Glob("testdata/*.json")
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no testdata specs: %v", err)
+	}
+	for _, path := range specs {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, perr := ParseJSON(data)
+			golden := strings.TrimSuffix(path, ".json") + ".err"
+			if *update {
+				if perr == nil {
+					os.Remove(golden)
+					return
+				}
+				if err := os.WriteFile(golden, []byte(perr.Error()+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, gerr := os.ReadFile(golden)
+			switch {
+			case os.IsNotExist(gerr):
+				if perr != nil {
+					t.Fatalf("spec should parse, got: %v", perr)
+				}
+			case gerr != nil:
+				t.Fatal(gerr)
+			case perr == nil:
+				t.Fatalf("spec should fail with %q, parsed cleanly", strings.TrimSpace(string(want)))
+			case perr.Error() != strings.TrimSpace(string(want)):
+				t.Fatalf("error mismatch:\n got: %s\nwant: %s", perr.Error(), strings.TrimSpace(string(want)))
+			}
+		})
+	}
+}
+
+// TestValidSpecRoundTrips checks the documented example parses and
+// fingerprints deterministically.
+func TestValidSpecRoundTrips(t *testing.T) {
+	data, err := os.ReadFile("testdata/degraded-rc0.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Empty() {
+		t.Fatal("spec should not be empty")
+	}
+	if s1.Fingerprint() == "" || s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatalf("fingerprint not stable: %q vs %q", s1.Fingerprint(), s2.Fingerprint())
+	}
+	s2.Seed++
+	if s1.Fingerprint() == s2.Fingerprint() {
+		t.Fatal("different specs must fingerprint differently")
+	}
+}
+
+func TestNilSpecSemantics(t *testing.T) {
+	var s *Spec
+	if !s.Empty() {
+		t.Fatal("nil spec must be empty")
+	}
+	if s.Fingerprint() != "" {
+		t.Fatalf("nil spec fingerprint: %q", s.Fingerprint())
+	}
+}
+
+// TestHash01Deterministic pins down the sole randomness source: equal
+// inputs hash equally, any differing coordinate decorrelates, and values
+// stay in [0, 1).
+func TestHash01Deterministic(t *testing.T) {
+	base := hash01(42, 7, 1, 0)
+	if base != hash01(42, 7, 1, 0) {
+		t.Fatal("hash01 not deterministic")
+	}
+	for _, v := range []float64{
+		hash01(43, 7, 1, 0), // seed
+		hash01(42, 8, 1, 0), // task
+		hash01(42, 7, 2, 0), // rule
+		hash01(42, 7, 1, 1), // attempt
+	} {
+		if v == base {
+			t.Fatalf("coordinate change did not change hash (%g)", v)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if v := hash01(1, uint64(i)); v < 0 || v >= 1 {
+			t.Fatalf("hash01 out of [0,1): %g", v)
+		}
+	}
+}
+
+func buildServer(t *testing.T) *hw.Server {
+	t.Helper()
+	srv, err := hw.Build(hw.Commodity(hw.RTX3090Ti, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestApplyBindsSpec checks the bookkeeping of a successful Apply: one
+// capacity event per unbounded window, two per bounded one, straggler and
+// pool counts, and the retry policy installed only when transient rules
+// exist.
+func TestApplyBindsSpec(t *testing.T) {
+	srv := buildServer(t)
+	spec := &Spec{
+		Links: []LinkFault{
+			{Link: "rc0", Multiplier: 0.25, Start: 0},
+			{Link: "drambus", Multiplier: 0.5, Start: 1, End: 2},
+		},
+		Stragglers:  []StragglerFault{{GPU: 3, Throughput: 0.5}},
+		Transient:   []TransientFault{{Match: "*", Probability: 0.1, BackoffMS: 1}},
+		MemPressure: []MemPressureFault{{Pool: "dram", ReserveBytes: 1e9}},
+	}
+	inj, err := Apply(srv, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.LinkEvents != 3 {
+		t.Fatalf("link events: got %d, want 3 (degrade+degrade+restore)", inj.LinkEvents)
+	}
+	if inj.Stragglers != 1 || inj.PoolsSqueezed != 1 {
+		t.Fatalf("counts wrong: %+v", inj)
+	}
+	if srv.Sim.RetryPolicy == nil {
+		t.Fatal("retry policy not installed")
+	}
+	if got := srv.ComputeEngines[3].Throughput(); got != 0.5 {
+		t.Fatalf("straggler throughput: got %g", got)
+	}
+	if !strings.Contains(inj.String(), "1 stragglers") {
+		t.Fatalf("summary: %s", inj)
+	}
+}
+
+// TestApplyRejectsUnknownNames checks the descriptive errors for spec
+// clauses that do not match the topology.
+func TestApplyRejectsUnknownNames(t *testing.T) {
+	cases := []struct {
+		spec *Spec
+		want string
+	}{
+		{&Spec{Links: []LinkFault{{Link: "rc9", Multiplier: 0.5}}}, `no resource "rc9"`},
+		{&Spec{Stragglers: []StragglerFault{{GPU: 99, Throughput: 0.5}}}, "gpu 99 out of range"},
+		{&Spec{MemPressure: []MemPressureFault{{Pool: "hbm", ReserveBytes: 1}}}, `no pool "hbm"`},
+	}
+	for _, c := range cases {
+		if _, err := Apply(buildServer(t), c.spec); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("want error containing %q, got %v", c.want, err)
+		}
+	}
+}
+
+// TestApplyRejectsEmptyingAPool checks that reserving a pool's whole
+// capacity fails loudly instead of guaranteeing a later deadlock.
+func TestApplyRejectsEmptyingAPool(t *testing.T) {
+	srv := buildServer(t)
+	spec := &Spec{MemPressure: []MemPressureFault{{Pool: "dram", ReserveBytes: 1e18}}}
+	if _, err := Apply(srv, spec); err == nil || !strings.Contains(err.Error(), "empties pool") {
+		t.Fatalf("want 'empties pool' error, got %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package fault_test
+
+// The fault matrix is the smoke test of the whole injection stack (the
+// Makefile's check-faults target runs it under -race): every fault class,
+// alone and combined, applied to Mobius and GPipe end-to-end through
+// core.Run. The invariants are coarse on purpose — no errors, no panics,
+// injection recorded, and a faulted run never finishes faster than the
+// nominal one.
+
+import (
+	"testing"
+
+	"mobius/internal/core"
+	"mobius/internal/fault"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+func matrixSpecs() map[string]*fault.Spec {
+	link := fault.LinkFault{Link: "rc0", Multiplier: 0.25, Start: 0, End: 2}
+	straggler := fault.StragglerFault{GPU: 1, Throughput: 0.5}
+	transient := fault.TransientFault{Match: "*", Probability: 0.2, BackoffMS: 1}
+	pressure := fault.MemPressureFault{Pool: "dram", ReserveBytes: 4e9}
+	return map[string]*fault.Spec{
+		"link":      {Links: []fault.LinkFault{link}},
+		"straggler": {Stragglers: []fault.StragglerFault{straggler}},
+		"transient": {Seed: 7, Transient: []fault.TransientFault{transient}},
+		"pressure":  {MemPressure: []fault.MemPressureFault{pressure}},
+		"combined": {
+			Seed:        7,
+			Links:       []fault.LinkFault{link},
+			Stragglers:  []fault.StragglerFault{straggler},
+			Transient:   []fault.TransientFault{transient},
+			MemPressure: []fault.MemPressureFault{pressure},
+		},
+	}
+}
+
+func TestFaultMatrix(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	m := model.GPT3B
+	for _, sys := range []core.System{core.SystemMobius, core.SystemGPipe} {
+		nom, err := core.Run(sys, core.Options{Model: m, Topology: topo})
+		if err != nil {
+			t.Fatalf("%s nominal: %v", sys, err)
+		}
+		if nom.OOM {
+			t.Fatalf("%s nominal: unexpected OOM", sys)
+		}
+		for name, spec := range matrixSpecs() {
+			r, err := core.Run(sys, core.Options{Model: m, Topology: topo, Faults: spec})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sys, name, err)
+			}
+			if r.OOM {
+				t.Fatalf("%s/%s: unexpected OOM (%s)", sys, name, r.OOMCause)
+			}
+			if r.FaultInjection == nil {
+				t.Fatalf("%s/%s: injection not recorded", sys, name)
+			}
+			if r.StepTime < nom.StepTime-1e-9 {
+				t.Errorf("%s/%s: faulted step %.4f faster than nominal %.4f", sys, name, r.StepTime, nom.StepTime)
+			}
+			if len(spec.Transient) > 0 && r.FaultInjection.Retries == 0 {
+				t.Errorf("%s/%s: transient rule injected no retries", sys, name)
+			}
+		}
+	}
+}
+
+// TestFaultMatrixSevereMemPressureIsStructuredOOM squeezes one GPU's pool
+// until the plan cannot fit: the run must end in a structured OOM report,
+// not a panic or a deadlock.
+func TestFaultMatrixSevereMemPressureIsStructuredOOM(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	spec := &fault.Spec{MemPressure: []fault.MemPressureFault{{Pool: "gpu0.mem", ReserveBytes: 23.8e9}}}
+	for _, sys := range []core.System{core.SystemMobius, core.SystemGPipe} {
+		r, err := core.Run(sys, core.Options{Model: model.GPT3B, Topology: topo, Faults: spec})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if !r.OOM {
+			t.Fatalf("%s: squeezing gpu0.mem to 0.2 GB should OOM", sys)
+		}
+		if r.OOMCause == "" {
+			t.Fatalf("%s: OOM without a structured cause", sys)
+		}
+	}
+}
+
+// TestFaultMatrixDeterministic replays the combined scenario and requires
+// bit-identical step times — the fault layer must not introduce any
+// run-to-run nondeterminism.
+func TestFaultMatrixDeterministic(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	spec := matrixSpecs()["combined"]
+	var prev float64
+	for i := 0; i < 2; i++ {
+		r, err := core.Run(core.SystemMobius, core.Options{Model: model.GPT3B, Topology: topo, Faults: spec})
+		if err != nil || r.OOM {
+			t.Fatalf("run %d: err=%v oom=%v", i, err, r.OOM)
+		}
+		if i > 0 && r.StepTime != prev {
+			t.Fatalf("faulted replay diverged: %v vs %v", r.StepTime, prev)
+		}
+		prev = r.StepTime
+	}
+}

@@ -296,6 +296,76 @@ type Server struct {
 	DRAM          *sim.MemPool
 	NVLinks       []*sim.Resource // per-GPU NVLink port; nil without NVLink
 	SSDBus        *sim.Resource   // nil without an NVMe tier
+
+	// routeErr records the first invalid routing request (e.g. an SSD
+	// endpoint on a topology without an NVMe tier). Route used to panic;
+	// now schedulers build their DAG unconditionally and check RouteErr
+	// before running the simulation.
+	routeErr error
+}
+
+// RouteErr returns the first routing error recorded by Route, if any.
+// Callers that build transfer DAGs must check it before Sim.Run: a failed
+// Route returns an empty path, which would otherwise simulate as an
+// infinitely fast transfer.
+func (srv *Server) RouteErr() error { return srv.routeErr }
+
+func (srv *Server) noteRouteErr(err error) {
+	if srv.routeErr == nil {
+		srv.routeErr = err
+	}
+}
+
+// ResourceByName finds a bandwidth resource by its simulator name ("rc0",
+// "gpu3.link", "gpu1.nvlink", "drambus", "ssd"). It returns nil when no
+// such resource exists on this server. The fault layer uses it to bind
+// declarative link-fault specs to concrete resources.
+func (srv *Server) ResourceByName(name string) *sim.Resource {
+	for _, r := range srv.allResources() {
+		if r.Name() == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// ResourceNames lists the bandwidth resources on this server in a stable
+// order, for error messages that must enumerate valid fault targets.
+func (srv *Server) ResourceNames() []string {
+	rs := srv.allResources()
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.Name()
+	}
+	return names
+}
+
+func (srv *Server) allResources() []*sim.Resource {
+	var rs []*sim.Resource
+	rs = append(rs, srv.RootComplexes...)
+	rs = append(rs, srv.GPULinks...)
+	rs = append(rs, srv.NVLinks...)
+	if srv.DRAMBus != nil {
+		rs = append(rs, srv.DRAMBus)
+	}
+	if srv.SSDBus != nil {
+		rs = append(rs, srv.SSDBus)
+	}
+	return rs
+}
+
+// PoolByName finds a memory pool by its simulator name ("dram",
+// "gpu0.mem"); nil when absent.
+func (srv *Server) PoolByName(name string) *sim.MemPool {
+	if srv.DRAM != nil && srv.DRAM.Name() == name {
+		return srv.DRAM
+	}
+	for _, p := range srv.GPUMems {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
 }
 
 // Build instantiates the topology on a fresh simulator.
@@ -376,7 +446,8 @@ func (srv *Server) Route(src, dst Endpoint) []sim.PathElem {
 			other = dst
 		}
 		if srv.SSDBus == nil {
-			panic("hw: topology has no SSD tier")
+			srv.noteRouteErr(fmt.Errorf("hw: route %v -> %v: topology %q has no SSD tier", src, dst, srv.Topo.Name))
+			return nil
 		}
 		if other.IsSSD() || other.IsDRAM() {
 			return sim.Path(srv.DRAMBus, srv.SSDBus)

@@ -2,6 +2,7 @@ package hw
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -322,14 +323,48 @@ func TestSSDRouting(t *testing.T) {
 	_ = tr
 }
 
-func TestRouteWithoutSSDPanics(t *testing.T) {
+func TestRouteWithoutSSDRecordsError(t *testing.T) {
 	srv, _ := Build(Commodity(RTX3090Ti, 2))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("routing to a missing SSD must panic")
+	if err := srv.RouteErr(); err != nil {
+		t.Fatalf("fresh server has route error: %v", err)
+	}
+	if path := srv.Route(GPUEnd(0), SSDEnd); path != nil {
+		t.Fatalf("invalid route returned a path: %v", path)
+	}
+	err := srv.RouteErr()
+	if err == nil {
+		t.Fatal("routing to a missing SSD must record an error")
+	}
+	if !strings.Contains(err.Error(), "SSD") {
+		t.Fatalf("route error should name the missing tier: %v", err)
+	}
+	// The first error sticks even after further bad routes.
+	srv.Route(SSDEnd, DRAMEnd)
+	if srv.RouteErr() != err {
+		t.Fatal("RouteErr must report the first failure")
+	}
+}
+
+func TestResourceAndPoolLookup(t *testing.T) {
+	srv, _ := Build(Commodity(RTX3090Ti, 2, 2))
+	for _, name := range []string{"rc0", "rc1", "gpu0.link", "gpu3.link", "drambus"} {
+		if srv.ResourceByName(name) == nil {
+			t.Fatalf("ResourceByName(%q) = nil", name)
 		}
-	}()
-	srv.Route(GPUEnd(0), SSDEnd)
+	}
+	if srv.ResourceByName("gpu9.link") != nil || srv.ResourceByName("ssd") != nil {
+		t.Fatal("lookup of absent resources must return nil")
+	}
+	if srv.PoolByName("dram") == nil || srv.PoolByName("gpu1.mem") == nil {
+		t.Fatal("pool lookup failed")
+	}
+	if srv.PoolByName("gpu9.mem") != nil {
+		t.Fatal("lookup of absent pool must return nil")
+	}
+	names := srv.ResourceNames()
+	if len(names) == 0 {
+		t.Fatal("ResourceNames empty")
+	}
 }
 
 func TestEndpointKindsDistinct(t *testing.T) {

@@ -87,6 +87,10 @@ type Problem struct {
 	constraints []constraint
 	lower       []float64
 	upper       []float64
+
+	// buildErr records the first invalid builder call (e.g. a negative
+	// lower bound); Solve returns it instead of panicking mid-build.
+	buildErr error
 }
 
 // NewProblem creates a problem with n non-negative variables.
@@ -117,10 +121,14 @@ func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) {
 	p.constraints = append(p.constraints, constraint{terms: own, rel: rel, rhs: rhs})
 }
 
-// SetBounds sets lo <= x_i <= hi. lo must be >= 0.
+// SetBounds sets lo <= x_i <= hi. lo must be >= 0; a negative lower bound
+// is recorded as a build error that Solve returns.
 func (p *Problem) SetBounds(i int, lo, hi float64) {
 	if lo < 0 {
-		panic("lp: negative lower bounds are not supported")
+		if p.buildErr == nil {
+			p.buildErr = fmt.Errorf("%w: negative lower bound %g on variable %d", ErrBadProblem, lo, i)
+		}
+		return
 	}
 	p.lower[i] = lo
 	p.upper[i] = hi
@@ -141,6 +149,7 @@ func (p *Problem) Clone() *Problem {
 		constraints: append([]constraint(nil), p.constraints...),
 		lower:       append([]float64(nil), p.lower...),
 		upper:       append([]float64(nil), p.upper...),
+		buildErr:    p.buildErr,
 	}
 	return q
 }
@@ -164,6 +173,9 @@ var ErrBadProblem = errors.New("lp: invalid problem")
 // field distinguishes optimal, infeasible and unbounded outcomes; Solve
 // returns a non-nil error only for structurally invalid input.
 func (p *Problem) Solve() (*Solution, error) {
+	if p.buildErr != nil {
+		return nil, p.buildErr
+	}
 	for _, c := range p.constraints {
 		for _, t := range c.terms {
 			if t.Var < 0 || t.Var >= p.n {

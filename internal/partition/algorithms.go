@@ -8,6 +8,7 @@ const (
 	AlgoMaxStage = "max-stage"
 	AlgoMinStage = "min-stage"
 	AlgoBalanced = "balanced"
+	AlgoGreedy   = "greedy-fallback"
 )
 
 // MinStage builds the minimum-stage baseline of the Figure 9 ablation:
@@ -84,4 +85,51 @@ func Balanced(params Params, stages int) (*Partition, error) {
 		}
 	}
 	return FromBoundaries(params.Profile, sizes, AlgoBalanced)
+}
+
+// Greedy builds the guaranteed-feasible fallback partition used when a
+// planning deadline expires before the MIP sweep finishes: the smallest
+// stage count that is a multiple of the GPU count whose balanced
+// decomposition fits per-stage GPU memory, degrading to the min-stage
+// decomposition when no balanced split fits. It runs no solver and is a
+// pure function of the profile, so every caller — at any parallelism
+// level — derives the identical plan. It errors only when even one block
+// per stage exceeds GPU memory, i.e. when no valid partition exists at
+// all.
+func Greedy(params Params) (*Partition, error) {
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	L := params.Profile.NumLayers()
+	for s := params.NumGPUs; s <= L; s += params.NumGPUs {
+		p, err := Balanced(params, s)
+		if err != nil {
+			continue
+		}
+		if fitsMemory(p, params.GPUMem) {
+			p.Algorithm = AlgoGreedy
+			return p, nil
+		}
+	}
+	p, err := MinStage(params)
+	if err != nil {
+		return nil, err
+	}
+	if !fitsMemory(p, params.GPUMem) {
+		return nil, fmt.Errorf("partition: no feasible fallback: even the min-stage decomposition exceeds GPU memory (%g GB)", params.GPUMem/1e9)
+	}
+	p.Algorithm = AlgoGreedy
+	return p, nil
+}
+
+// fitsMemory reports whether every stage's forward and backward footprint
+// fits the per-GPU memory budget.
+func fitsMemory(p *Partition, gpuMem float64) bool {
+	for _, st := range p.Stages {
+		if st.MemFwd() > gpuMem || st.MemBwd() > gpuMem {
+			return false
+		}
+	}
+	return true
 }

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -12,6 +14,13 @@ import (
 	"mobius/internal/milp"
 	"mobius/internal/model"
 )
+
+// ErrCancelled reports a planning context cancelled or past its deadline.
+// The sweep never returns a partial best-effort partition in that case —
+// whether a candidate solve happened to finish is timing-dependent, and a
+// deadline hit must yield the same outcome at every parallelism level.
+// Callers degrade to the deterministic Greedy fallback instead.
+var ErrCancelled = errors.New("partition: planning cancelled")
 
 // MIPOptions bound the MIP partition search.
 type MIPOptions struct {
@@ -140,9 +149,23 @@ func gatherBlockStats(params Params) (*blockStats, error) {
 // (8)-(11) — solves it with the branch-and-bound solver, and returns the
 // best partition found.
 func MIP(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
+	return MIPCtx(context.Background(), params, opts)
+}
+
+// MIPCtx is MIP honoring a context: candidate solves poll ctx between
+// branch-and-bound nodes and the sweep returns ErrCancelled once ctx is
+// done. Cancelled sweeps are never cached, so a later call with a live
+// context re-solves from scratch.
+func MIPCtx(ctx context.Context, params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 	params = params.withDefaults()
 	if err := params.validate(); err != nil {
 		return nil, nil, err
+	}
+	// An already-done context short-circuits before the cache: the caller
+	// asked for a deadline-bounded answer and must get the deterministic
+	// cancellation outcome whether or not a previous run warmed the cache.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCancelled, err)
 	}
 	if !opts.DisableCache {
 		// Parallelism does not change the result, so it is stripped from
@@ -165,13 +188,16 @@ func MIP(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 			return e.part, e.stats, e.err
 		}
 		mipCacheMu.Unlock()
-		part, stats, err := mipSolve(params, opts)
+		part, stats, err := mipSolve(ctx, params, opts)
+		if errors.Is(err, ErrCancelled) {
+			return part, stats, err // a timed-out sweep is not a reusable result
+		}
 		mipCacheMu.Lock()
 		mipCache[key] = mipCacheEntry{part, stats, err}
 		mipCacheMu.Unlock()
 		return part, stats, err
 	}
-	return mipSolve(params, opts)
+	return mipSolve(ctx, params, opts)
 }
 
 type mipKey struct {
@@ -216,7 +242,7 @@ func (b *atomicBound) min(v float64) {
 	}
 }
 
-func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
+func mipSolve(ctx context.Context, params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 	bs, err := gatherBlockStats(params)
 	if err != nil {
 		return nil, nil, err
@@ -300,17 +326,18 @@ func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 	}
 
 	var cancelled atomic.Bool
+	abort := func() bool { return cancelled.Load() || ctx.Err() != nil }
 	work := make(chan int)
 	for w := 0; w < par; w++ {
 		go func() {
 			for i := range work {
-				if cancelled.Load() {
+				if abort() {
 					results[i] <- solveRes{} // discarded by the replay
 					continue
 				}
 				start := time.Now()
 				inc := math.Min(seeds[i].inc, bound.load())
-				part, nodes, err := solveOne(params, bs, cands[i], opts, inc, seeds[i].balanced, &cancelled)
+				part, nodes, err := solveOne(params, bs, cands[i], opts, inc, seeds[i].balanced, abort)
 				results[i] <- solveRes{part: part, nodes: nodes, dur: time.Since(start), err: err}
 			}
 		}()
@@ -365,6 +392,13 @@ func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 		}
 	}
 
+	// A deadline that expired mid-sweep invalidates the whole result, even
+	// if some candidates finished: which ones did is timing-dependent, and
+	// the contract is all-or-nothing (see ErrCancelled).
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+
 	if best == nil {
 		return nil, nil, fmt.Errorf("partition: no feasible partition found (GPU memory %g GB too small?)", params.GPUMem/1e9)
 	}
@@ -375,9 +409,9 @@ func mipSolve(params Params, opts MIPOptions) (*Partition, *MIPStats, error) {
 // It returns a nil partition when the instance is infeasible. The
 // incumbent objective (already in the MILP's objective space) and the
 // balanced-heuristic fallback partition are computed by the caller so
-// they can be shared across concurrent solves; cancelled is polled by
+// they can be shared across concurrent solves; cancel is polled by
 // the solver to abandon work whose result the sweep will discard.
-func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent float64, balanced *Partition, cancelled *atomic.Bool) (*Partition, int, error) {
+func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent float64, balanced *Partition, cancel func() bool) (*Partition, int, error) {
 	N := params.NumGPUs
 	M := params.Microbatches
 	G := params.GPUMem * 1e-9    // GB
@@ -563,8 +597,8 @@ func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent f
 		mopts.Incumbent = incumbent
 		mopts.IncumbentSet = true
 	}
-	if cancelled != nil {
-		mopts.Cancel = cancelled.Load
+	if cancel != nil {
+		mopts.Cancel = cancel
 	}
 
 	res, err := milp.Solve(p, intVars, mopts)

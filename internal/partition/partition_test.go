@@ -376,3 +376,59 @@ func TestMIPNearExhaustiveOptimum(t *testing.T) {
 	}
 	t.Logf("MIP %.4fs vs exhaustive %.4fs over compositions of %d layers", stats.StepTime, best, L)
 }
+
+// TestGreedyFallbackFeasibleAndDeterministic checks the deadline
+// fallback's contract: Greedy always returns a valid partition whose
+// stages fit GPU memory, its stage count is a multiple of the GPU count,
+// and two calls with the same params produce identical boundaries — the
+// property the plan-determinism guarantee under cancellation rests on.
+func TestGreedyFallbackFeasibleAndDeterministic(t *testing.T) {
+	for _, cfg := range []model.Config{model.GPT3B, model.GPT8B, model.GPT15B, model.GPT51B} {
+		p := testParams(t, cfg, 4)
+		part, err := Greedy(p)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if part.Algorithm != AlgoGreedy {
+			t.Fatalf("%s: algorithm %q", cfg.Name, part.Algorithm)
+		}
+		if err := part.Validate(p.Profile); err != nil {
+			t.Fatalf("%s: invalid partition: %v", cfg.Name, err)
+		}
+		if part.NumStages()%p.NumGPUs != 0 {
+			t.Errorf("%s: %d stages not a multiple of %d GPUs", cfg.Name, part.NumStages(), p.NumGPUs)
+		}
+		for j, st := range part.Stages {
+			if st.MemFwd() > p.GPUMem || st.MemBwd() > p.GPUMem {
+				t.Errorf("%s: stage %d exceeds GPU memory", cfg.Name, j)
+			}
+		}
+		again, err := Greedy(p)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if len(again.Stages) != len(part.Stages) {
+			t.Fatalf("%s: nondeterministic stage count", cfg.Name)
+		}
+		for j := range part.Stages {
+			if part.Stages[j].First != again.Stages[j].First || part.Stages[j].Last != again.Stages[j].Last {
+				t.Fatalf("%s: nondeterministic boundaries at stage %d", cfg.Name, j)
+			}
+		}
+	}
+}
+
+// TestGreedyPrefersFewestStagesThatFit checks the search order: Greedy
+// walks stage counts upward in multiples of the GPU count and stops at
+// the first memory-feasible decomposition, so a model that fits at one
+// stage per GPU gets exactly that.
+func TestGreedyPrefersFewestStagesThatFit(t *testing.T) {
+	p := testParams(t, model.GPT3B, 4)
+	part, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumStages() != 4 {
+		t.Fatalf("3B fits one stage per GPU; greedy chose %d stages", part.NumStages())
+	}
+}

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 
+	"mobius/internal/fault"
 	"mobius/internal/hw"
 	"mobius/internal/partition"
 	"mobius/internal/profile"
@@ -20,6 +21,9 @@ type GPipeConfig struct {
 	// (pipeline)" uses the same execution model in the paper's
 	// evaluation.
 	SystemName string
+	// Faults, when non-nil, degrades the simulated hardware (see the
+	// fault package).
+	Faults *fault.Spec
 }
 
 // gpipeStateFactor converts a stage's FP16 parameter bytes into the full
@@ -52,6 +56,9 @@ func RunGPipe(topo *hw.Topology, cfg GPipeConfig) (*Result, error) {
 	rec := trace.NewRecorder()
 	srv.Sim.Observe(rec)
 	res := &Result{System: name, Recorder: rec, Server: srv}
+	if err := applyFaults(srv, cfg.Faults, res); err != nil {
+		return nil, err
+	}
 
 	part, err := partition.Balanced(partition.Params{
 		Profile:   cfg.Profile,
@@ -65,11 +72,20 @@ func RunGPipe(topo *hw.Topology, cfg GPipeConfig) (*Result, error) {
 	stg := part.Stages
 
 	// OOM check: full training state plus retained boundary checkpoints
-	// for every in-flight microbatch must fit.
+	// for every in-flight microbatch must fit. The budget is the simulated
+	// pool's capacity, not the nominal topology's, so fault-injected memory
+	// pressure surfaces here as a structured OOM.
 	for j, st := range stg {
 		need := st.ParamBytes*gpipeStateFactor + st.WorkingBytes + float64(M)*(st.ActInBytes+st.ActOutBytes)
-		if need > topo.GPUMem(j) {
+		avail := topo.GPUMem(j)
+		if pool := srv.PoolByName(fmt.Sprintf("gpu%d.mem", j)); pool != nil && pool.Capacity() < avail {
+			avail = pool.Capacity()
+		}
+		if need > avail {
 			res.OOM = true
+			if avail < topo.GPUMem(j) {
+				res.OOMCause = fmt.Sprintf("memory pressure: stage %d needs %.3g bytes but gpu%d.mem capacity is %.3g", j, need, j, avail)
+			}
 			return res, nil
 		}
 	}
@@ -123,10 +139,8 @@ func RunGPipe(topo *hw.Topology, cfg GPipeConfig) (*Result, error) {
 		}
 	}
 
-	end, err := s.Run()
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: gpipe schedule: %w", err)
+	if err := finishRun(srv, res); err != nil {
+		return nil, err
 	}
-	res.StepTime = end
 	return res, nil
 }

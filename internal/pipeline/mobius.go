@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 
+	"mobius/internal/fault"
 	"mobius/internal/hw"
 	"mobius/internal/mapping"
 	"mobius/internal/partition"
@@ -24,6 +25,10 @@ type MobiusConfig struct {
 	// knob): uploads start only after the previous stage is freed, so no
 	// communication hides under computation.
 	DisablePrefetch bool
+	// Faults, when non-nil, degrades the simulated hardware (see the
+	// fault package). The schedule itself is unchanged — faults model
+	// unplanned degradation of the machine the plan targeted.
+	Faults *fault.Spec
 }
 
 // RunMobius simulates one Mobius training step on the topology and
@@ -56,6 +61,9 @@ func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
 	rec := trace.NewRecorder()
 	srv.Sim.Observe(rec)
 	res := &Result{System: "Mobius", Recorder: rec, Server: srv}
+	if err := applyFaults(srv, cfg.Faults, res); err != nil {
+		return nil, err
+	}
 
 	stg := cfg.Partition.Stages
 	gpuOf := func(j int) int { return cfg.Mapping.GPUOf(j) }
@@ -235,11 +243,9 @@ func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
 		freeB[j] = s.Free(fmt.Sprintf("freeB%d", j), mem, stg[j].MemBwd(), flush)
 	}
 
-	end, err := s.Run()
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: mobius schedule: %w", err)
+	if err := finishRun(srv, res); err != nil {
+		return nil, err
 	}
-	res.StepTime = end
 	return res, nil
 }
 

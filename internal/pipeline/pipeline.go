@@ -7,9 +7,12 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 
+	"mobius/internal/fault"
 	"mobius/internal/hw"
+	"mobius/internal/sim"
 	"mobius/internal/trace"
 )
 
@@ -22,10 +25,16 @@ type Result struct {
 	// OOM reports that the schedule cannot fit in GPU memory; StepTime is
 	// meaningless when set.
 	OOM bool
+	// OOMCause describes a structured OOM surfaced during simulation
+	// (fault-injected memory pressure); empty when the pre-run memory
+	// check caught the overflow.
+	OOMCause string
 	// Recorder holds the collected flow/compute records.
 	Recorder *trace.Recorder
 	// Server exposes the simulated hardware for memory inspection.
 	Server *hw.Server
+	// Faults records the applied fault injection, nil for nominal runs.
+	Faults *fault.Injection
 }
 
 // TotalTraffic returns all transferred bytes during the step.
@@ -49,3 +58,40 @@ const (
 	prioUploadBase = 10 // stage uploads: base + mapping.UploadPriority
 	prioActivation = 10000
 )
+
+// applyFaults binds a fault spec to the freshly built server and records
+// the injection on the result. A nil or empty spec is a no-op.
+func applyFaults(srv *hw.Server, spec *fault.Spec, res *Result) error {
+	if spec.Empty() {
+		return nil
+	}
+	inj, err := fault.Apply(srv, spec)
+	if err != nil {
+		return err
+	}
+	res.Faults = inj
+	return nil
+}
+
+// finishRun validates the routed DAG and executes the simulation. A
+// structured OOM (fault-injected memory pressure shrank a pool below a
+// stage's footprint) degrades the result to OOM instead of failing the
+// call; every other simulation error — deadlock, memory accounting — is
+// returned.
+func finishRun(srv *hw.Server, res *Result) error {
+	if err := srv.RouteErr(); err != nil {
+		return fmt.Errorf("pipeline: %s schedule: %w", res.System, err)
+	}
+	end, err := srv.Sim.Run()
+	if err != nil {
+		var oom *sim.OOMError
+		if errors.As(err, &oom) {
+			res.OOM = true
+			res.OOMCause = oom.Error()
+			return nil
+		}
+		return fmt.Errorf("pipeline: %s schedule: %w", res.System, err)
+	}
+	res.StepTime = end
+	return nil
+}

@@ -27,6 +27,39 @@ func (p *MemPool) Used() float64 { return p.used }
 // Peak returns the high-water mark of allocated bytes.
 func (p *MemPool) Peak() float64 { return p.peak }
 
+// SetCapacity resizes the pool to capacity bytes. The fault layer uses it
+// to model memory pressure; call before Run — shrinking a pool below its
+// live allocation mid-run is not re-checked.
+func (p *MemPool) SetCapacity(capacity float64) { p.capacity = capacity }
+
+// OOMError reports an allocation that can never succeed because the
+// requested amount exceeds the pool's total capacity. Under memory-pool
+// pressure this converts what used to be a deadlock (or, for accounting
+// bugs, a panic) into a structured out-of-memory event naming the task.
+type OOMError struct {
+	Pool     string  // pool name
+	Task     string  // name of the requesting task
+	Need     float64 // bytes requested
+	Capacity float64 // pool capacity at the time of the request
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("sim: pool %q out of memory: task %q needs %.3g bytes but capacity is %.3g", e.Pool, e.Task, e.Need, e.Capacity)
+}
+
+// MemAccountError reports a Free task returning more bytes to a pool than
+// are currently allocated (a double free in the generated DAG).
+type MemAccountError struct {
+	Pool  string  // pool name
+	Task  string  // name of the over-freeing task
+	Freed float64 // bytes the free attempted to return
+	Below float64 // bytes the pool would have gone below zero
+}
+
+func (e *MemAccountError) Error() string {
+	return fmt.Sprintf("sim: pool %q freed below zero by task %q (freed %.3g, %.3g below zero)", e.Pool, e.Task, e.Freed, e.Below)
+}
+
 // tryAlloc attempts an allocation; it fails if capacity is insufficient or
 // earlier waiters are queued (FIFO fairness).
 func (p *MemPool) tryAlloc(t *Task) bool {
@@ -48,16 +81,20 @@ func (p *MemPool) allocNow(amount float64) bool {
 }
 
 // release returns amount to the pool and pops every FIFO waiter that now
-// fits. It returns the tasks whose allocations succeeded.
-func (p *MemPool) release(amount float64) []*Task {
+// fits. It returns the tasks whose allocations succeeded, plus how far
+// below zero the free pushed the accounting (0 for a well-formed free);
+// the caller turns a positive value into a *MemAccountError naming the
+// offending task.
+func (p *MemPool) release(amount float64) (woken []*Task, below float64) {
 	p.used -= amount
 	if p.used < -memEpsilon {
-		panic(fmt.Sprintf("sim: pool %q freed below zero (%g)", p.name, p.used))
+		below = -p.used
+		p.used = 0
+		return nil, below
 	}
 	if p.used < 0 {
 		p.used = 0
 	}
-	var woken []*Task
 	for len(p.waiters) > 0 {
 		head := p.waiters[0]
 		if !p.allocNow(head.amount) {
@@ -66,7 +103,7 @@ func (p *MemPool) release(amount float64) []*Task {
 		p.waiters = p.waiters[1:]
 		woken = append(woken, head)
 	}
-	return woken
+	return woken, 0
 }
 
 // memEpsilon absorbs floating-point dust in capacity comparisons.

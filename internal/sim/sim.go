@@ -48,6 +48,17 @@ type Sim struct {
 	// synchronization, framework launch overhead). Zero by default; the
 	// hardware layer sets a topology-appropriate value.
 	TransferLatency Time
+
+	// RetryPolicy, when non-nil, is consulted once per transfer task as
+	// it starts; see the RetryPolicy type in inject.go.
+	RetryPolicy RetryPolicy
+
+	// Scheduled capacity changes (fault injection), applied in time order.
+	capEvents []capEvent
+	nextCap   int
+
+	// First structured failure (OOM, memory accounting); Run returns it.
+	err error
 }
 
 // New creates an empty simulator.
@@ -145,9 +156,14 @@ func (s *Sim) After(name string, deps ...*Task) *Task {
 }
 
 // Run executes the DAG to completion and returns the makespan. It returns
-// an error when the DAG deadlocks (tasks remain but no event can fire),
-// for example when an Alloc exceeds pool capacity forever.
+// an error when the DAG deadlocks (tasks remain but no event can fire) or
+// when a structured failure occurs: an Alloc larger than its pool's total
+// capacity yields an *OOMError, a Free returning more bytes than are
+// allocated yields a *MemAccountError.
 func (s *Sim) Run() (Time, error) {
+	sortCapEvents(s.capEvents)
+	s.applyCapEvents()
+
 	// Seed the worklist with dependency-free tasks.
 	for _, t := range s.tasks {
 		if t.state == statePending && t.waiting == 0 {
@@ -156,7 +172,7 @@ func (s *Sim) Run() (Time, error) {
 	}
 	s.drain()
 
-	for s.pending > 0 {
+	for s.pending > 0 && s.err == nil {
 		s.recomputeRates()
 
 		next := math.Inf(1)
@@ -172,6 +188,9 @@ func (s *Sim) Run() (Time, error) {
 				next = t
 			}
 		}
+		if s.nextCap < len(s.capEvents) && s.capEvents[s.nextCap].at < next {
+			next = s.capEvents[s.nextCap].at
+		}
 		if math.IsInf(next, 1) {
 			return s.now, s.deadlockError()
 		}
@@ -180,6 +199,9 @@ func (s *Sim) Run() (Time, error) {
 		}
 		s.advance(next)
 		s.drain()
+	}
+	if s.err != nil {
+		return s.now, s.err
 	}
 	return s.now, nil
 }
@@ -235,6 +257,8 @@ func (s *Sim) advance(t Time) {
 	for _, f := range done {
 		s.finishEngineTask(f.task)
 	}
+
+	s.applyCapEvents()
 }
 
 // finishEngineTask completes a compute or transfer task, releases its
@@ -256,6 +280,9 @@ func (s *Sim) drain() {
 	kicked := map[*Engine]bool{}
 	for {
 		for len(s.ready) > 0 {
+			if s.err != nil {
+				return
+			}
 			t := s.ready[0]
 			s.ready = s.ready[1:]
 			s.drainOne(t, kicked)
@@ -296,6 +323,13 @@ func (s *Sim) drainOne(t *Task, kicked map[*Engine]bool) {
 		s.notifyStart(t)
 		s.complete(t)
 	case KindAlloc:
+		if t.amount > t.pool.capacity+memEpsilon {
+			// The request can never be satisfied (e.g. memory pressure
+			// shrank the pool): a structured OOM beats an eventual
+			// deadlock report.
+			s.fail(&OOMError{Pool: t.pool.name, Task: t.name, Need: t.amount, Capacity: t.pool.capacity})
+			return
+		}
 		if t.pool.tryAlloc(t) {
 			t.startAt = s.now
 			s.notifyStart(t)
@@ -307,7 +341,11 @@ func (s *Sim) drainOne(t *Task, kicked map[*Engine]bool) {
 	case KindFree:
 		t.startAt = s.now
 		s.notifyStart(t)
-		woken := t.pool.release(t.amount)
+		woken, below := t.pool.release(t.amount)
+		if below > 0 {
+			s.fail(&MemAccountError{Pool: t.pool.name, Task: t.name, Freed: t.amount, Below: below})
+			return
+		}
 		s.complete(t)
 		for _, w := range woken {
 			w.startAt = s.now
@@ -345,12 +383,32 @@ func (s *Sim) startOnEngine(t *Task) {
 
 	switch t.kind {
 	case KindCompute:
-		t.endAt = s.now + t.duration
+		d := t.duration
+		if t.engine != nil {
+			if f := t.engine.Throughput(); f != 1 {
+				d /= f
+			}
+		}
+		t.endAt = s.now + d
 		heap.Push(&s.computes, t)
 	case KindTransfer:
 		lat := t.latency
 		if lat <= 0 {
 			lat = s.TransferLatency
+		}
+		if s.RetryPolicy != nil && t.bytes > 0 {
+			if n, backoff := s.RetryPolicy(t); n > 0 && backoff > 0 {
+				// Failed attempts wait backoff, 2*backoff, ... before the
+				// payload is finally admitted.
+				extra, step := Time(0), backoff
+				for i := 0; i < n; i++ {
+					extra += step
+					step *= 2
+				}
+				t.retries = n
+				t.retryLatency = extra
+				lat += extra
+			}
 		}
 		if lat > 0 && t.bytes > 0 {
 			// Setup phase: occupy the engine for the latency, then flow.

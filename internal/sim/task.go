@@ -77,6 +77,10 @@ type Task struct {
 	startAt Time
 	endAt   Time
 
+	// Fault-injection bookkeeping (see Sim.RetryPolicy).
+	retries      int
+	retryLatency Time
+
 	// Tag carries caller metadata through to observers.
 	Tag any
 }
@@ -113,6 +117,14 @@ func (t *Task) End() Time { return t.endAt }
 
 // Finished reports whether the task completed.
 func (t *Task) Finished() bool { return t.state == stateFinished }
+
+// Retries returns the number of injected transient failures this transfer
+// survived before its payload was admitted.
+func (t *Task) Retries() int { return t.retries }
+
+// RetryLatency returns the total exponential-backoff wait injected before
+// the transfer's payload was admitted.
+func (t *Task) RetryLatency() Time { return t.retryLatency }
 
 func (t *Task) String() string {
 	return fmt.Sprintf("task %d %q (%s)", t.id, t.name, t.kind)

@@ -93,6 +93,11 @@ func (t *Trainer) NumStages() int { return len(t.stages) }
 // gradient accumulation + one optimizer update) and returns the mean
 // loss.
 func (t *Trainer) Step(microbatches []nn.Batch) float64 {
+	if len(microbatches) == 0 {
+		// An empty step is a no-op, not a 0/0 NaN that would poison the
+		// loss curve downstream.
+		return 0
+	}
 	switch t.Mode {
 	case ModeMobius:
 		return t.mobiusStep(microbatches)

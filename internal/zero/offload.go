@@ -129,6 +129,9 @@ func RunOffload(topo *hw.Topology, cfg Config) (*pipeline.Result, error) {
 		}
 	}
 
+	if err := srv.RouteErr(); err != nil {
+		return nil, fmt.Errorf("zero: offload schedule: %w", err)
+	}
 	end, err := s.Run()
 	if err != nil {
 		return nil, fmt.Errorf("zero: offload schedule: %w", err)
@@ -245,6 +248,9 @@ func RunInfinityNVMe(topo *hw.Topology, cfg Config) (*pipeline.Result, error) {
 		}
 	}
 
+	if err := srv.RouteErr(); err != nil {
+		return nil, fmt.Errorf("zero: nvme schedule: %w", err)
+	}
 	end, err := s.Run()
 	if err != nil {
 		return nil, fmt.Errorf("zero: nvme schedule: %w", err)

@@ -173,6 +173,9 @@ func Run(topo *hw.Topology, cfg Config) (*pipeline.Result, error) {
 		}
 	}
 
+	if err := srv.RouteErr(); err != nil {
+		return nil, fmt.Errorf("zero: schedule: %w", err)
+	}
 	end, err := s.Run()
 	if err != nil {
 		return nil, fmt.Errorf("zero: schedule: %w", err)

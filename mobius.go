@@ -27,7 +27,10 @@
 package mobius
 
 import (
+	"context"
+
 	"mobius/internal/core"
+	"mobius/internal/fault"
 	"mobius/internal/hw"
 	"mobius/internal/mapping"
 	"mobius/internal/model"
@@ -54,6 +57,13 @@ type (
 	ModelConfig = model.Config
 	// CDF is a weighted cumulative distribution (bandwidth statistics).
 	CDF = trace.CDF
+	// FaultSpec is a declarative degraded-hardware scenario (link
+	// bandwidth windows, straggler GPUs, transient transfer failures,
+	// memory pressure) for Options.Faults.
+	FaultSpec = fault.Spec
+	// FaultInjection records an applied fault scenario and the retry
+	// traffic it induced.
+	FaultInjection = fault.Injection
 )
 
 // The four systems of the paper's evaluation.
@@ -113,9 +123,27 @@ func DataCenter(spec GPUSpec, n int, nvlinkBW float64) *Topology {
 // system on the configured model and topology.
 func Run(system System, opts Options) (*StepReport, error) { return core.Run(system, opts) }
 
+// RunCtx is Run honoring a context for the planning phase: a deadline
+// that expires mid-planning degrades the Mobius plan to the guaranteed-
+// feasible greedy fallback instead of failing the run.
+func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, error) {
+	return core.RunCtx(ctx, system, opts)
+}
+
 // PlanMobius profiles the model and computes the Mobius partition and
 // mapping without running the simulation.
 func PlanMobius(opts Options) (*Plan, error) { return core.PlanMobius(opts) }
+
+// PlanMobiusCtx is PlanMobius honoring a context deadline; on expiry the
+// plan degrades to the deterministic greedy fallback (Plan.Fallback
+// reports it) rather than returning an error.
+func PlanMobiusCtx(ctx context.Context, opts Options) (*Plan, error) {
+	return core.PlanMobiusCtx(ctx, opts)
+}
+
+// ParseFaultSpec decodes and validates a JSON fault spec (see the fault
+// package for the format).
+func ParseFaultSpec(data []byte) (*FaultSpec, error) { return fault.ParseJSON(data) }
 
 // HourlyPrice returns the topology's rental price per hour (Figure 15b).
 func HourlyPrice(topo *Topology) float64 { return core.HourlyPrice(topo) }
