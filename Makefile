@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check check-faults bench
+.PHONY: build vet test race check check-faults check-recovery bench
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,19 @@ race:
 check-faults:
 	$(GO) test -race -run 'TestFaultMatrix' -count=1 ./internal/fault/
 
+# check-recovery is the elastic-recovery smoke test: every recovery
+# policy against both permanent-failure classes end-to-end (accounting
+# identity included), plus the bitwise checkpoint/resume property of the
+# real trainer, under the race detector.
+check-recovery:
+	$(GO) test -race -run 'TestRecovery' -count=1 ./internal/elastic/
+	$(GO) test -race -run 'TestResume|TestCheckpoint' -count=1 ./internal/train/
+
 # check is the tier-1 gate: everything must compile, vet clean, pass the
 # test suite under the race detector (the planning pipeline is
 # concurrent, so plain `go test` alone is not enough), and survive the
-# fault matrix.
-check: build vet race check-faults
+# fault matrix and the recovery matrix.
+check: build vet race check-faults check-recovery
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/

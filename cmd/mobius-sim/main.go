@@ -7,6 +7,15 @@
 //	mobius-sim -model 8B -topo 4 -system ds-hetero
 //	mobius-sim -model 8B -topo 4+4 -faults degraded.json
 //	mobius-sim -model 51B -topo 4+4 -plan-deadline 1ms
+//
+// A fault spec with a permanent failure (gpu_fail/link_fail), or -steps
+// > 1, or -checkpoint-every > 0 switches to the multi-step elastic path
+// (Mobius only): the run checkpoints periodically, detects the failure,
+// re-plans on the surviving topology per -policy and prints the
+// RecoveryReport:
+//
+//	mobius-sim -model 3B -topo 2+2 -steps 8 -checkpoint-every 2 -faults gpufail.json
+//	mobius-sim -model 3B -topo 2+2 -steps 8 -checkpoint-every 2 -checkpoint-dest ssd -policy resume -faults gpufail.json
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"os"
 
 	"mobius/internal/core"
+	"mobius/internal/elastic"
 	"mobius/internal/fault"
 	"mobius/internal/hw"
 	"mobius/internal/model"
@@ -35,6 +45,10 @@ func main() {
 	csvPath := flag.String("csv", "", "write the full event trace as CSV to this path")
 	faultsPath := flag.String("faults", "", "JSON fault spec injected into the simulated hardware (mobius/gpipe only)")
 	planDeadline := flag.Duration("plan-deadline", 0, "planning deadline; on expiry the Mobius plan degrades to the greedy fallback (0 = none)")
+	steps := flag.Int("steps", 1, "training steps; >1 simulates a multi-step run with elastic recovery (mobius only)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the model states every k steps (0 = never; mobius only)")
+	ckptDest := flag.String("checkpoint-dest", "dram", "checkpoint destination: dram or ssd")
+	policy := flag.String("policy", "replan", "recovery policy after a permanent failure: replan, resume, restart")
 	flag.Parse()
 
 	var m model.Config
@@ -87,6 +101,32 @@ func main() {
 		fail("unknown system %q", *system)
 	}
 
+	// The elastic path: multi-step runs, checkpointing, and recovery from
+	// permanent failures. A non-Mobius system with a permanent fault falls
+	// through to the single-step path, which reports the halt.
+	if *steps > 1 || *ckptEvery > 0 {
+		if sys != core.SystemMobius {
+			fail("elastic recovery (-steps/-checkpoint-every) requires -system mobius")
+		}
+	}
+	if sys == core.SystemMobius && (*steps > 1 || *ckptEvery > 0 || spec.HasPermanent()) {
+		rep, err := elastic.Run(elastic.Config{
+			Model:           m,
+			Topology:        topo,
+			Steps:           *steps,
+			CheckpointEvery: *ckptEvery,
+			CheckpointDest:  elastic.Dest(*ckptDest),
+			Faults:          spec,
+			Policy:          elastic.Policy(*policy),
+			PlanDeadline:    *planDeadline,
+		})
+		if err != nil {
+			fail("recovery simulation failed: %v", err)
+		}
+		fmt.Println(rep)
+		return
+	}
+
 	ctx := context.Background()
 	if *planDeadline > 0 {
 		var cancel context.CancelFunc
@@ -97,6 +137,11 @@ func main() {
 	report, err := core.RunCtx(ctx, sys, core.Options{Model: m, Topology: topo, Faults: spec})
 	if err != nil {
 		fail("simulation failed: %v", err)
+	}
+	if report.ResourceLost != nil {
+		fmt.Println(report)
+		fmt.Printf("%v\nrerun with -steps/-checkpoint-every to simulate elastic recovery\n", report.ResourceLost)
+		return
 	}
 	if report.Plan != nil && report.Plan.Fallback {
 		fmt.Printf("planning deadline expired (%s); using the greedy fallback plan\n", report.Plan.FallbackReason)

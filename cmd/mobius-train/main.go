@@ -6,6 +6,16 @@
 // Usage:
 //
 //	mobius-train -steps 200
+//
+// With -ckpt the command switches to a single resumable training loop
+// that checkpoints every -save-every steps. Batches are a pure function
+// of the global step, so a run killed mid-way (simulate with -fail-at)
+// and resumed with -resume produces bitwise-identical losses to one that
+// never stopped — even with a different -stages split, the elastic
+// re-plan case:
+//
+//	mobius-train -ckpt ck.gob -steps 40 -save-every 10 -fail-at 23; \
+//	mobius-train -ckpt ck.gob -steps 40 -save-every 10 -resume -stages 4
 package main
 
 import (
@@ -14,15 +24,109 @@ import (
 	"os"
 
 	"mobius/internal/experiments"
+	"mobius/internal/nn"
+	"mobius/internal/textgen"
+	"mobius/internal/train"
 )
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mobius-train: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	steps := flag.Int("steps", 150, "training steps")
+	ckpt := flag.String("ckpt", "", "checkpoint file; enables the resumable training loop")
+	saveEvery := flag.Int("save-every", 10, "checkpoint every k steps (with -ckpt)")
+	resume := flag.Bool("resume", false, "restore from -ckpt and continue training")
+	mode := flag.String("mode", "mobius", "execution order: mobius or gpipe")
+	stages := flag.Int("stages", 3, "pipeline stages")
+	failAt := flag.Int("fail-at", -1, "crash (exit 1, no save) after completing this step, to exercise -resume")
 	flag.Parse()
-	tab, err := experiments.Figure13(*steps)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mobius-train: %v\n", err)
-		os.Exit(1)
+
+	if *ckpt == "" {
+		tab, err := experiments.Figure13(*steps)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(tab.String())
+		return
 	}
-	fmt.Println(tab.String())
+
+	var md train.Mode
+	switch *mode {
+	case "mobius":
+		md = train.ModeMobius
+	case "gpipe":
+		md = train.ModeGPipe
+	default:
+		fail("unknown mode %q (want mobius or gpipe)", *mode)
+	}
+	if *saveEvery <= 0 {
+		fail("-save-every must be positive")
+	}
+
+	// The Figure 13 recipe; the corpus and batches depend only on the
+	// global step so a resumed run replays the identical data order.
+	cfg := nn.Config{Vocab: 64, Seq: 16, Dim: 32, Heads: 4, Layers: 4, Seed: 7}
+	corpus, err := textgen.Generate(cfg.Vocab, 30000, 13)
+	if err != nil {
+		fail("%v", err)
+	}
+	m, err := nn.NewGPT(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	tr, err := train.New(m, *stages, 3e-3, md)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	start := 0
+	if *resume {
+		f, err := os.Open(*ckpt)
+		if err != nil {
+			fail("resume: %v", err)
+		}
+		start, err = tr.RestoreCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fail("resume: %v", err)
+		}
+		fmt.Printf("resumed from %s at step %d (%s, %d stages)\n", *ckpt, start, md, tr.NumStages())
+	}
+
+	save := func(next int) {
+		tmp := *ckpt + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			fail("checkpoint: %v", err)
+		}
+		if err := tr.SaveCheckpoint(f, next); err != nil {
+			f.Close()
+			fail("checkpoint: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("checkpoint: %v", err)
+		}
+		if err := os.Rename(tmp, *ckpt); err != nil {
+			fail("checkpoint: %v", err)
+		}
+	}
+
+	for step := start; step < *steps; step++ {
+		var batches []nn.Batch
+		for i := 0; i < 4; i++ {
+			batches = append(batches, corpus.Batch(cfg.Seq, 2, step, i))
+		}
+		loss := tr.Step(batches)
+		fmt.Printf("step %4d  loss %.6f\n", step, loss)
+		if (step+1)%*saveEvery == 0 || step == *steps-1 {
+			save(step + 1)
+		}
+		if step == *failAt {
+			fail("injected failure after step %d (last checkpoint: step %d)", step, ((step+1)/(*saveEvery))*(*saveEvery))
+		}
+	}
+	fmt.Printf("done: %d steps, checkpoint %s\n", *steps, *ckpt)
 }

@@ -18,6 +18,7 @@ import (
 	"mobius/internal/partition"
 	"mobius/internal/pipeline"
 	"mobius/internal/profile"
+	"mobius/internal/sim"
 	"mobius/internal/trace"
 	"mobius/internal/zero"
 )
@@ -89,6 +90,10 @@ type Options struct {
 	// plan is still computed against the nominal topology — faults model
 	// unplanned degradation, not a different machine.
 	Faults *fault.Spec
+	// Checkpoint, when non-nil, appends a periodic state snapshot to the
+	// Mobius step (see pipeline.CheckpointWrite); ignored by the other
+	// systems.
+	Checkpoint *pipeline.CheckpointWrite
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -327,6 +332,10 @@ type StepReport struct {
 	// the failure surfaced during simulation (fault-injected memory
 	// pressure) rather than in the pre-run memory check.
 	OOMCause string
+	// ResourceLost is set when a scheduled permanent failure halted the
+	// step mid-flight; StepTime then holds the elapsed time up to
+	// detection. The elastic package turns this into a recovery.
+	ResourceLost *sim.ResourceLostError
 }
 
 // Run plans (when needed) and simulates one training step of the given
@@ -371,6 +380,7 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 			DisablePrefetchPriority: opts.DisablePrefetchPriority,
 			DisablePrefetch:         opts.DisablePrefetch,
 			Faults:                  opts.Faults,
+			Checkpoint:              opts.Checkpoint,
 		})
 		if err != nil {
 			return nil, err
@@ -434,6 +444,7 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 	report.StepTime = res.StepTime
 	report.OOM = res.OOM
 	report.OOMCause = res.OOMCause
+	report.ResourceLost = res.Lost
 	report.Recorder = res.Recorder
 	report.Server = res.Server
 	report.FaultInjection = res.Faults

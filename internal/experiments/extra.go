@@ -218,6 +218,7 @@ func All() map[string]func() (*Table, error) {
 		"convergence-async":      ConvergenceAsync,
 		"ablation-checkpointing": AblationCheckpointing,
 		"resilience":             Resilience,
+		"recovery":               Recovery,
 	}
 }
 
@@ -229,6 +230,6 @@ func Order() []string {
 		"figure13", "figure14", "figure15", "figure16",
 		"ablation-prefetch", "ablation-priority", "ablation-microbatches",
 		"related-work", "convergence-async", "ablation-checkpointing",
-		"resilience",
+		"resilience", "recovery",
 	}
 }

@@ -32,6 +32,16 @@ type Spec struct {
 	Stragglers  []StragglerFault   `json:"stragglers,omitempty"`
 	Transient   []TransientFault   `json:"transient,omitempty"`
 	MemPressure []MemPressureFault `json:"mem_pressure,omitempty"`
+
+	// HorizonS, when positive, bounds the simulated window the spec was
+	// written for: permanent-failure onsets must land inside [0, HorizonS).
+	// Zero means unbounded.
+	HorizonS float64 `json:"horizon_s,omitempty"`
+
+	// GPUFails and LinkFails are permanent failures (see permanent.go);
+	// the run halts at the onset with a structured sim.ResourceLostError.
+	GPUFails  []GPUFailFault  `json:"gpu_fails,omitempty"`
+	LinkFails []LinkFailFault `json:"link_fails,omitempty"`
 }
 
 // LinkFault degrades one bandwidth resource to a fraction of its nominal
@@ -153,7 +163,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("fault: mem_pressure[%d] (%s): reserve_bytes %g must be positive", i, m.Pool, m.ReserveBytes)
 		}
 	}
-	return nil
+	return s.validatePermanent()
 }
 
 func endLabel(end float64) string {
@@ -165,7 +175,8 @@ func endLabel(end float64) string {
 
 // Empty reports whether the spec injects nothing.
 func (s *Spec) Empty() bool {
-	return s == nil || (len(s.Links) == 0 && len(s.Stragglers) == 0 && len(s.Transient) == 0 && len(s.MemPressure) == 0)
+	return s == nil || (len(s.Links) == 0 && len(s.Stragglers) == 0 && len(s.Transient) == 0 &&
+		len(s.MemPressure) == 0 && len(s.GPUFails) == 0 && len(s.LinkFails) == 0)
 }
 
 // Injection is the record of a spec bound to one server: what was applied
@@ -182,6 +193,8 @@ type Injection struct {
 	Stragglers int
 	// PoolsSqueezed counts shrunken memory pools.
 	PoolsSqueezed int
+	// PermanentFailures counts scheduled permanent failure events.
+	PermanentFailures int
 
 	// RetriedTransfers counts transfers that failed at least once.
 	RetriedTransfers int
@@ -193,8 +206,12 @@ type Injection struct {
 
 // String summarizes the injection for CLI output.
 func (inj *Injection) String() string {
-	return fmt.Sprintf("faults: %d link events, %d stragglers, %d pools squeezed; %d transfers retried (%d retries, +%.1f ms backoff)",
+	s := fmt.Sprintf("faults: %d link events, %d stragglers, %d pools squeezed; %d transfers retried (%d retries, +%.1f ms backoff)",
 		inj.LinkEvents, inj.Stragglers, inj.PoolsSqueezed, inj.RetriedTransfers, inj.Retries, inj.RetryLatency*1e3)
+	if inj.PermanentFailures > 0 {
+		s += fmt.Sprintf("; %d permanent failures scheduled", inj.PermanentFailures)
+	}
+	return s
 }
 
 // Apply validates spec and binds it to srv: capacity windows are scheduled
@@ -243,6 +260,10 @@ func Apply(srv *hw.Server, spec *Spec) (*Injection, error) {
 		}
 		pool.SetCapacity(left)
 		inj.PoolsSqueezed++
+	}
+
+	if err := applyPermanent(srv, spec, inj); err != nil {
+		return nil, err
 	}
 
 	if len(spec.Transient) > 0 {

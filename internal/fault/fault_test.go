@@ -12,10 +12,26 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden .err files from current parser output")
 
-// TestParseJSONGolden runs every spec under testdata/ through the parser.
-// A spec with a sibling .err file must fail with exactly that message
-// (the golden error a user would see); one without must parse cleanly.
-// Regenerate goldens with `go test ./internal/fault -run Golden -update`.
+// goldenTopo returns the topology a testdata spec is bound to in the
+// Apply stage of the golden test. The default harness machine is the
+// 4-GPU Topo 2+2; specs probing topology-dependent errors (failing the
+// only GPU, GPU id out of range) declare their machine here.
+func goldenTopo(base string) *hw.Topology {
+	switch base {
+	case "gpu-fail-only-gpu.json":
+		return hw.Commodity(hw.RTX3090Ti, 1)
+	default:
+		return hw.Commodity(hw.RTX3090Ti, 2, 2)
+	}
+}
+
+// TestParseJSONGolden runs every spec under testdata/ through the parser
+// and, when it parses cleanly, through Apply on the spec's harness
+// topology (topology-dependent errors like "no such GPU" only surface
+// there). A spec with a sibling .err file must fail with exactly that
+// message (the golden error a user would see); one without must parse and
+// apply cleanly. Regenerate goldens with
+// `go test ./internal/fault -run Golden -update`.
 func TestParseJSONGolden(t *testing.T) {
 	specs, err := filepath.Glob("testdata/*.json")
 	if err != nil || len(specs) == 0 {
@@ -27,7 +43,14 @@ func TestParseJSONGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, perr := ParseJSON(data)
+			spec, perr := ParseJSON(data)
+			if perr == nil {
+				srv, berr := hw.Build(goldenTopo(filepath.Base(path)))
+				if berr != nil {
+					t.Fatal(berr)
+				}
+				_, perr = Apply(srv, spec)
+			}
 			golden := strings.TrimSuffix(path, ".json") + ".err"
 			if *update {
 				if perr == nil {

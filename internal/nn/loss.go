@@ -71,6 +71,26 @@ func NewAdam(lr float64) *Adam {
 	}
 }
 
+// StepCount returns the number of updates applied so far (the bias
+// correction's t).
+func (a *Adam) StepCount() int { return a.t }
+
+// SetStepCount restores the update counter from a checkpoint. The bias
+// correction depends on t, so resuming with the wrong count changes the
+// trajectory.
+func (a *Adam) SetStepCount(n int) { a.t = n }
+
+// State returns the first and second moment vectors for p, or nils when
+// the parameter has not been updated yet.
+func (a *Adam) State(p *Param) (m, v []float64) { return a.m[p], a.v[p] }
+
+// SetState installs moment vectors for p (checkpoint restore). The
+// slices are adopted, not copied.
+func (a *Adam) SetState(p *Param, m, v []float64) {
+	a.m[p] = m
+	a.v[p] = v
+}
+
 // Step applies one update to every parameter from its accumulated
 // gradient, then leaves gradients untouched (callers zero them at the
 // start of the next accumulation).

@@ -29,6 +29,23 @@ type MobiusConfig struct {
 	// fault package). The schedule itself is unchanged — faults model
 	// unplanned degradation of the machine the plan targeted.
 	Faults *fault.Spec
+	// Checkpoint, when non-nil, appends a periodic state snapshot to the
+	// step: each stage's proportional share of the snapshot flows from
+	// DRAM to the checkpoint destination right after that stage's
+	// gradient flush, overlapping with the remaining backward work like
+	// any other background transfer.
+	Checkpoint *CheckpointWrite
+}
+
+// CheckpointWrite sizes and routes the per-step state snapshot emitted
+// when MobiusConfig.Checkpoint is set.
+type CheckpointWrite struct {
+	// Bytes is the full snapshot: fp32 master params plus optimizer
+	// state, i.e. model.Config.ModelStatesBytes().
+	Bytes float64
+	// ToSSD routes the write to the NVMe tier ("ssd" resource) instead
+	// of a second DRAM region over the DRAM bus.
+	ToSSD bool
 }
 
 // RunMobius simulates one Mobius training step on the topology and
@@ -68,6 +85,10 @@ func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
 	stg := cfg.Partition.Stages
 	gpuOf := func(j int) int { return cfg.Mapping.GPUOf(j) }
 	gpuMem := func(j int) float64 { return topo.GPUMem(gpuOf(j)) }
+	totalParam := 0.0
+	for _, st := range stg {
+		totalParam += st.ParamBytes
+	}
 
 	// OOM pre-check (constraint 4).
 	for j := 0; j < S; j++ {
@@ -241,6 +262,23 @@ func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
 			stg[j].GradBytes, prioGradFlush, B[j][M-1])
 		flush.Tag = tag(trace.KindGradFlush, g, -1, j, -1)
 		freeB[j] = s.Free(fmt.Sprintf("freeB%d", j), mem, stg[j].MemBwd(), flush)
+
+		// Snapshot the stage's share of the training state once its
+		// gradients have landed in DRAM (the CPU optimizer updates the
+		// master copy there): a host-side write that never touches GPU
+		// links, contending only on the DRAM bus (or the SSD path).
+		if cfg.Checkpoint != nil && cfg.Checkpoint.Bytes > 0 {
+			dst := hw.DRAMEnd
+			if cfg.Checkpoint.ToSSD {
+				dst = hw.SSDEnd
+			}
+			share := cfg.Checkpoint.Bytes / float64(S)
+			if totalParam > 0 {
+				share = cfg.Checkpoint.Bytes * stg[j].ParamBytes / totalParam
+			}
+			ck := s.Transfer(fmt.Sprintf("CK%d", j), nil, srv.Route(hw.DRAMEnd, dst), share, prioGradFlush, flush)
+			ck.Tag = tag(trace.KindCheckpoint, -1, -1, j, -1)
+		}
 	}
 
 	if err := finishRun(srv, res); err != nil {

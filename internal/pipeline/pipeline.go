@@ -29,6 +29,10 @@ type Result struct {
 	// (fault-injected memory pressure); empty when the pre-run memory
 	// check caught the overflow.
 	OOMCause string
+	// Lost is set when a scheduled permanent failure halted the step
+	// mid-flight; StepTime then holds the elapsed time up to detection,
+	// not a completed step.
+	Lost *sim.ResourceLostError
 	// Recorder holds the collected flow/compute records.
 	Recorder *trace.Recorder
 	// Server exposes the simulated hardware for memory inspection.
@@ -48,6 +52,9 @@ func (r *Result) TotalTraffic() float64 {
 func (r *Result) String() string {
 	if r.OOM {
 		return fmt.Sprintf("%s: OOM", r.System)
+	}
+	if r.Lost != nil {
+		return fmt.Sprintf("%s: halted at %.3fs (%s)", r.System, r.StepTime, r.Lost)
 	}
 	return fmt.Sprintf("%s: %.3fs/step, %.2f GB moved", r.System, r.StepTime, r.TotalTraffic()/1e9)
 }
@@ -76,8 +83,9 @@ func applyFaults(srv *hw.Server, spec *fault.Spec, res *Result) error {
 // finishRun validates the routed DAG and executes the simulation. A
 // structured OOM (fault-injected memory pressure shrank a pool below a
 // stage's footprint) degrades the result to OOM instead of failing the
-// call; every other simulation error — deadlock, memory accounting — is
-// returned.
+// call, and a permanent failure halting the step surfaces as Result.Lost
+// with the elapsed time up to detection; every other simulation error —
+// deadlock, memory accounting — is returned.
 func finishRun(srv *hw.Server, res *Result) error {
 	if err := srv.RouteErr(); err != nil {
 		return fmt.Errorf("pipeline: %s schedule: %w", res.System, err)
@@ -88,6 +96,12 @@ func finishRun(srv *hw.Server, res *Result) error {
 		if errors.As(err, &oom) {
 			res.OOM = true
 			res.OOMCause = oom.Error()
+			return nil
+		}
+		var lost *sim.ResourceLostError
+		if errors.As(err, &lost) {
+			res.Lost = lost
+			res.StepTime = end
 			return nil
 		}
 		return fmt.Errorf("pipeline: %s schedule: %w", res.System, err)

@@ -57,6 +57,10 @@ type Sim struct {
 	capEvents []capEvent
 	nextCap   int
 
+	// Scheduled permanent failures (see loss.go), applied in time order.
+	failEvents []failEvent
+	nextFail   int
+
 	// First structured failure (OOM, memory accounting); Run returns it.
 	err error
 }
@@ -163,6 +167,8 @@ func (s *Sim) After(name string, deps ...*Task) *Task {
 func (s *Sim) Run() (Time, error) {
 	sortCapEvents(s.capEvents)
 	s.applyCapEvents()
+	sortFailEvents(s.failEvents)
+	s.applyFailEvents()
 
 	// Seed the worklist with dependency-free tasks.
 	for _, t := range s.tasks {
@@ -190,6 +196,9 @@ func (s *Sim) Run() (Time, error) {
 		}
 		if s.nextCap < len(s.capEvents) && s.capEvents[s.nextCap].at < next {
 			next = s.capEvents[s.nextCap].at
+		}
+		if s.nextFail < len(s.failEvents) && s.failEvents[s.nextFail].at < next {
+			next = s.failEvents[s.nextFail].at
 		}
 		if math.IsInf(next, 1) {
 			return s.now, s.deadlockError()
@@ -259,6 +268,7 @@ func (s *Sim) advance(t Time) {
 	}
 
 	s.applyCapEvents()
+	s.applyFailEvents()
 }
 
 // finishEngineTask completes a compute or transfer task, releases its

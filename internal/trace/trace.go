@@ -22,6 +22,7 @@ const (
 	KindActTransfer      // GPU -> GPU boundary activations / act gradients
 	KindGradFlush        // GPU -> DRAM gradients
 	KindCollective       // ZeRO all-gather / all-reduce traffic
+	KindCheckpoint       // DRAM -> DRAM/SSD periodic state snapshot
 )
 
 func (k Kind) String() string {
@@ -40,6 +41,8 @@ func (k Kind) String() string {
 		return "grad-flush"
 	case KindCollective:
 		return "collective"
+	case KindCheckpoint:
+		return "checkpoint"
 	}
 	return "unknown"
 }

@@ -1,0 +1,122 @@
+package train
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mobius/internal/nn"
+)
+
+// trainCheckpoint is the gob on-disk format of a resumable training
+// state: the model weights (the DRAM master copy), the Adam moments, and
+// the global step. The stage split is deliberately NOT part of the
+// format — the Mobius execution order is split-invariant, so a
+// checkpoint saved from a 3-stage trainer resumes bitwise-identically in
+// a 4-stage one. That property is exactly what makes elastic re-planning
+// after a GPU loss safe for convergence.
+type trainCheckpoint struct {
+	Cfg    nn.Config
+	Mode   string
+	Step   int
+	LR     float64
+	AdamT  int
+	Params []paramState
+}
+
+// paramState is one parameter's persistent state, keyed by name.
+type paramState struct {
+	Name         string
+	W            []float64
+	AdamM, AdamV []float64
+}
+
+// SaveCheckpoint serializes the trainer's state after `step` completed
+// steps. Only the synchronous modes are checkpointable: ModeAsync keeps
+// in-flight weight snapshots whose staleness cannot be reconstructed on
+// restore.
+func (t *Trainer) SaveCheckpoint(w io.Writer, step int) error {
+	if t.Mode == ModeAsync {
+		return fmt.Errorf("train: %s training is not checkpointable (in-flight staleness ring)", t.Mode)
+	}
+	if step < 0 {
+		return fmt.Errorf("train: negative step %d", step)
+	}
+	ck := trainCheckpoint{
+		Cfg:   t.Model.Cfg,
+		Mode:  t.Mode.String(),
+		Step:  step,
+		LR:    t.Opt.LR,
+		AdamT: t.Opt.StepCount(),
+	}
+	for _, p := range t.Model.Params() {
+		// Between steps the GPU copy and the DRAM master are identical in
+		// ModeMobius and the master is unused in ModeGPipe; the live
+		// weights are the canonical state in both.
+		st := paramState{Name: p.Name, W: append([]float64(nil), p.W.D...)}
+		if m, v := t.Opt.State(p); m != nil {
+			st.AdamM = append([]float64(nil), m...)
+			st.AdamV = append([]float64(nil), v...)
+		}
+		ck.Params = append(ck.Params, st)
+	}
+	return gob.NewEncoder(w).Encode(&ck)
+}
+
+// RestoreCheckpoint loads state saved by SaveCheckpoint into this
+// trainer and returns the step at which training should resume. The
+// model architecture and learning rate must match; the stage split and
+// the mode may differ (both synchronous orders compute identical
+// updates). Weights, DRAM master copies, accumulated gradients and the
+// optimizer moments are all overwritten, so the subsequent steps are
+// bitwise identical to a run that never stopped.
+func (t *Trainer) RestoreCheckpoint(r io.Reader) (int, error) {
+	if t.Mode == ModeAsync {
+		return 0, fmt.Errorf("train: %s training cannot resume from a checkpoint", t.Mode)
+	}
+	var ck trainCheckpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return 0, fmt.Errorf("train: decode checkpoint: %w", err)
+	}
+	if ck.Cfg != t.Model.Cfg {
+		return 0, fmt.Errorf("train: checkpoint model %+v does not match trainer %+v", ck.Cfg, t.Model.Cfg)
+	}
+	if ck.LR != t.Opt.LR {
+		return 0, fmt.Errorf("train: checkpoint learning rate %g does not match trainer %g", ck.LR, t.Opt.LR)
+	}
+	states := make(map[string]paramState, len(ck.Params))
+	for _, st := range ck.Params {
+		states[st.Name] = st
+	}
+	params := t.Model.Params()
+	if len(states) != len(params) {
+		return 0, fmt.Errorf("train: checkpoint has %d parameters, model has %d", len(states), len(params))
+	}
+	// Validate everything before mutating anything.
+	for _, p := range params {
+		st, ok := states[p.Name]
+		if !ok {
+			return 0, fmt.Errorf("train: checkpoint missing parameter %q", p.Name)
+		}
+		if len(st.W) != len(p.W.D) {
+			return 0, fmt.Errorf("train: parameter %q has %d values, want %d", p.Name, len(st.W), len(p.W.D))
+		}
+		if len(st.AdamM) != len(st.AdamV) || (len(st.AdamM) != 0 && len(st.AdamM) != len(st.W)) {
+			return 0, fmt.Errorf("train: parameter %q has inconsistent optimizer state", p.Name)
+		}
+	}
+	for _, p := range params {
+		st := states[p.Name]
+		copy(p.W.D, st.W)
+		p.ZeroGrad()
+		copy(t.dramW[p], st.W)
+		for i := range t.dramG[p] {
+			t.dramG[p][i] = 0
+		}
+		if len(st.AdamM) > 0 {
+			t.Opt.SetState(p, append([]float64(nil), st.AdamM...), append([]float64(nil), st.AdamV...))
+		}
+	}
+	t.Opt.SetStepCount(ck.AdamT)
+	return ck.Step, nil
+}

@@ -1,0 +1,157 @@
+package train
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobius/internal/nn"
+)
+
+// newTrainer builds a fresh identically-seeded model + trainer.
+func newTrainer(t *testing.T, stages int, mode Mode) *Trainer {
+	t.Helper()
+	cfg := nn.Config{Vocab: 64, Seq: 16, Dim: 32, Heads: 4, Layers: 4, Seed: 7}
+	m, err := nn.NewGPT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(m, stages, 3e-3, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// resumeBitwise runs the core elastic-recovery property on the real
+// trainer: train n steps straight through; separately train k steps,
+// checkpoint, destroy the trainer, restore into a brand-new one (possibly
+// with a different stage split), finish steps k..n-1. Every post-resume
+// loss and every final weight must be bit-identical to the uninterrupted
+// run.
+func resumeBitwise(t *testing.T, mode Mode, saveStages, resumeStages int) {
+	t.Helper()
+	const n, k = 10, 4
+	_, mbRef, corpus, cfg := buildPair(t, saveStages)
+	ref := mbRef
+	if mode == ModeGPipe {
+		ref = newTrainer(t, saveStages, ModeGPipe)
+	}
+	refLoss := make([]float64, n)
+	for step := 0; step < n; step++ {
+		refLoss[step] = ref.Step(microbatches(corpus, cfg, step, 4, 2))
+	}
+
+	// Interrupted run: k steps, save, destroy.
+	tr := newTrainer(t, saveStages, mode)
+	for step := 0; step < k; step++ {
+		if got := tr.Step(microbatches(corpus, cfg, step, 4, 2)); got != refLoss[step] {
+			t.Fatalf("pre-checkpoint step %d diverged: %.17g vs %.17g", step, got, refLoss[step])
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Model.Params() {
+		p.W.Zero() // destroy the "failed" trainer's state
+	}
+	tr = nil
+
+	// Survivor: fresh model, restore, resume — batches are a pure
+	// function of the global step, exactly as in the training loop.
+	surv := newTrainer(t, resumeStages, mode)
+	resume, err := surv.RestoreCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume != k {
+		t.Fatalf("resume step %d, want %d", resume, k)
+	}
+	for step := resume; step < n; step++ {
+		if got := surv.Step(microbatches(corpus, cfg, step, 4, 2)); got != refLoss[step] {
+			t.Fatalf("post-resume step %d diverged: %.17g vs %.17g", step, got, refLoss[step])
+		}
+	}
+	for i, p := range surv.Model.Params() {
+		want := ref.Model.Params()[i]
+		for j := range p.W.D {
+			if p.W.D[j] != want.W.D[j] {
+				t.Fatalf("final weight %s[%d] diverged: %.17g vs %.17g", p.Name, j, p.W.D[j], want.W.D[j])
+			}
+		}
+	}
+}
+
+func TestResumeBitwiseMobius(t *testing.T) { resumeBitwise(t, ModeMobius, 3, 3) }
+func TestResumeBitwiseGPipe(t *testing.T)  { resumeBitwise(t, ModeGPipe, 3, 3) }
+
+// TestResumeBitwiseAcrossSplit restores a 3-stage checkpoint into a
+// 4-stage trainer: the elastic re-plan case. Split invariance makes the
+// trajectory identical anyway.
+func TestResumeBitwiseAcrossSplit(t *testing.T) { resumeBitwise(t, ModeMobius, 3, 4) }
+
+func TestCheckpointRejects(t *testing.T) {
+	tr := newTrainer(t, 3, ModeMobius)
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	async := newTrainer(t, 3, ModeAsync)
+	if err := async.SaveCheckpoint(&bytes.Buffer{}, 1); err == nil || !strings.Contains(err.Error(), "not checkpointable") {
+		t.Fatalf("async save: %v", err)
+	}
+	if _, err := async.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("async restore should fail")
+	}
+
+	// Architecture mismatch.
+	cfg := nn.Config{Vocab: 64, Seq: 16, Dim: 48, Heads: 4, Layers: 4, Seed: 7}
+	m, err := nn.NewGPT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(m, 3, 3e-3, ModeMobius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("architecture mismatch: %v", err)
+	}
+
+	// Learning-rate mismatch.
+	m2, _ := nn.NewGPT(nn.Config{Vocab: 64, Seq: 16, Dim: 32, Heads: 4, Layers: 4, Seed: 7})
+	lrOther, _ := New(m2, 3, 1e-3, ModeMobius)
+	if _, err := lrOther.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "learning rate") {
+		t.Fatalf("lr mismatch: %v", err)
+	}
+
+	if err := tr.SaveCheckpoint(&bytes.Buffer{}, -1); err == nil {
+		t.Fatal("negative step should fail")
+	}
+}
+
+// TestCheckpointCarriesAdamState: resuming without the Adam moments
+// would silently reset the optimizer; the format must round-trip them.
+func TestCheckpointCarriesAdamState(t *testing.T) {
+	_, tr, corpus, cfg := buildPair(t, 3)
+	tr.Step(microbatches(corpus, cfg, 0, 4, 2))
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	surv := newTrainer(t, 3, ModeMobius)
+	if _, err := surv.RestoreCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if surv.Opt.StepCount() != 1 {
+		t.Fatalf("optimizer step count %d, want 1", surv.Opt.StepCount())
+	}
+	for _, p := range surv.Model.Params() {
+		m, v := surv.Opt.State(p)
+		if m == nil || v == nil {
+			t.Fatalf("parameter %q lost its Adam state", p.Name)
+		}
+	}
+}
