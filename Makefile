@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check check-faults check-recovery bench
+.PHONY: build vet test race check check-faults check-recovery check-chaos bench
 
 build:
 	$(GO) build ./...
@@ -29,11 +29,21 @@ check-recovery:
 	$(GO) test -race -run 'TestRecovery' -count=1 ./internal/elastic/
 	$(GO) test -race -run 'TestResume|TestCheckpoint' -count=1 ./internal/train/
 
+# check-chaos is the integrity gate: the deterministic chaos matrix
+# (randomized corruption scenarios, invariants and replay determinism,
+# plus the rollback accounting identity) under the race detector,
+# followed by a short native-fuzz smoke of the spec parser and the chaos
+# invariants.
+check-chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 ./internal/chaos/
+	$(GO) test -run xxx -fuzz 'FuzzParseJSON' -fuzztime 10s ./internal/fault/
+	$(GO) test -run xxx -fuzz 'FuzzChaosInvariants' -fuzztime 10s ./internal/chaos/
+
 # check is the tier-1 gate: everything must compile, vet clean, pass the
 # test suite under the race detector (the planning pipeline is
 # concurrent, so plain `go test` alone is not enough), and survive the
-# fault matrix and the recovery matrix.
-check: build vet race check-faults check-recovery
+# fault matrix, the recovery matrix, and the chaos matrix.
+check: build vet race check-faults check-recovery check-chaos
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/

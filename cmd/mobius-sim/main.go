@@ -16,6 +16,15 @@
 //
 //	mobius-sim -model 3B -topo 2+2 -steps 8 -checkpoint-every 2 -faults gpufail.json
 //	mobius-sim -model 3B -topo 2+2 -steps 8 -checkpoint-every 2 -checkpoint-dest ssd -policy resume -faults gpufail.json
+//
+// Integrity knobs: -corruptions injects silent data corruption on every
+// transfer, -checksums turns on end-to-end detection (per-byte cost,
+// bounded retransmits, structured halt on exhaustion), and -rollback N
+// prices a numeric-guard rollback of step N on the elastic path:
+//
+//	mobius-sim -model 15B -topo 2+2 -corruptions 0.05
+//	mobius-sim -model 15B -topo 2+2 -corruptions 0.05 -checksums
+//	mobius-sim -model 3B -topo 2+2 -steps 8 -checkpoint-every 2 -rollback 5
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"mobius/internal/fault"
 	"mobius/internal/hw"
 	"mobius/internal/model"
+	"mobius/internal/sim"
 )
 
 func fail(format string, args ...any) {
@@ -49,6 +59,9 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the model states every k steps (0 = never; mobius only)")
 	ckptDest := flag.String("checkpoint-dest", "dram", "checkpoint destination: dram or ssd")
 	policy := flag.String("policy", "replan", "recovery policy after a permanent failure: replan, resume, restart")
+	corruptProb := flag.Float64("corruptions", 0, "corrupt every transfer with this per-attempt probability [0,1); merges a wildcard rule into -faults")
+	checksums := flag.Bool("checksums", false, "end-to-end transfer checksums: per-byte detection cost, bounded retransmits, structured halt (mobius/gpipe only)")
+	rollback := flag.Int("rollback", 0, "simulate a numeric-guard rollback: the 1-based step whose result is rejected (selects the rollback recovery policy; mobius multi-step runs only)")
 	flag.Parse()
 
 	var m model.Config
@@ -88,6 +101,15 @@ func main() {
 			fail("%v", err)
 		}
 	}
+	if *corruptProb != 0 {
+		if spec == nil {
+			spec = &fault.Spec{}
+		}
+		spec.Corruptions = append(spec.Corruptions, fault.CorruptionFault{Match: "*", Probability: *corruptProb})
+		if err := spec.Validate(); err != nil {
+			fail("%v", err)
+		}
+	}
 
 	sys := map[string]core.System{
 		"mobius":       core.SystemMobius,
@@ -104,12 +126,19 @@ func main() {
 	// The elastic path: multi-step runs, checkpointing, and recovery from
 	// permanent failures. A non-Mobius system with a permanent fault falls
 	// through to the single-step path, which reports the halt.
-	if *steps > 1 || *ckptEvery > 0 {
+	if *steps > 1 || *ckptEvery > 0 || *rollback > 0 {
 		if sys != core.SystemMobius {
-			fail("elastic recovery (-steps/-checkpoint-every) requires -system mobius")
+			fail("elastic recovery (-steps/-checkpoint-every/-rollback) requires -system mobius")
 		}
 	}
-	if sys == core.SystemMobius && (*steps > 1 || *ckptEvery > 0 || spec.HasPermanent()) {
+	if sys == core.SystemMobius && (*steps > 1 || *ckptEvery > 0 || *rollback > 0 || spec.HasPermanent()) {
+		if *checksums {
+			fail("-checksums applies to single-step runs; the elastic path prices steps without per-transfer detection")
+		}
+		pol := elastic.Policy(*policy)
+		if *rollback > 0 {
+			pol = elastic.PolicyRollback
+		}
 		rep, err := elastic.Run(elastic.Config{
 			Model:           m,
 			Topology:        topo,
@@ -117,7 +146,8 @@ func main() {
 			CheckpointEvery: *ckptEvery,
 			CheckpointDest:  elastic.Dest(*ckptDest),
 			Faults:          spec,
-			Policy:          elastic.Policy(*policy),
+			Policy:          pol,
+			AnomalyStep:     *rollback,
 			PlanDeadline:    *planDeadline,
 		})
 		if err != nil {
@@ -134,7 +164,8 @@ func main() {
 		defer cancel()
 	}
 
-	report, err := core.RunCtx(ctx, sys, core.Options{Model: m, Topology: topo, Faults: spec})
+	report, err := core.RunCtx(ctx, sys, core.Options{Model: m, Topology: topo, Faults: spec,
+		Checksums: sim.ChecksumConfig{Enabled: *checksums}})
 	if err != nil {
 		fail("simulation failed: %v", err)
 	}
@@ -143,12 +174,22 @@ func main() {
 		fmt.Printf("%v\nrerun with -steps/-checkpoint-every to simulate elastic recovery\n", report.ResourceLost)
 		return
 	}
+	if report.Corruption != nil {
+		fmt.Println(report)
+		fmt.Printf("%v\nraise -checksums retransmit budget tolerance by lowering -corruptions, or accept the halt\n", report.Corruption)
+		return
+	}
 	if report.Plan != nil && report.Plan.Fallback {
 		fmt.Printf("planning deadline expired (%s); using the greedy fallback plan\n", report.Plan.FallbackReason)
 	}
 	fmt.Println(report)
 	if report.FaultInjection != nil {
 		fmt.Println(report.FaultInjection)
+	}
+	if st := report.Integrity; st.CorruptedAttempts > 0 || st.ChecksumCost > 0 {
+		fmt.Printf("integrity: %d corrupted deliveries, %d retransmits (%.4fs backoff), checksum cost %.4fs, %d silent, %d tainted tasks\n",
+			st.CorruptedAttempts, st.Retransmits, float64(st.RetransmitWait), float64(st.ChecksumCost),
+			st.SilentCorruptions, st.TaintedTasks)
 	}
 	if report.OOM {
 		if report.OOMCause != "" {

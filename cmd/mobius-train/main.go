@@ -16,11 +16,19 @@
 //
 //	mobius-train -ckpt ck.gob -steps 40 -save-every 10 -fail-at 23; \
 //	mobius-train -ckpt ck.gob -steps 40 -save-every 10 -resume -stages 4
+//
+// With -guard every step is scanned by the numeric anomaly guard
+// (non-finite weights, loss and gradient-norm spikes); a rejected step
+// rolls the trainer back to the last checkpoint and replays. -corrupt-at
+// injects a weight corruption to watch the detection + rollback happen:
+//
+//	mobius-train -ckpt ck.gob -steps 40 -save-every 10 -guard -corrupt-at 23
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"mobius/internal/experiments"
@@ -42,6 +50,8 @@ func main() {
 	mode := flag.String("mode", "mobius", "execution order: mobius or gpipe")
 	stages := flag.Int("stages", 3, "pipeline stages")
 	failAt := flag.Int("fail-at", -1, "crash (exit 1, no save) after completing this step, to exercise -resume")
+	guard := flag.Bool("guard", false, "scan every step with the numeric anomaly guard; a rejected step rolls back to the last checkpoint (with -ckpt)")
+	corruptAt := flag.Int("corrupt-at", -1, "poison one weight after this step completes — with -guard the run detects it and rolls back")
 	flag.Parse()
 
 	if *ckpt == "" {
@@ -114,12 +124,36 @@ func main() {
 		}
 	}
 
-	for step := start; step < *steps; step++ {
+	g := train.NewGuard()
+	corrupted := false
+	for step := start; step < *steps; {
 		var batches []nn.Batch
 		for i := 0; i < 4; i++ {
 			batches = append(batches, corpus.Batch(cfg.Seq, 2, step, i))
 		}
 		loss := tr.Step(batches)
+		if step == *corruptAt && !corrupted {
+			// A silent corruption landing between the step and its scan.
+			tr.Model.Params()[0].W.D[0] = math.Inf(1)
+			corrupted = true
+		}
+		if *guard {
+			if err := g.Check(step, loss, tr.Model.Params()); err != nil {
+				fmt.Printf("step %4d  rejected: %v\n", step, err)
+				f, oerr := os.Open(*ckpt)
+				if oerr != nil {
+					fail("rollback: no checkpoint to restore: %v", oerr)
+				}
+				resumeStep, rerr := tr.RestoreCheckpoint(f)
+				f.Close()
+				if rerr != nil {
+					fail("rollback: %v", rerr)
+				}
+				fmt.Printf("rolled back to step %d\n", resumeStep)
+				step = resumeStep
+				continue
+			}
+		}
 		fmt.Printf("step %4d  loss %.6f\n", step, loss)
 		if (step+1)%*saveEvery == 0 || step == *steps-1 {
 			save(step + 1)
@@ -127,6 +161,7 @@ func main() {
 		if step == *failAt {
 			fail("injected failure after step %d (last checkpoint: step %d)", step, ((step+1)/(*saveEvery))*(*saveEvery))
 		}
+		step++
 	}
 	fmt.Printf("done: %d steps, checkpoint %s\n", *steps, *ckpt)
 }

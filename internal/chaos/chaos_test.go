@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mobius/internal/elastic"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+var (
+	harnessOnce sync.Once
+	harness     *Harness
+	harnessErr  error
+)
+
+// getHarness plans once and shares the harness across tests and fuzz
+// iterations — planning dwarfs a chaos run.
+func getHarness(t testing.TB) *Harness {
+	t.Helper()
+	harnessOnce.Do(func() { harness, harnessErr = NewHarness() })
+	if harnessErr != nil {
+		t.Fatal(harnessErr)
+	}
+	return harness
+}
+
+// TestChaosSpecGenerator pins the generator contract: every seed yields a
+// valid spec, and the same seed yields the same spec.
+func TestChaosSpecGenerator(t *testing.T) {
+	h := getHarness(t)
+	for seed := int64(0); seed < 200; seed++ {
+		spec := h.Spec(seed)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed %d: generated spec invalid: %v", seed, err)
+		}
+		if spec.Fingerprint() != h.Spec(seed).Fingerprint() {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+	}
+}
+
+// TestChaosMatrix is the deterministic chaos gate: a fixed seed range
+// must satisfy every harness invariant, and collectively must actually
+// exercise the integrity machinery — at least one seed retransmitting
+// under checksums and at least one silently tainting without them.
+func TestChaosMatrix(t *testing.T) {
+	h := getHarness(t)
+	var retransmits, silent, halted int
+	for seed := int64(1); seed <= 12; seed++ {
+		rep, err := h.Run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log(rep)
+		retransmits += rep.Detected.Integrity.Retransmits
+		silent += rep.Exposed.Integrity.SilentCorruptions
+		if rep.Detected.Halted {
+			halted++
+		}
+	}
+	if retransmits == 0 {
+		t.Error("no seed in the matrix triggered a retransmit; the corruption rates are too low to test anything")
+	}
+	if silent == 0 {
+		t.Error("no seed in the matrix produced a silent corruption with checksums off")
+	}
+	t.Logf("matrix totals: %d retransmits, %d silent corruptions, %d halted runs", retransmits, silent, halted)
+}
+
+// TestChaosRollbackIdentity folds the elastic accounting identity into
+// the chaos surface: seed-derived rollback scenarios must decompose
+// TotalTime into the report's overhead terms exactly.
+func TestChaosRollbackIdentity(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	for _, seed := range []int64{3, 7} {
+		steps := 4 + int(seed%4)
+		every := int(seed % 3) // 0 = uncheckpointed rollback
+		rep, err := elastic.Run(elastic.Config{
+			Model:           model.GPT3B,
+			Topology:        topo,
+			Steps:           steps,
+			CheckpointEvery: every,
+			Policy:          elastic.PolicyRollback,
+			AnomalyStep:     1 + int(seed)%steps,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if diff := math.Abs(rep.TotalTime - rep.AccountedTotal()); diff > 1e-9*rep.TotalTime {
+			t.Fatalf("seed %d: accounting identity broken: total %.12f vs accounted %.12f",
+				seed, rep.TotalTime, rep.AccountedTotal())
+		}
+	}
+}
+
+// FuzzChaosInvariants lets the fuzzer search the seed space for a
+// scenario that violates any harness invariant.
+func FuzzChaosInvariants(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(-1))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		h := getHarness(t)
+		if _, err := h.Run(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -94,6 +94,11 @@ type Options struct {
 	// Mobius step (see pipeline.CheckpointWrite); ignored by the other
 	// systems.
 	Checkpoint *pipeline.CheckpointWrite
+	// Checksums enables end-to-end transfer integrity for Mobius and
+	// GPipe steps (see sim.ChecksumConfig): per-byte verification cost,
+	// bounded retransmits for detected corruption, and a structured
+	// sim.CorruptionError when the budget is exhausted.
+	Checksums sim.ChecksumConfig
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -336,6 +341,13 @@ type StepReport struct {
 	// step mid-flight; StepTime then holds the elapsed time up to
 	// detection. The elastic package turns this into a recovery.
 	ResourceLost *sim.ResourceLostError
+	// Corruption is set when a transfer exhausted its retransmit budget
+	// under end-to-end checksums; StepTime holds the elapsed time up to
+	// the failed delivery.
+	Corruption *sim.CorruptionError
+	// Integrity aggregates checksum costs, retransmits and silent
+	// corruption exposure for the step.
+	Integrity sim.IntegrityStats
 }
 
 // Run plans (when needed) and simulates one training step of the given
@@ -356,6 +368,9 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 
 	if !opts.Faults.Empty() && system != SystemMobius && system != SystemGPipe {
 		return nil, fmt.Errorf("core: fault injection is only supported for %s and %s (got %s)", SystemMobius, SystemGPipe, system)
+	}
+	if opts.Checksums.Enabled && system != SystemMobius && system != SystemGPipe {
+		return nil, fmt.Errorf("core: end-to-end checksums are only supported for %s and %s (got %s)", SystemMobius, SystemGPipe, system)
 	}
 
 	// Heterogeneous-memory systems keep the full model states in DRAM;
@@ -381,6 +396,7 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 			DisablePrefetch:         opts.DisablePrefetch,
 			Faults:                  opts.Faults,
 			Checkpoint:              opts.Checkpoint,
+			Checksums:               opts.Checksums,
 		})
 		if err != nil {
 			return nil, err
@@ -390,7 +406,7 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 		if err != nil {
 			return nil, err
 		}
-		res, err = pipeline.RunGPipe(opts.Topology, pipeline.GPipeConfig{Profile: prof, Microbatches: opts.Microbatches, Faults: opts.Faults})
+		res, err = pipeline.RunGPipe(opts.Topology, pipeline.GPipeConfig{Profile: prof, Microbatches: opts.Microbatches, Faults: opts.Faults, Checksums: opts.Checksums})
 		if err != nil {
 			return nil, err
 		}
@@ -445,6 +461,8 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 	report.OOM = res.OOM
 	report.OOMCause = res.OOMCause
 	report.ResourceLost = res.Lost
+	report.Corruption = res.Corruption
+	report.Integrity = res.Integrity
 	report.Recorder = res.Recorder
 	report.Server = res.Server
 	report.FaultInjection = res.Faults

@@ -37,7 +37,17 @@ const (
 	PolicyReplan  Policy = "replan"
 )
 
-// Policies lists the recovery policies in presentation order.
+// PolicyRollback prices recovery from a *numeric* failure rather than a
+// lost resource: the training guard (train.Guard) rejects the step named
+// by Config.AnomalyStep, the run restores the last good checkpoint on
+// the same, fully intact machine, and re-executes from there. The
+// restore cost is the report's RollbackRestoreSeconds term (see
+// rollback.go); no re-plan or migration-to-survivors is involved.
+const PolicyRollback Policy = "rollback"
+
+// Policies lists the permanent-failure recovery policies in presentation
+// order (PolicyRollback is separate: it recovers from anomalies, not
+// lost resources, and is selected together with Config.AnomalyStep).
 func Policies() []Policy { return []Policy{PolicyRestart, PolicyResume, PolicyReplan} }
 
 // Dest selects where periodic checkpoints are written.
@@ -71,6 +81,10 @@ type Config struct {
 	Faults *fault.Spec
 	// Policy selects the recovery strategy (default PolicyReplan).
 	Policy Policy
+	// AnomalyStep, with PolicyRollback, is the 1-based step whose result
+	// the numeric guard rejects; the run rolls back to the last
+	// checkpoint before it. Mutually exclusive with permanent failures.
+	AnomalyStep int
 	// PlanDeadline bounds each planning call; past it the plan degrades
 	// to the deterministic greedy fallback (core.PlanMobiusCtx).
 	PlanDeadline time.Duration
@@ -132,6 +146,12 @@ type RecoveryReport struct {
 	MigrationBytes   float64
 	MigrationSeconds float64
 
+	// AnomalyStep is the guard-rejected step of a rollback run (0
+	// otherwise); RollbackRestoreSeconds prices re-loading the last good
+	// checkpoint on the intact machine (see rollback.go).
+	AnomalyStep            int
+	RollbackRestoreSeconds float64
+
 	// Overhead decomposition against FaultFreeTime; see AccountedTotal.
 	CheckpointOverheadPre  float64
 	LostWork               float64
@@ -149,13 +169,17 @@ func (r *RecoveryReport) Overhead() float64 { return r.TotalTime - r.FaultFreeTi
 // AccountedTotal recomposes TotalTime from the report's overhead terms:
 //
 //	FaultFreeTime + CheckpointOverheadPre + LostWork + ReplanSeconds +
-//	MigrationSeconds + ResumePenalty + CheckpointOverheadPost
+//	MigrationSeconds + ResumePenalty + CheckpointOverheadPost +
+//	RollbackRestoreSeconds
 //
 // It must equal TotalTime to floating-point accuracy — the accounting
-// identity the recovery tests assert.
+// identity the recovery tests assert. The rollback term is zero except
+// under PolicyRollback, where replan/migration/resume terms are zero in
+// turn (the machine is intact).
 func (r *RecoveryReport) AccountedTotal() float64 {
 	return r.FaultFreeTime + r.CheckpointOverheadPre + r.LostWork +
-		r.ReplanSeconds + r.MigrationSeconds + r.ResumePenalty + r.CheckpointOverheadPost
+		r.ReplanSeconds + r.MigrationSeconds + r.ResumePenalty + r.CheckpointOverheadPost +
+		r.RollbackRestoreSeconds
 }
 
 func (r *RecoveryReport) String() string {
@@ -168,6 +192,14 @@ func (r *RecoveryReport) String() string {
 		fmt.Fprintf(&b, " (checkpointed step %.3fs)", r.CkptStep)
 	}
 	b.WriteByte('\n')
+	if r.Policy == PolicyRollback && r.AnomalyStep > 0 {
+		fmt.Fprintf(&b, "  anomaly: guard rejects step %d; detected at %.3fs, roll back to step %d (restore %.3fs)\n",
+			r.AnomalyStep, r.DetectedAt, r.ResumeStep, r.RollbackRestoreSeconds)
+		fmt.Fprintf(&b, "  total: %.3fs = fault-free %.3fs + ckpt %.3fs + lost work %.3fs + restore %.3fs + ckpt(re-exec) %.3fs\n",
+			r.TotalTime, r.FaultFreeTime, r.CheckpointOverheadPre, r.LostWork,
+			r.RollbackRestoreSeconds, r.CheckpointOverheadPost)
+		return b.String()
+	}
 	if r.Failure == "" {
 		fmt.Fprintf(&b, "  no permanent failure within the run; total %.3fs (+%.3fs checkpoint overhead)\n",
 			r.TotalTime, r.Overhead())
@@ -206,9 +238,15 @@ func Run(cfg Config) (*RecoveryReport, error) {
 		cfg.Policy = PolicyReplan
 	}
 	switch cfg.Policy {
-	case PolicyRestart, PolicyResume, PolicyReplan:
+	case PolicyRestart, PolicyResume, PolicyReplan, PolicyRollback:
 	default:
-		return nil, fmt.Errorf("elastic: unknown policy %q (want %v)", cfg.Policy, Policies())
+		return nil, fmt.Errorf("elastic: unknown policy %q (want %v or %s)", cfg.Policy, Policies(), PolicyRollback)
+	}
+	if cfg.AnomalyStep != 0 && cfg.Policy != PolicyRollback {
+		return nil, fmt.Errorf("elastic: anomaly step %d requires policy %s (got %s)", cfg.AnomalyStep, PolicyRollback, cfg.Policy)
+	}
+	if cfg.Policy == PolicyRollback && (cfg.AnomalyStep < 1 || cfg.AnomalyStep > cfg.Steps) {
+		return nil, fmt.Errorf("elastic: policy %s needs an anomaly step in [1, %d] (got %d)", PolicyRollback, cfg.Steps, cfg.AnomalyStep)
 	}
 	if cfg.CheckpointDest == "" {
 		cfg.CheckpointDest = DestDRAM
@@ -224,6 +262,9 @@ func Run(cfg Config) (*RecoveryReport, error) {
 	perms := cfg.Faults.Permanents()
 	if len(perms) > 1 {
 		return nil, fmt.Errorf("elastic: %d permanent failures declared; recovering from more than one is not supported", len(perms))
+	}
+	if cfg.Policy == PolicyRollback && len(perms) > 0 {
+		return nil, fmt.Errorf("elastic: policy %s recovers from a numeric anomaly on an intact machine and cannot be combined with permanent failures", PolicyRollback)
 	}
 	if cfg.Steps > 1 && cfg.Faults != nil {
 		for i, l := range cfg.Faults.Links {
@@ -277,6 +318,13 @@ func Run(cfg Config) (*RecoveryReport, error) {
 		}
 	}
 	rep.FaultFreeTime = float64(cfg.Steps) * rep.PlainStep
+
+	if cfg.Policy == PolicyRollback {
+		if err := finishRollback(cfg, rep, topo, base, every); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
 
 	// duration of step i (1-based) on the full machine.
 	dur := func(i int) float64 {

@@ -1,0 +1,63 @@
+package elastic
+
+import (
+	"fmt"
+
+	"mobius/internal/fault"
+	"mobius/internal/hw"
+)
+
+// finishRollback completes a PolicyRollback report. The timeline it
+// prices: steps 1..A-1 run normally (paying checkpoint writes on
+// schedule), step A completes but its result is rejected by the numeric
+// guard (train.Guard), the run restores the last checkpoint written
+// strictly before A, and re-executes steps R+1..Steps on the same,
+// fully intact machine. Step A's own checkpoint — if it was due — is
+// never written: the guard scans the step's result first, and a
+// detected anomaly must not overwrite good state.
+//
+// Terms (Δ = CkptStep - PlainStep, ck(i) = ckptsUpTo(i, every)):
+//
+//	DetectedAt  = A·PlainStep + ck(R)·Δ
+//	LostWork    = (A-R)·PlainStep
+//	Restore     = one bulk snapshot read on the intact machine (R > 0)
+//	TotalTime   = DetectedAt + Restore + (Steps-R)·PlainStep + (ck(Steps)-ck(R))·Δ
+//
+// which extends the accounting identity with exactly the
+// RollbackRestoreSeconds term; replan, migration and resume-penalty
+// terms are zero — nothing died and no plan changes.
+func finishRollback(cfg Config, rep *RecoveryReport, topo *hw.Topology, base *fault.Spec, every int) error {
+	A := cfg.AnomalyStep
+	R := 0
+	if every > 0 {
+		R = ((A - 1) / every) * every
+	}
+	rep.AnomalyStep = A
+	rep.FailedStep = A
+	rep.StepsCompleted = A - 1
+	rep.ResumeStep = R
+	rep.Failure = fmt.Sprintf("numeric anomaly rejected by the guard at step %d", A)
+
+	delta := rep.CkptStep - rep.PlainStep
+	rep.CheckpointOverheadPre = float64(ckptsUpTo(R, every)) * delta
+	rep.DetectedAt = float64(A)*rep.PlainStep + rep.CheckpointOverheadPre
+	rep.LostWork = float64(A-R) * rep.PlainStep
+
+	if R > 0 {
+		// Re-load the snapshot from its tier into DRAM; with R == 0 the
+		// run re-initializes from scratch instead, which is free (the
+		// restart policy prices the same way).
+		rep.MigrationBytes = rep.CheckpointBytes
+		var err error
+		rep.RollbackRestoreSeconds, err = simulateMigration(topo, base, rep.CheckpointBytes, cfg.CheckpointDest)
+		if err != nil {
+			return err
+		}
+	}
+
+	postCkpts := ckptsUpTo(cfg.Steps, every) - ckptsUpTo(R, every)
+	rep.CheckpointOverheadPost = float64(postCkpts) * delta
+	reexec := float64(cfg.Steps-R)*rep.PlainStep + float64(postCkpts)*delta
+	rep.TotalTime = rep.DetectedAt + rep.RollbackRestoreSeconds + reexec
+	return nil
+}

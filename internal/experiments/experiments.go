@@ -8,6 +8,7 @@ import (
 	"mobius/internal/core"
 	"mobius/internal/hw"
 	"mobius/internal/model"
+	"mobius/internal/sim"
 	"mobius/internal/trace"
 )
 
@@ -36,6 +37,7 @@ type runKey struct {
 	noPri  bool
 	noPre  bool
 	faults string
+	checks sim.ChecksumConfig
 }
 
 var (
@@ -56,6 +58,7 @@ func run(sys core.System, opts core.Options) (*core.StepReport, error) {
 		noPri:  opts.DisablePrefetchPriority,
 		noPre:  opts.DisablePrefetch,
 		faults: opts.Faults.Fingerprint(),
+		checks: opts.Checksums,
 	}
 	runMu.Lock()
 	if r, ok := runCache[key]; ok {

@@ -219,6 +219,7 @@ func All() map[string]func() (*Table, error) {
 		"ablation-checkpointing": AblationCheckpointing,
 		"resilience":             Resilience,
 		"recovery":               Recovery,
+		"integrity":              Integrity,
 	}
 }
 
@@ -230,6 +231,6 @@ func Order() []string {
 		"figure13", "figure14", "figure15", "figure16",
 		"ablation-prefetch", "ablation-priority", "ablation-microbatches",
 		"related-work", "convergence-async", "ablation-checkpointing",
-		"resilience", "recovery",
+		"resilience", "recovery", "integrity",
 	}
 }

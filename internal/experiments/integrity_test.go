@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"mobius/internal/core"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/sim"
+)
+
+// TestIntegrityDetectionVsExposure is the acceptance check of the
+// integrity experiment: corruption without checksums silently taints
+// downstream work at no time cost, while checksums convert every
+// corruption into visible overhead (or a halt) and leave nothing silent.
+func TestIntegrityDetectionVsExposure(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	m := model.GPT3B
+	base := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo})
+	spec := integritySpec(0.05)
+
+	off := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, Faults: spec})
+	if off.Corruption != nil {
+		t.Fatal("checksums off must never halt on corruption")
+	}
+	if off.Integrity.SilentCorruptions == 0 {
+		t.Fatal("5% corruption produced no silent corruptions; the experiment shows nothing")
+	}
+	if off.Integrity.TaintedTasks < off.Integrity.SilentCorruptions {
+		t.Fatalf("taint must at least cover the corrupted transfers: %d tainted, %d corrupted",
+			off.Integrity.TaintedTasks, off.Integrity.SilentCorruptions)
+	}
+	if off.Integrity.Retransmits != 0 || off.Integrity.ChecksumCost != 0 {
+		t.Fatalf("checksums off must not pay detection costs: %+v", off.Integrity)
+	}
+
+	on := mustRun(core.SystemMobius, core.Options{Model: m, Topology: topo, Faults: spec,
+		Checksums: sim.ChecksumConfig{Enabled: true}})
+	if on.Integrity.SilentCorruptions != 0 || on.Integrity.TaintedTasks != 0 {
+		t.Fatalf("checksums on let corruption through silently: %+v", on.Integrity)
+	}
+	if on.Corruption == nil {
+		if on.Integrity.Retransmits == 0 {
+			t.Fatal("checksums on with 5% corruption should retransmit")
+		}
+		if on.StepTime <= base.StepTime {
+			t.Fatalf("detection must cost time: %.4fs vs nominal %.4fs", on.StepTime, base.StepTime)
+		}
+	}
+
+	tab := mustTable(t, Integrity)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("integrity table rows: %d, want 6 (3 rates x on/off)", len(tab.Rows))
+	}
+}

@@ -33,6 +33,10 @@ type Spec struct {
 	Transient   []TransientFault   `json:"transient,omitempty"`
 	MemPressure []MemPressureFault `json:"mem_pressure,omitempty"`
 
+	// Corruptions are silent-data-corruption events on transfers (see
+	// corruption.go); detection depends on the run's checksum config.
+	Corruptions []CorruptionFault `json:"corruptions,omitempty"`
+
 	// HorizonS, when positive, bounds the simulated window the spec was
 	// written for: permanent-failure onsets must land inside [0, HorizonS).
 	// Zero means unbounded.
@@ -163,6 +167,9 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("fault: mem_pressure[%d] (%s): reserve_bytes %g must be positive", i, m.Pool, m.ReserveBytes)
 		}
 	}
+	if err := s.validateCorruptions(); err != nil {
+		return err
+	}
 	return s.validatePermanent()
 }
 
@@ -176,7 +183,7 @@ func endLabel(end float64) string {
 // Empty reports whether the spec injects nothing.
 func (s *Spec) Empty() bool {
 	return s == nil || (len(s.Links) == 0 && len(s.Stragglers) == 0 && len(s.Transient) == 0 &&
-		len(s.MemPressure) == 0 && len(s.GPUFails) == 0 && len(s.LinkFails) == 0)
+		len(s.MemPressure) == 0 && len(s.Corruptions) == 0 && len(s.GPUFails) == 0 && len(s.LinkFails) == 0)
 }
 
 // Injection is the record of a spec bound to one server: what was applied
@@ -202,12 +209,19 @@ type Injection struct {
 	Retries int
 	// RetryLatency is the total backoff wait injected, in seconds.
 	RetryLatency float64
+
+	// Corruptions counts delivery attempts the corruption policy
+	// corrupted (detected or not — see sim.IntegrityStats for the split).
+	Corruptions int
 }
 
 // String summarizes the injection for CLI output.
 func (inj *Injection) String() string {
 	s := fmt.Sprintf("faults: %d link events, %d stragglers, %d pools squeezed; %d transfers retried (%d retries, +%.1f ms backoff)",
 		inj.LinkEvents, inj.Stragglers, inj.PoolsSqueezed, inj.RetriedTransfers, inj.Retries, inj.RetryLatency*1e3)
+	if inj.Corruptions > 0 {
+		s += fmt.Sprintf("; %d corrupted deliveries", inj.Corruptions)
+	}
 	if inj.PermanentFailures > 0 {
 		s += fmt.Sprintf("; %d permanent failures scheduled", inj.PermanentFailures)
 	}
@@ -268,6 +282,9 @@ func Apply(srv *hw.Server, spec *Spec) (*Injection, error) {
 
 	if len(spec.Transient) > 0 {
 		srv.Sim.RetryPolicy = inj.retryPolicy
+	}
+	if len(spec.Corruptions) > 0 {
+		srv.Sim.CorruptionPolicy = inj.corruptionPolicy
 	}
 	return inj, nil
 }

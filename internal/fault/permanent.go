@@ -98,6 +98,12 @@ func (s *Spec) validatePermanent() error {
 				"remove the rule or scope it to a surviving resource", i, tr.Match, tr.Match, at)
 		}
 	}
+	for i, c := range s.Corruptions {
+		if at, dead := deadAt[c.Match]; dead {
+			return fmt.Errorf("fault: corruptions[%d] (%s): corruption rule matches resource %q permanently failed at t=%g; "+
+				"remove the rule or scope it to a surviving resource", i, c.Match, c.Match, at)
+		}
+	}
 	return nil
 }
 

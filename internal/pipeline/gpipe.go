@@ -24,6 +24,9 @@ type GPipeConfig struct {
 	// Faults, when non-nil, degrades the simulated hardware (see the
 	// fault package).
 	Faults *fault.Spec
+	// Checksums enables end-to-end transfer integrity (see
+	// MobiusConfig.Checksums).
+	Checksums sim.ChecksumConfig
 }
 
 // gpipeStateFactor converts a stage's FP16 parameter bytes into the full
@@ -56,6 +59,7 @@ func RunGPipe(topo *hw.Topology, cfg GPipeConfig) (*Result, error) {
 	rec := trace.NewRecorder()
 	srv.Sim.Observe(rec)
 	res := &Result{System: name, Recorder: rec, Server: srv}
+	srv.Sim.Checksums = cfg.Checksums
 	if err := applyFaults(srv, cfg.Faults, res); err != nil {
 		return nil, err
 	}

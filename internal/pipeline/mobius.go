@@ -29,6 +29,11 @@ type MobiusConfig struct {
 	// fault package). The schedule itself is unchanged — faults model
 	// unplanned degradation of the machine the plan targeted.
 	Faults *fault.Spec
+	// Checksums enables end-to-end transfer integrity: every transfer
+	// pays a per-byte checksum cost, detected corruptions retransmit
+	// within a bounded budget, and exhaustion halts the step with a
+	// structured sim.CorruptionError.
+	Checksums sim.ChecksumConfig
 	// Checkpoint, when non-nil, appends a periodic state snapshot to the
 	// step: each stage's proportional share of the snapshot flows from
 	// DRAM to the checkpoint destination right after that stage's
@@ -78,6 +83,7 @@ func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
 	rec := trace.NewRecorder()
 	srv.Sim.Observe(rec)
 	res := &Result{System: "Mobius", Recorder: rec, Server: srv}
+	srv.Sim.Checksums = cfg.Checksums
 	if err := applyFaults(srv, cfg.Faults, res); err != nil {
 		return nil, err
 	}

@@ -33,6 +33,13 @@ type Result struct {
 	// mid-flight; StepTime then holds the elapsed time up to detection,
 	// not a completed step.
 	Lost *sim.ResourceLostError
+	// Corruption is set when a transfer exhausted its retransmit budget
+	// under end-to-end checksums; like Lost, StepTime holds the elapsed
+	// time up to the failed delivery.
+	Corruption *sim.CorruptionError
+	// Integrity aggregates the step's corruption/checksum accounting
+	// (zero-valued when neither checksums nor corruption were configured).
+	Integrity sim.IntegrityStats
 	// Recorder holds the collected flow/compute records.
 	Recorder *trace.Recorder
 	// Server exposes the simulated hardware for memory inspection.
@@ -55,6 +62,9 @@ func (r *Result) String() string {
 	}
 	if r.Lost != nil {
 		return fmt.Sprintf("%s: halted at %.3fs (%s)", r.System, r.StepTime, r.Lost)
+	}
+	if r.Corruption != nil {
+		return fmt.Sprintf("%s: halted at %.3fs (%s)", r.System, r.StepTime, r.Corruption)
 	}
 	return fmt.Sprintf("%s: %.3fs/step, %.2f GB moved", r.System, r.StepTime, r.TotalTraffic()/1e9)
 }
@@ -83,14 +93,18 @@ func applyFaults(srv *hw.Server, spec *fault.Spec, res *Result) error {
 // finishRun validates the routed DAG and executes the simulation. A
 // structured OOM (fault-injected memory pressure shrank a pool below a
 // stage's footprint) degrades the result to OOM instead of failing the
-// call, and a permanent failure halting the step surfaces as Result.Lost
-// with the elapsed time up to detection; every other simulation error —
-// deadlock, memory accounting — is returned.
+// call; a permanent failure halting the step surfaces as Result.Lost and
+// an exhausted retransmit budget as Result.Corruption, both with the
+// elapsed time up to detection; every other simulation error — deadlock,
+// memory accounting — is returned. The simulator's integrity accounting
+// is captured on every path so callers can read retransmit counts and
+// silent-corruption exposure even from failed steps.
 func finishRun(srv *hw.Server, res *Result) error {
 	if err := srv.RouteErr(); err != nil {
 		return fmt.Errorf("pipeline: %s schedule: %w", res.System, err)
 	}
 	end, err := srv.Sim.Run()
+	res.Integrity = srv.Sim.Integrity()
 	if err != nil {
 		var oom *sim.OOMError
 		if errors.As(err, &oom) {
@@ -101,6 +115,12 @@ func finishRun(srv *hw.Server, res *Result) error {
 		var lost *sim.ResourceLostError
 		if errors.As(err, &lost) {
 			res.Lost = lost
+			res.StepTime = end
+			return nil
+		}
+		var corr *sim.CorruptionError
+		if errors.As(err, &corr) {
+			res.Corruption = corr
 			res.StepTime = end
 			return nil
 		}

@@ -53,6 +53,17 @@ type Sim struct {
 	// it starts; see the RetryPolicy type in inject.go.
 	RetryPolicy RetryPolicy
 
+	// CorruptionPolicy, when non-nil, is consulted per delivery attempt
+	// of every transfer with payload; see corrupt.go.
+	CorruptionPolicy CorruptionPolicy
+
+	// Checksums configures end-to-end transfer checksums (detection and
+	// retransmit of injected corruption); the zero value disables them.
+	Checksums ChecksumConfig
+
+	// integrity aggregates corruption/detection bookkeeping; see corrupt.go.
+	integrity IntegrityStats
+
 	// Scheduled capacity changes (fault injection), applied in time order.
 	capEvents []capEvent
 	nextCap   int
@@ -420,6 +431,18 @@ func (s *Sim) startOnEngine(t *Task) {
 				lat += extra
 			}
 		}
+		if t.bytes > 0 {
+			if s.Checksums.Enabled {
+				// Detection price of the first delivery attempt; retransmitted
+				// attempts are charged inside injectCorruption.
+				ck := t.bytes * s.Checksums.costPerByte()
+				s.integrity.ChecksumCost += ck
+				lat += Time(ck)
+			}
+			if s.CorruptionPolicy != nil {
+				lat += s.injectCorruption(t)
+			}
+		}
 		if lat > 0 && t.bytes > 0 {
 			// Setup phase: occupy the engine for the latency, then flow.
 			t.endAt = s.now + lat
@@ -434,7 +457,9 @@ func (s *Sim) startOnEngine(t *Task) {
 // set (after any setup latency has elapsed).
 func (s *Sim) beginFlow(t *Task) {
 	t.flowStarted = true
-	f := &flow{task: t, remaining: t.bytes}
+	// Retransmitted attempts re-flow the payload, so detected corruption
+	// consumes real path bandwidth, not just setup latency.
+	f := &flow{task: t, remaining: t.bytes * float64(1+t.retransmits)}
 	if t.bytes <= 0 || len(t.path) == 0 {
 		f.rate = infiniteRate
 		if t.bytes <= 0 {
@@ -468,12 +493,22 @@ func (s *Sim) complete(t *Task) {
 	t.state = stateFinished
 	t.endAt = s.now
 	s.pending--
+	if t.tainted {
+		s.integrity.TaintedTasks++
+	}
 	s.notifyFinish(t)
 	for _, succ := range t.succs {
+		if t.tainted {
+			// Silent corruption poisons everything downstream.
+			succ.tainted = true
+		}
 		succ.waiting--
 		if succ.waiting == 0 && succ.state == statePending {
 			s.ready = append(s.ready, succ)
 		}
+	}
+	if t.corruptExhausted {
+		s.fail(&CorruptionError{Task: t.name, At: s.now, Attempts: 1 + t.retransmits})
 	}
 }
 

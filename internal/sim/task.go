@@ -81,6 +81,11 @@ type Task struct {
 	retries      int
 	retryLatency Time
 
+	// Corruption bookkeeping (see corrupt.go).
+	retransmits      int  // detected-corruption retransmits performed
+	tainted          bool // carries (or consumed) a silently corrupted payload
+	corruptExhausted bool // every delivery attempt in the budget corrupted
+
 	// Tag carries caller metadata through to observers.
 	Tag any
 }
@@ -125,6 +130,14 @@ func (t *Task) Retries() int { return t.retries }
 // RetryLatency returns the total exponential-backoff wait injected before
 // the transfer's payload was admitted.
 func (t *Task) RetryLatency() Time { return t.retryLatency }
+
+// Retransmits returns the number of detected-corruption retransmissions
+// this transfer performed (checksums on).
+func (t *Task) Retransmits() int { return t.retransmits }
+
+// Tainted reports whether the task carried — or transitively consumed —
+// a silently corrupted payload (checksums off).
+func (t *Task) Tainted() bool { return t.tainted }
 
 func (t *Task) String() string {
 	return fmt.Sprintf("task %d %q (%s)", t.id, t.name, t.kind)

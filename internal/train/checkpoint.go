@@ -2,11 +2,31 @@ package train
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"mobius/internal/nn"
 )
+
+// Checkpoint framing. The magic line makes "not a checkpoint at all"
+// (wrong file, zero-length write, garbage) distinguishable from a
+// version skew or a mid-file truncation, and the explicit version field
+// fails loudly on format evolution instead of letting gob half-decode an
+// old layout.
+const (
+	checkpointMagic   = "MOBCKPT\n"
+	checkpointVersion = 1
+)
+
+// ErrCheckpointCorrupt is wrapped by every RestoreCheckpoint failure
+// caused by the file itself — bad magic, truncation, garbled gob,
+// non-finite weights — as opposed to a checkpoint that is intact but
+// does not match this trainer. Callers branch with
+// errors.Is(err, ErrCheckpointCorrupt) to decide between "fall back to
+// an older checkpoint" and "operator error".
+var ErrCheckpointCorrupt = errors.New("corrupt or truncated checkpoint")
 
 // trainCheckpoint is the gob on-disk format of a resumable training
 // state: the model weights (the DRAM master copy), the Adam moments, and
@@ -16,12 +36,13 @@ import (
 // a 4-stage one. That property is exactly what makes elastic re-planning
 // after a GPU loss safe for convergence.
 type trainCheckpoint struct {
-	Cfg    nn.Config
-	Mode   string
-	Step   int
-	LR     float64
-	AdamT  int
-	Params []paramState
+	Version int
+	Cfg     nn.Config
+	Mode    string
+	Step    int
+	LR      float64
+	AdamT   int
+	Params  []paramState
 }
 
 // paramState is one parameter's persistent state, keyed by name.
@@ -43,11 +64,12 @@ func (t *Trainer) SaveCheckpoint(w io.Writer, step int) error {
 		return fmt.Errorf("train: negative step %d", step)
 	}
 	ck := trainCheckpoint{
-		Cfg:   t.Model.Cfg,
-		Mode:  t.Mode.String(),
-		Step:  step,
-		LR:    t.Opt.LR,
-		AdamT: t.Opt.StepCount(),
+		Version: checkpointVersion,
+		Cfg:     t.Model.Cfg,
+		Mode:    t.Mode.String(),
+		Step:    step,
+		LR:      t.Opt.LR,
+		AdamT:   t.Opt.StepCount(),
 	}
 	for _, p := range t.Model.Params() {
 		// Between steps the GPU copy and the DRAM master are identical in
@@ -59,6 +81,9 @@ func (t *Trainer) SaveCheckpoint(w io.Writer, step int) error {
 			st.AdamV = append([]float64(nil), v...)
 		}
 		ck.Params = append(ck.Params, st)
+	}
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return fmt.Errorf("train: write checkpoint: %w", err)
 	}
 	return gob.NewEncoder(w).Encode(&ck)
 }
@@ -74,9 +99,19 @@ func (t *Trainer) RestoreCheckpoint(r io.Reader) (int, error) {
 	if t.Mode == ModeAsync {
 		return 0, fmt.Errorf("train: %s training cannot resume from a checkpoint", t.Mode)
 	}
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, fmt.Errorf("train: %w: reading header: %v", ErrCheckpointCorrupt, err)
+	}
+	if string(magic) != checkpointMagic {
+		return 0, fmt.Errorf("train: %w: bad magic %q (not a mobius checkpoint)", ErrCheckpointCorrupt, magic)
+	}
 	var ck trainCheckpoint
 	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
-		return 0, fmt.Errorf("train: decode checkpoint: %w", err)
+		return 0, fmt.Errorf("train: %w: decode: %v", ErrCheckpointCorrupt, err)
+	}
+	if ck.Version != checkpointVersion {
+		return 0, fmt.Errorf("train: checkpoint format version %d, this build reads version %d", ck.Version, checkpointVersion)
 	}
 	if ck.Cfg != t.Model.Cfg {
 		return 0, fmt.Errorf("train: checkpoint model %+v does not match trainer %+v", ck.Cfg, t.Model.Cfg)
@@ -104,6 +139,18 @@ func (t *Trainer) RestoreCheckpoint(r io.Reader) (int, error) {
 		if len(st.AdamM) != len(st.AdamV) || (len(st.AdamM) != 0 && len(st.AdamM) != len(st.W)) {
 			return 0, fmt.Errorf("train: parameter %q has inconsistent optimizer state", p.Name)
 		}
+		// A bit-flipped float decodes fine; catch it before it poisons
+		// the run (the numeric guard would only trip steps later).
+		for i, v := range st.W {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("train: %w: parameter %q weight[%d] is %v", ErrCheckpointCorrupt, p.Name, i, v)
+			}
+		}
+		for i := range st.AdamM {
+			if bad(st.AdamM[i]) || bad(st.AdamV[i]) {
+				return 0, fmt.Errorf("train: %w: parameter %q optimizer state[%d] is non-finite", ErrCheckpointCorrupt, p.Name, i)
+			}
+		}
 	}
 	for _, p := range params {
 		st := states[p.Name]
@@ -120,3 +167,5 @@ func (t *Trainer) RestoreCheckpoint(r io.Reader) (int, error) {
 	t.Opt.SetStepCount(ck.AdamT)
 	return ck.Step, nil
 }
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }

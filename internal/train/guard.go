@@ -1,0 +1,97 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"mobius/internal/nn"
+)
+
+// The numeric guard is the training-side half of the integrity layer:
+// silent data corruption that slips past (or runs without) transfer
+// checksums eventually surfaces as NaN/Inf weights, an exploding
+// gradient norm, or a loss spike. The guard checks each step against an
+// exponential moving average of the recent history; a detection aborts
+// the step so the caller can roll back to the last good checkpoint (the
+// elastic package prices exactly that rollback, see elastic.PolicyRollback).
+
+// AnomalyError is the structured detection a Guard returns. It names the
+// step, what tripped, and the observed-vs-threshold values, and unwraps
+// to the underlying *nn.NonFiniteError when the trigger was a NaN/Inf
+// scan.
+type AnomalyError struct {
+	// Step is the training step whose result was rejected.
+	Step int
+	// Kind is "loss-spike", "grad-spike", or "non-finite".
+	Kind string
+	// Value is the observed loss or gradient norm.
+	Value float64
+	// Threshold is the EMA-derived limit Value exceeded (0 for
+	// non-finite detections — there is no threshold to exceed).
+	Threshold float64
+	// Cause is the underlying scan error for Kind "non-finite".
+	Cause error
+}
+
+func (e *AnomalyError) Error() string {
+	if e.Kind == "non-finite" {
+		return fmt.Sprintf("train: step %d: numeric anomaly (%s): %v", e.Step, e.Kind, e.Cause)
+	}
+	return fmt.Sprintf("train: step %d: numeric anomaly (%s): %g exceeds %g", e.Step, e.Kind, e.Value, e.Threshold)
+}
+
+func (e *AnomalyError) Unwrap() error { return e.Cause }
+
+// Guard detects numeric anomalies in a training run. The zero value is
+// not usable; construct with NewGuard.
+type Guard struct {
+	// SpikeFactor is the multiple of the EMA a loss or gradient norm
+	// must exceed to count as an anomaly.
+	SpikeFactor float64
+	// Decay is the EMA decay (weight on history, in (0, 1)).
+	Decay float64
+	// Warmup is how many clean steps seed the EMAs before spike
+	// detection arms; non-finite detection is active from step one.
+	Warmup int
+
+	emaLoss, emaGrad float64
+	clean            int
+}
+
+// NewGuard returns a guard with conventional settings: 3x spike factor,
+// 0.9 EMA decay, 5-step warmup.
+func NewGuard() *Guard {
+	return &Guard{SpikeFactor: 3, Decay: 0.9, Warmup: 5}
+}
+
+// Check inspects one completed step: the reported loss and the model's
+// parameters/gradients. It returns a *AnomalyError on detection — the
+// step's update should then be discarded via checkpoint rollback — and
+// advances the EMA baselines only on clean steps, so a detected anomaly
+// never contaminates the threshold that caught it.
+func (g *Guard) Check(step int, loss float64, params []*nn.Param) error {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return &AnomalyError{Step: step, Kind: "non-finite", Value: loss,
+			Cause: fmt.Errorf("loss is %v", loss)}
+	}
+	if err := nn.CheckFinite(params); err != nil {
+		return &AnomalyError{Step: step, Kind: "non-finite", Value: loss, Cause: err}
+	}
+	norm := nn.GradNorm(params)
+	if g.clean >= g.Warmup {
+		if lim := g.SpikeFactor * g.emaLoss; loss > lim {
+			return &AnomalyError{Step: step, Kind: "loss-spike", Value: loss, Threshold: lim}
+		}
+		if lim := g.SpikeFactor * g.emaGrad; norm > lim {
+			return &AnomalyError{Step: step, Kind: "grad-spike", Value: norm, Threshold: lim}
+		}
+	}
+	if g.clean == 0 {
+		g.emaLoss, g.emaGrad = loss, norm
+	} else {
+		g.emaLoss = g.Decay*g.emaLoss + (1-g.Decay)*loss
+		g.emaGrad = g.Decay*g.emaGrad + (1-g.Decay)*norm
+	}
+	g.clean++
+	return nil
+}

@@ -1,0 +1,138 @@
+package train
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"mobius/internal/nn"
+)
+
+// TestGuardDetectsNonFinite injects a NaN weight — the footprint of an
+// undetected corrupted transfer — and requires the guard to trip
+// immediately, unwrapping to the parameter-level scan error.
+func TestGuardDetectsNonFinite(t *testing.T) {
+	_, tr, corpus, cfg := buildPair(t, 3)
+	g := NewGuard()
+	loss := tr.Step(microbatches(corpus, cfg, 0, 4, 2))
+	if err := g.Check(0, loss, tr.Model.Params()); err != nil {
+		t.Fatalf("clean step flagged: %v", err)
+	}
+	tr.Model.Params()[3].W.D[7] = math.NaN()
+	err := g.Check(1, loss, tr.Model.Params())
+	var anom *AnomalyError
+	if !errors.As(err, &anom) || anom.Kind != "non-finite" || anom.Step != 1 {
+		t.Fatalf("want non-finite *AnomalyError at step 1, got %v", err)
+	}
+	var nf *nn.NonFiniteError
+	if !errors.As(err, &nf) || nf.Kind != "weight" {
+		t.Fatalf("anomaly should unwrap to *nn.NonFiniteError, got %v", err)
+	}
+}
+
+// TestGuardDetectsSpikes feeds the guard a stable history, then a loss
+// spike and a gradient-norm spike; both must trip only after warmup and
+// must not contaminate the EMA baselines.
+func TestGuardDetectsSpikes(t *testing.T) {
+	_, tr, _, _ := buildPair(t, 3)
+	params := tr.Model.Params()
+	g := NewGuard()
+
+	// A spike during warmup is tolerated (the EMA is still seeding) —
+	// use a throwaway guard so the spike does not pollute the baseline
+	// of the main sequence below.
+	if err := NewGuard().Check(0, 100, params); err != nil {
+		t.Fatalf("warmup step flagged: %v", err)
+	}
+	for step := 0; step <= g.Warmup+2; step++ {
+		if err := g.Check(step, 1.0, params); err != nil {
+			t.Fatalf("stable step %d flagged: %v", step, err)
+		}
+	}
+	err := g.Check(50, 50.0, params)
+	var anom *AnomalyError
+	if !errors.As(err, &anom) || anom.Kind != "loss-spike" {
+		t.Fatalf("want loss-spike, got %v", err)
+	}
+	// The rejected step must not have moved the baseline: the same spike
+	// trips again.
+	if err := g.Check(51, 50.0, params); err == nil {
+		t.Fatal("spike accepted after a rejected identical spike (EMA contaminated)")
+	}
+
+	// Gradient spike: blow up the gradients while the loss stays calm.
+	for i := range params[0].G.D {
+		params[0].G.D[i] = 1e6
+	}
+	err = g.Check(52, 1.0, params)
+	if !errors.As(err, &anom) || anom.Kind != "grad-spike" {
+		t.Fatalf("want grad-spike, got %v", err)
+	}
+	for i := range params[0].G.D {
+		params[0].G.D[i] = 0
+	}
+}
+
+// TestGuardRollbackBitwise is the end-to-end rollback property: a run
+// whose weights are corrupted mid-flight detects the anomaly, restores
+// the last good checkpoint, replays — and lands bitwise-identical to a
+// run that never saw the corruption. Batches are a pure function of the
+// global step, so this is exactly the recovery the elastic rollback
+// policy prices.
+func TestGuardRollbackBitwise(t *testing.T) {
+	const n, ckptAt, corruptAt = 10, 4, 6
+	_, ref, corpus, cfg := buildPair(t, 3)
+	refLoss := make([]float64, n)
+	for step := 0; step < n; step++ {
+		refLoss[step] = ref.Step(microbatches(corpus, cfg, step, 4, 2))
+	}
+
+	tr := newTrainer(t, 3, ModeMobius)
+	g := NewGuard()
+	var ckpt bytes.Buffer
+	step, corrupted := 0, false
+	for step < n {
+		loss := tr.Step(microbatches(corpus, cfg, step, 4, 2))
+		if step == corruptAt && !corrupted {
+			// Silent corruption lands between the step and its guard scan.
+			tr.Model.Params()[0].W.D[0] = math.Inf(1)
+			corrupted = true
+		}
+		if err := g.Check(step, loss, tr.Model.Params()); err != nil {
+			var anom *AnomalyError
+			if !errors.As(err, &anom) {
+				t.Fatalf("unstructured guard error: %v", err)
+			}
+			if step != corruptAt {
+				t.Fatalf("guard tripped at step %d, corruption was at %d", step, corruptAt)
+			}
+			resume, rerr := tr.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes()))
+			if rerr != nil {
+				t.Fatalf("rollback restore: %v", rerr)
+			}
+			if resume != ckptAt {
+				t.Fatalf("rolled back to step %d, want %d", resume, ckptAt)
+			}
+			step = resume
+			continue
+		}
+		if loss != refLoss[step] {
+			t.Fatalf("step %d loss diverged after rollback: %.17g vs %.17g", step, loss, refLoss[step])
+		}
+		step++
+		if step == ckptAt {
+			if err := tr.SaveCheckpoint(&ckpt, step); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, p := range tr.Model.Params() {
+		want := ref.Model.Params()[i]
+		for j := range p.W.D {
+			if p.W.D[j] != want.W.D[j] {
+				t.Fatalf("final weight %s[%d] diverged: %.17g vs %.17g", p.Name, j, p.W.D[j], want.W.D[j])
+			}
+		}
+	}
+}
