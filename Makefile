@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check check-faults check-recovery check-chaos bench
+.PHONY: build vet test race check check-faults check-recovery check-chaos check-perf bench bench-json
 
 build:
 	$(GO) build ./...
@@ -39,11 +39,26 @@ check-chaos:
 	$(GO) test -run xxx -fuzz 'FuzzParseJSON' -fuzztime 10s ./internal/fault/
 	$(GO) test -run xxx -fuzz 'FuzzChaosInvariants' -fuzztime 10s ./internal/chaos/
 
+# check-perf is the performance smoke gate: a short in-process comparison
+# asserting the incremental flow scheduler still beats the retained
+# global-recompute oracle on the contention workload (relative check, so
+# it holds on any machine; see internal/sim/perf_test.go).
+check-perf:
+	MOBIUS_CHECK_PERF=1 $(GO) test -run 'TestIncrementalBeatsOracle' -count=1 -v ./internal/sim/
+
 # check is the tier-1 gate: everything must compile, vet clean, pass the
 # test suite under the race detector (the planning pipeline is
 # concurrent, so plain `go test` alone is not enough), and survive the
-# fault matrix, the recovery matrix, and the chaos matrix.
-check: build vet race check-faults check-recovery check-chaos
+# fault matrix, the recovery matrix, the chaos matrix, and the
+# performance smoke gate.
+check: build vet race check-faults check-recovery check-chaos check-perf
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/
+
+# bench-json regenerates BENCH_sim.json: the simulator, mapping, and
+# partition benchmarks parsed into a diffable JSON document (see
+# cmd/bench2json). Run on an idle machine; EXPERIMENTS.md documents the
+# methodology and the recorded pre-optimization baselines.
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/ | $(GO) run ./cmd/bench2json -o BENCH_sim.json

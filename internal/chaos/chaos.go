@@ -85,12 +85,38 @@ func (h *Harness) Spec(seed int64) *fault.Spec {
 			Probability: 0.3 * rng.Float64(), // [0, 0.3): exhaustion stays rare but reachable
 		})
 	}
-	// Optional whole-run link degradation (unbounded window).
+	// Link degradations: an optional whole-run (unbounded) slowdown plus
+	// optional bursts of bounded windows, each on a distinct link —
+	// Validate rejects overlapping windows on the same link, and an
+	// unbounded window overlaps everything after it. Windows on different
+	// links overlap freely in time. Every window edge is a mid-transfer
+	// capacity event on one link, so bursts churn exactly the
+	// component-membership state the incremental flow scheduler maintains
+	// (links sharing a root complex with live traffic, links going slow
+	// and recovering while other links' windows are still open).
+	links := append([]string(nil), chaosMatches[1:]...)
+	rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
 	if rng.Intn(2) == 0 {
 		spec.Links = append(spec.Links, fault.LinkFault{
-			Link:       chaosMatches[1+rng.Intn(len(chaosMatches)-1)],
+			Link:       links[0],
 			Multiplier: 0.25 + 0.75*rng.Float64(),
 		})
+		links = links[1:]
+	}
+	for i, n := 0, rng.Intn(3); i < n && len(links) > 0; i++ {
+		link := links[0]
+		links = links[1:]
+		at := 0.3 * rng.Float64()
+		for w, m := 0, 1+rng.Intn(2); w < m; w++ {
+			end := at + 0.01 + 0.2*rng.Float64()
+			spec.Links = append(spec.Links, fault.LinkFault{
+				Link:       link,
+				Multiplier: 0.25 + 0.75*rng.Float64(),
+				Start:      at,
+				End:        end,
+			})
+			at = end + 0.05 + 0.1*rng.Float64()
+		}
 	}
 	// Optional transient retry rule, competing with corruption for the
 	// same transfers.

@@ -104,6 +104,15 @@ func FuzzChaosInvariants(f *testing.F) {
 	}
 	f.Add(int64(-1))
 	f.Add(int64(1 << 40))
+	// Seeds whose generated specs churn component membership in the
+	// incremental flow scheduler: bounded degradation windows on multiple
+	// links overlapping in time (capacity edges landing mid-transfer while
+	// other links' windows are still open), several also stacked on a
+	// whole-run unbounded degradation. Found by scanning Spec output for
+	// cross-link window overlap.
+	for _, seed := range []int64{4, 9, 14, 17, 20, 21, 22, 31, 35, 56} {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		h := getHarness(t)
 		if _, err := h.Run(seed); err != nil {

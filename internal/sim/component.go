@@ -1,0 +1,212 @@
+package sim
+
+// This file implements the locality layer of the incremental scheduler:
+// active flows are grouped into connected components via a union-find
+// over the resources their paths touch, and rate recomputation is
+// restricted to components actually perturbed by an event (flow admit or
+// finish, capacity change). Two flows that never share a resource —
+// transfers on isolated NVLinks, traffic under different root complexes —
+// never pay for each other's events.
+//
+// Correctness does not depend on the decomposition being tight: the
+// water-filling computation is a pure function of a component's flows and
+// capacities, so recomputing an unperturbed component reproduces its
+// rates bit for bit and is merely wasted work. Union-find can therefore
+// over-merge freely (it cannot split), and a periodic rebuild re-derives
+// the partition from the active flows to recover splits after enough
+// flows have finished. The test-only global oracle (flow.go) exploits the
+// same property: it recomputes every component on every event and must
+// produce bitwise-identical schedules.
+
+// component is a connected set of active flows: the union of their paths
+// is disjoint from every other component's. flows is unordered (O(1)
+// admit and swap-remove) but deterministically maintained; since both
+// scheduler modes read the same lists, the list order is by construction
+// the canonical iteration order for water-filling in either mode.
+type component struct {
+	flows []*flow
+	// dirty marks the component perturbed since the last recompute; it
+	// also guards duplicate entries in Sim.dirtyComps.
+	dirty bool
+	// dead marks a component absorbed by a union-find merge; the dirty
+	// drain recycles it.
+	dead bool
+	// visit de-duplicates components during the oracle's global sweep
+	// (compared against Sim.compVisit).
+	visit uint64
+}
+
+// findRoot returns the union-find root of r, lazily (re)initializing r as
+// a singleton when it has not been touched in the current generation
+// (bumping ufGen is how rebuildComponents resets the whole structure
+// without walking every resource). Path halving keeps chains short.
+func (s *Sim) findRoot(r *Resource) *Resource {
+	if r.ufGen != s.ufGen {
+		r.ufGen = s.ufGen
+		r.ufParent = r
+		r.ufRank = 0
+		r.comp = nil
+	}
+	for r.ufParent != r {
+		r.ufParent = r.ufParent.ufParent
+		r = r.ufParent
+	}
+	return r
+}
+
+// unionRoots merges two union-find roots (and their components) and
+// returns the surviving root.
+func (s *Sim) unionRoots(a, b *Resource) *Resource {
+	if a == b {
+		return a
+	}
+	if a.ufRank < b.ufRank {
+		a, b = b, a
+	} else if a.ufRank == b.ufRank {
+		a.ufRank++
+	}
+	b.ufParent = a
+	ca, cb := a.comp, b.comp
+	switch {
+	case cb == nil:
+		// nothing to merge
+	case ca == nil:
+		a.comp = cb
+	default:
+		s.mergeComponents(ca, cb)
+	}
+	b.comp = nil
+	return a
+}
+
+// mergeComponents folds src into dst: src's members are appended to
+// dst's list, dirtiness is inherited, and src is retired through the
+// dirty drain so its buffer returns to the pool.
+func (s *Sim) mergeComponents(dst, src *component) {
+	for _, f := range src.flows {
+		f.compIdx = len(dst.flows)
+		dst.flows = append(dst.flows, f)
+	}
+
+	if src.dirty && !dst.dirty {
+		s.markDirty(dst)
+	}
+	src.flows = src.flows[:0]
+	src.dead = true
+	if !src.dirty {
+		// Route the corpse through dirtyComps so the next drain recycles
+		// it; dead components are skipped before any rate work.
+		s.markDirty(src)
+	}
+}
+
+// markDirty queues c for the next rate recompute (once).
+func (s *Sim) markDirty(c *component) {
+	s.ratesDirty = true
+	if !c.dirty {
+		c.dirty = true
+		s.dirtyComps = append(s.dirtyComps, c)
+	}
+}
+
+// newComponent takes a component from the pool (or allocates one).
+func (s *Sim) newComponent() *component {
+	if n := len(s.compPool); n > 0 {
+		c := s.compPool[n-1]
+		s.compPool[n-1] = nil
+		s.compPool = s.compPool[:n-1]
+		return c
+	}
+	return &component{}
+}
+
+func (s *Sim) recycleComponent(c *component) {
+	c.flows = c.flows[:0]
+	c.dirty = false
+	c.dead = false
+	s.compPool = append(s.compPool, c)
+}
+
+// componentAdmit links a newly admitted flow into the union-find: its
+// path's resources are unioned into one component, the flow joins that
+// component's member list, and the component is marked dirty. Empty-path
+// flows are unconstrained and never join a component.
+func (s *Sim) componentAdmit(f *flow) {
+	path := f.task.path
+	if len(path) == 0 {
+		return
+	}
+	root := s.findRoot(path[0].Res)
+	for _, pe := range path[1:] {
+		root = s.unionRoots(root, s.findRoot(pe.Res))
+	}
+	c := root.comp
+	if c == nil {
+		c = s.newComponent()
+		root.comp = c
+	}
+	f.compIdx = len(c.flows)
+	c.flows = append(c.flows, f)
+	s.markDirty(c)
+}
+
+// componentFinish removes a completed flow from its component and marks
+// the component dirty (the freed bandwidth redistributes to the
+// survivors). Finishes are also what can split a component, which
+// union-find cannot express, so they feed the rebuild counter.
+func (s *Sim) componentFinish(f *flow) {
+	if len(f.task.path) == 0 {
+		return
+	}
+	root := s.findRoot(f.task.path[0].Res)
+	c := root.comp
+	last := len(c.flows) - 1
+	moved := c.flows[last]
+	c.flows[f.compIdx] = moved
+	moved.compIdx = f.compIdx
+	c.flows[last] = nil
+	c.flows = c.flows[:last]
+	s.markDirty(c)
+	s.finishedSinceRebuild++
+}
+
+// maybeRebuildComponents re-derives the component partition from the
+// active flows once enough finishes have accumulated that stale merges
+// may be holding unrelated flows together. Rebuilding marks every
+// component dirty, which forces a full (but output-identical) recompute —
+// the cost is bounded by amortizing against the finishes that paid for
+// it.
+func (s *Sim) maybeRebuildComponents() {
+	if s.finishedSinceRebuild <= len(s.flows)+16 {
+		return
+	}
+	s.rebuildComponents()
+}
+
+func (s *Sim) rebuildComponents() {
+	s.finishedSinceRebuild = 0
+	// Recycle every live component before the generation bump orphans it.
+	// dirtyComps is the only registry we keep, so sweep via the flows:
+	// each live component appears at exactly one root.
+	for _, f := range s.flows {
+		if len(f.task.path) == 0 {
+			continue
+		}
+		root := s.findRoot(f.task.path[0].Res)
+		if root.comp != nil {
+			s.recycleComponent(root.comp)
+			root.comp = nil
+		}
+	}
+	for _, c := range s.dirtyComps {
+		if c.dead {
+			s.recycleComponent(c)
+		}
+	}
+	s.dirtyComps = s.dirtyComps[:0]
+	s.ufGen++
+	for _, f := range s.flows {
+		s.componentAdmit(f)
+	}
+}
+

@@ -25,4 +25,14 @@
 //
 // All times are float64 seconds and all sizes float64 bytes. The simulator
 // is fully deterministic: ties are broken by task creation order.
+//
+// The event loop is incremental: flows are grouped into connected
+// components by a union-find over the resources their paths touch, and an
+// event re-runs the fair-sharing computation only for the components it
+// perturbed (component.go). Flow progress is settled lazily when a flow's
+// rate changes (flow.go), and the next event is picked from an indexed
+// min-heap of predicted completion times (flowheap.go), so per-event cost
+// scales with the perturbation, not with the number of active flows. The
+// pre-incremental global recompute is retained as a test-only oracle that
+// the differential tests hold bitwise-equal to the incremental scheduler.
 package sim

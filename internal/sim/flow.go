@@ -1,18 +1,84 @@
 package sim
 
+import "math"
+
 // flow is an in-flight transfer task: remaining payload bytes plus the
-// rate currently assigned by the fair-sharing computation.
+// rate currently assigned by the fair-sharing computation. Progress is
+// lazy (see settleFlow): remaining and per-resource carried accounting
+// are settled only when the rate actually changes or the flow completes,
+// with lastUpdate recording the instant the stored remaining was exact.
 type flow struct {
 	task      *Task
 	remaining float64
 	rate      float64
+
+	// nextRate is scratch written by waterFill; applyRates promotes it to
+	// rate (settling first) only when it differs bitwise, so unperturbed
+	// flows keep their prediction and heap position untouched.
+	nextRate float64
+
+	// lastUpdate is the simulated instant remaining was last settled.
+	lastUpdate Time
+	// pred is the predicted completion time (lastUpdate+remaining/rate),
+	// the flow's key in Sim.flowQueue.
+	pred Time
+	// heapIdx is the flow's position in Sim.flowQueue (-1 when absent).
+	heapIdx int
+	// listIdx is the flow's position in the unordered Sim.flows list.
+	listIdx int
+	// compIdx is the flow's position in its component's member list.
+	compIdx int
 }
 
 // infiniteRate stands in for an unconstrained transfer (empty path).
 const infiniteRate = 1e30
 
-// recomputeRates assigns a rate to every active flow using strict-priority
-// max-min fairness (progressive filling / water-filling):
+// predSlackFloor is the absolute remaining-bytes tolerance under which a
+// flow counts as complete regardless of rate (matching the completion
+// slack in Sim.advance).
+const predSlackFloor = 1e-9
+
+// predict returns the completion-time key for the heap. A starved flow
+// (rate 0 in a lower priority class) never completes on its own, unless
+// its remaining payload is already within the completion slack.
+func (f *flow) predict() Time {
+	if f.rate > 0 {
+		return f.lastUpdate + f.remaining/f.rate
+	}
+	if f.remaining <= predSlackFloor {
+		return f.lastUpdate
+	}
+	return math.Inf(1)
+}
+
+// settleFlow brings f's lazy accounting up to the current clock: the
+// payload transferred since lastUpdate is subtracted from remaining and
+// added to each path resource's carried counter. Rates are piecewise
+// constant between recomputes, so settling only at rate changes and
+// completion is exact.
+func (s *Sim) settleFlow(f *flow) {
+	dt := s.now - f.lastUpdate
+	if dt > 0 && f.rate != 0 {
+		f.remaining -= f.rate * dt
+		for _, pe := range f.task.path {
+			pe.Res.carried += f.rate * pe.Weight * dt
+		}
+	}
+	f.lastUpdate = s.now
+}
+
+// settleAllFlows settles every active flow; called once when Run exits so
+// utilization accounting and invariant checks see fully settled state
+// even on halted runs.
+func (s *Sim) settleAllFlows() {
+	for _, f := range s.flows {
+		s.settleFlow(f)
+	}
+}
+
+// recomputeRates reassigns rates after the flow set or capacities
+// changed, using strict-priority max-min fairness (progressive filling /
+// water-filling):
 //
 //  1. Flows are grouped by priority; higher classes are served first
 //     against the residual capacity left by the classes above them.
@@ -24,24 +90,72 @@ const infiniteRate = 1e30
 // payload byte, which models staged transfers that cross a root complex
 // twice.
 //
+// The incremental scheduler recomputes only the connected components
+// marked dirty since the last call (see component.go); flows in
+// unperturbed components keep their rates, predictions, and heap
+// positions. The retained test-only oracle (rateOracle) instead
+// recomputes every active flow, the pre-incremental global behavior:
+// because water-filling is a pure per-component function and rates are
+// only applied on bitwise change, both modes must produce identical
+// schedules — the differential tests assert exactly that.
+//
 // The computation is allocation-free in steady state: it reuses the
 // scratch slices on Sim and the scratch fields on Resource (epoch-marked
 // residual/demand, the per-round binding flag) instead of building maps
-// per event, and relies on s.flows being kept id-ordered on insert (see
-// beginFlow) so no per-call sort is needed.
+// per event, and relies on each component's flow list providing a
+// deterministic iteration order shared by both scheduler modes, so no
+// per-call sort is needed.
 func (s *Sim) recomputeRates() {
 	if !s.ratesDirty {
 		return
 	}
+	// Recover component splits first so the rebuilt (all-dirty) partition
+	// is drained by this very recompute.
+	s.maybeRebuildComponents()
 	s.ratesDirty = false
-	if len(s.flows) == 0 {
+
+	// Drain the dirty-component queue into the recompute set. Dead
+	// components (absorbed by merges) are recycled here.
+	set := s.recomputeScratch[:0]
+	for _, c := range s.dirtyComps {
+		c.dirty = false
+		if c.dead {
+			s.recycleComponent(c)
+			continue
+		}
+		set = append(set, c.flows...)
+	}
+	s.dirtyComps = s.dirtyComps[:0]
+	if s.rateOracle {
+		// Oracle mode: global recompute over every active flow, exactly as
+		// the pre-incremental scheduler did. The set is assembled component
+		// by component so each resource sees its flows in the same order
+		// the incremental path would produce. Empty-path flows are omitted:
+		// they hold infiniteRate forever, so water-fill and applyRates are
+		// both no-ops for them.
+		set = set[:0]
+		s.compVisit++
+		for _, f := range s.flows {
+			if len(f.task.path) == 0 {
+				continue
+			}
+			c := s.findRoot(f.task.path[0].Res).comp
+			if c == nil || c.visit == s.compVisit {
+				continue
+			}
+			c.visit = s.compVisit
+			set = append(set, c.flows...)
+		}
+	}
+	s.recomputeScratch = set
+	if len(set) == 0 {
 		return
 	}
 
-	// Reset residual capacity on every resource touched by an active flow.
-	// The epoch mark replaces a per-call "seen" set.
+	// Reset residual capacity on every resource touched by the recompute
+	// set. The epoch mark replaces a per-call "seen" set.
 	s.rateEpoch++
-	for _, f := range s.flows {
+	for _, f := range set {
 		for _, pe := range f.task.path {
 			if pe.Res.mark != s.rateEpoch {
 				pe.Res.mark = s.rateEpoch
@@ -51,45 +165,69 @@ func (s *Sim) recomputeRates() {
 		}
 	}
 
-	// Collect the distinct priorities, descending; higher classes fill
-	// first. The class count is tiny, so a linear dedup + insertion sort
-	// beats building a map.
+	// Bucket the set by priority in ONE pass: each flow is appended to
+	// its class's reusable scratch slice, preserving the relative order
+	// within each component. The distinct class count is tiny, so the per-flow
+	// class lookup is a short linear probe, not a map.
 	prios := s.prioScratch[:0]
-	for _, f := range s.flows {
+	buckets := s.classBuckets
+	for _, f := range set {
 		p := f.task.priority
-		known := false
-		for _, q := range prios {
+		k := -1
+		for i, q := range prios {
 			if q == p {
-				known = true
+				k = i
 				break
 			}
 		}
-		if !known {
+		if k < 0 {
+			k = len(prios)
 			prios = append(prios, p)
+			if k < len(buckets) {
+				buckets[k] = buckets[k][:0]
+			} else {
+				buckets = append(buckets, nil)
+			}
 		}
+		buckets[k] = append(buckets[k], f)
 	}
+	// Serve classes highest priority first (insertion sort over the tiny
+	// distinct-class list, buckets swapped in tandem).
 	for i := 1; i < len(prios); i++ {
 		for j := i; j > 0 && prios[j] > prios[j-1]; j-- {
 			prios[j], prios[j-1] = prios[j-1], prios[j]
+			buckets[j], buckets[j-1] = buckets[j-1], buckets[j]
 		}
 	}
 	s.prioScratch = prios
+	s.classBuckets = buckets
 
-	for _, p := range prios {
-		// s.flows is id-ordered, so the class inherits id order.
-		class := s.classScratch[:0]
-		for _, f := range s.flows {
-			if f.task.priority == p {
-				class = append(class, f)
-			}
+	for k := range prios {
+		s.waterFill(buckets[k])
+	}
+	s.applyRates(set)
+}
+
+// applyRates promotes the water-fill results: every flow whose new rate
+// differs (bitwise) from its current one is settled at the old rate, then
+// re-keyed in the completion heap. Flows whose rate is reproduced exactly
+// are untouched, which is what makes a conservative (over-large)
+// recompute set behaviorally invisible.
+func (s *Sim) applyRates(set []*flow) {
+	for _, f := range set {
+		if f.nextRate == f.rate {
+			continue
 		}
-		s.classScratch = class
-		s.waterFill(class)
+		s.settleFlow(f)
+		f.rate = f.nextRate
+		f.pred = f.predict()
+		s.flowQueue.fix(f)
 	}
 }
 
 // waterFill performs one max-min fair allocation round for a single
-// priority class, consuming the resources' residual capacities.
+// priority class, consuming the resources' residual capacities. Results
+// are written to flow.nextRate; applyRates decides what actually changed.
 func (s *Sim) waterFill(class []*flow) {
 	fixed := s.fixedScratch[:0]
 	for range class {
@@ -131,7 +269,7 @@ func (s *Sim) waterFill(class []*flow) {
 			// Remaining flows have empty paths: unconstrained.
 			for i := range class {
 				if !fixed[i] {
-					class[i].rate = infiniteRate
+					class[i].nextRate = infiniteRate
 					fixed[i] = true
 					unfixed--
 				}
@@ -171,7 +309,7 @@ func (s *Sim) waterFill(class []*flow) {
 			if !binding {
 				continue
 			}
-			f.rate = minShare
+			f.nextRate = minShare
 			fixed[i] = true
 			unfixed--
 			progress = true
@@ -188,7 +326,7 @@ func (s *Sim) waterFill(class []*flow) {
 			// spin forever on pathological float input.
 			for i := range class {
 				if !fixed[i] {
-					class[i].rate = minShare
+					class[i].nextRate = minShare
 					fixed[i] = true
 					unfixed--
 				}

@@ -1,0 +1,109 @@
+package sim
+
+// flowHeap is an indexed min-heap of active flows ordered by predicted
+// completion time (ties broken by task id for determinism). Every active
+// flow is in the heap exactly once; flow.heapIdx tracks its position so a
+// rate change re-sifts just that entry in O(log F) instead of rebuilding
+// or rescanning the flow set. Flows whose prediction is +Inf (starved by
+// a higher priority class) sink to the bottom and never surface as the
+// next event until their rate changes.
+//
+// This is a hand-rolled heap rather than container/heap so fix/remove can
+// use the stored index directly and pushes stay interface-free (no
+// boxing allocation on the per-event path).
+type flowHeap struct {
+	items []*flow
+}
+
+func (h *flowHeap) Len() int { return len(h.items) }
+
+// top returns the flow with the earliest predicted completion.
+func (h *flowHeap) top() *flow { return h.items[0] }
+
+func (h *flowHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.pred != b.pred {
+		return a.pred < b.pred
+	}
+	return a.task.id < b.task.id
+}
+
+func (h *flowHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}
+
+func (h *flowHeap) push(f *flow) {
+	f.heapIdx = len(h.items)
+	h.items = append(h.items, f)
+	h.up(f.heapIdx)
+}
+
+// popTop removes and returns the earliest flow.
+func (h *flowHeap) popTop() *flow {
+	f := h.items[0]
+	h.removeAt(0)
+	return f
+}
+
+// remove deletes an arbitrary flow from the heap.
+func (h *flowHeap) remove(f *flow) {
+	if f.heapIdx >= 0 {
+		h.removeAt(f.heapIdx)
+	}
+}
+
+func (h *flowHeap) removeAt(i int) {
+	n := len(h.items) - 1
+	h.swap(i, n)
+	out := h.items[n]
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if i < n {
+		h.fixAt(i)
+	}
+	out.heapIdx = -1
+}
+
+// fix restores the heap property after f's prediction changed in place.
+func (h *flowHeap) fix(f *flow) { h.fixAt(f.heapIdx) }
+
+func (h *flowHeap) fixAt(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *flowHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts i toward the leaves; reports whether it moved.
+func (h *flowHeap) down(i int) bool {
+	start := i
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h.swap(i, child)
+		i = child
+	}
+	return i > start
+}

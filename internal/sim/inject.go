@@ -45,15 +45,28 @@ func sortCapEvents(evs []capEvent) {
 }
 
 // applyCapEvents applies every capacity event due at (or before) the
-// current clock and marks rates dirty when anything changed.
+// current clock and marks the affected resource's component dirty when
+// anything changed.
 func (s *Sim) applyCapEvents() {
 	for s.nextCap < len(s.capEvents) && s.capEvents[s.nextCap].at <= s.now+timeEpsilon {
 		ev := s.capEvents[s.nextCap]
 		s.nextCap++
 		if ev.res.capacity != ev.capacity {
 			ev.res.capacity = ev.capacity
-			s.ratesDirty = true
+			s.touchResource(ev.res)
 		}
+	}
+}
+
+// touchResource marks the component of r dirty, if any active flow
+// crosses it. A capacity change on an idle resource perturbs nobody: the
+// new capacity is simply what the next admission will water-fill against.
+func (s *Sim) touchResource(r *Resource) {
+	if r.ufGen != s.ufGen {
+		return
+	}
+	if root := s.findRoot(r); root.comp != nil {
+		s.markDirty(root.comp)
 	}
 }
 

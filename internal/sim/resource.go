@@ -21,6 +21,15 @@ type Resource struct {
 	binding bool
 	// carried accumulates the bytes that crossed the resource.
 	carried float64
+
+	// Union-find state grouping resources into connected components of
+	// active flows (see component.go). ufGen lazily invalidates the
+	// structure: a resource whose generation trails Sim.ufGen reads as a
+	// fresh singleton. comp is only meaningful on a root.
+	ufParent *Resource
+	ufRank   int
+	ufGen    uint64
+	comp     *component
 }
 
 // Name returns the resource's label.

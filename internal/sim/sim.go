@@ -35,13 +35,39 @@ type Sim struct {
 	// worklist of tasks whose dependencies just completed.
 	ready []*Task
 
+	// Incremental scheduler state. flowQueue is the indexed min-heap of
+	// active flows keyed by predicted completion (flowheap.go); the
+	// union-find over resources groups flows into connected components
+	// whose dirty subset is all a recompute touches (component.go).
+	flowQueue            flowHeap
+	dirtyComps           []*component
+	compPool             []*component
+	ufGen                uint64
+	finishedSinceRebuild int
+	// compVisit is the epoch for the oracle's component de-duplication.
+	compVisit uint64
+
+	// rateOracle switches recomputeRates to the retained global
+	// reference implementation (every flow, every event) — test-only;
+	// the differential tests assert it is schedule-identical to the
+	// incremental path.
+	rateOracle bool
+
 	// Rate-computation scratch, reused across events so the hot path
 	// allocates nothing in steady state (see flow.go). rateEpoch versions
 	// the per-Resource scratch fields; the slices are recycled buffers.
-	rateEpoch    uint64
-	prioScratch  []int
-	classScratch []*flow
-	fixedScratch []bool
+	rateEpoch        uint64
+	prioScratch      []int
+	classBuckets     [][]*flow
+	fixedScratch     []bool
+	recomputeScratch []*flow
+
+	// Completion-batch and flow-struct recycling (steady-state GC
+	// relief): doneScratch/doneTasks are the per-event completion
+	// buffers, flowPool the freelist flows return to after finishing.
+	doneScratch []*flow
+	doneTasks   []*Task
+	flowPool    []*flow
 
 	// TransferLatency is the fixed per-transfer setup time applied to
 	// every Transfer task (DMA descriptor setup, host staging
@@ -78,7 +104,9 @@ type Sim struct {
 
 // New creates an empty simulator.
 func New() *Sim {
-	return &Sim{}
+	// ufGen starts at 1 so zero-valued Resources read as "not yet in the
+	// union-find" (see findRoot).
+	return &Sim{ufGen: 1}
 }
 
 // Now returns the current simulated time.
@@ -192,17 +220,16 @@ func (s *Sim) Run() (Time, error) {
 	for s.pending > 0 && s.err == nil {
 		s.recomputeRates()
 
+		// Picking the next event is O(log F): the flow with the earliest
+		// predicted completion sits at the top of the completion heap,
+		// maintained incrementally as rates change.
 		next := math.Inf(1)
 		if len(s.computes) > 0 {
 			next = s.computes[0].endAt
 		}
-		for _, f := range s.flows {
-			if f.rate <= 0 {
-				continue
-			}
-			t := s.now + f.remaining/f.rate
-			if t < next {
-				next = t
+		if s.flowQueue.Len() > 0 {
+			if p := s.flowQueue.top().pred; p < next {
+				next = p
 			}
 		}
 		if s.nextCap < len(s.capEvents) && s.capEvents[s.nextCap].at < next {
@@ -212,6 +239,7 @@ func (s *Sim) Run() (Time, error) {
 			next = s.failEvents[s.nextFail].at
 		}
 		if math.IsInf(next, 1) {
+			s.settleAllFlows()
 			return s.now, s.deadlockError()
 		}
 		if next < s.now {
@@ -220,6 +248,10 @@ func (s *Sim) Run() (Time, error) {
 		s.advance(next)
 		s.drain()
 	}
+	// Settle lazy progress so utilization accounting and invariant checks
+	// see exact per-resource traffic, including for runs halted by a
+	// structured failure with flows still in flight.
+	s.settleAllFlows()
 	if s.err != nil {
 		return s.now, s.err
 	}
@@ -230,19 +262,12 @@ func (s *Sim) Run() (Time, error) {
 // other, absorbing floating-point dust in rate arithmetic.
 const timeEpsilon = 1e-15
 
-// advance moves the clock to t, progresses flows, and completes every
-// compute and flow that finishes at (or within epsilon of) t.
+// advance moves the clock to t and completes every compute and flow that
+// finishes at (or within epsilon of) t. Flow progress is lazy: nothing is
+// swept per event — a flow's remaining payload is settled only here (on
+// completion) or when its rate changes (applyRates).
 func (s *Sim) advance(t Time) {
-	dt := t - s.now
 	s.now = t
-
-	for _, f := range s.flows {
-		f.remaining -= f.rate * dt
-		// Account per-resource throughput for utilization reporting.
-		for _, pe := range f.task.path {
-			pe.Res.carried += f.rate * pe.Weight * dt
-		}
-	}
 
 	// Complete finished computes; transfer tasks surfacing here have
 	// finished their setup latency and now begin flowing.
@@ -255,31 +280,59 @@ func (s *Sim) advance(t Time) {
 		s.finishEngineTask(task)
 	}
 
-	// Complete finished flows. Collect first, then finish, so slice
-	// mutation stays simple; iterate until stable for same-instant chains.
-	kept := s.flows[:0]
-	var done []*flow
-	for _, f := range s.flows {
+	// Complete finished flows: pop the completion heap while the settled
+	// remaining payload is within slack of zero. Collect first, then
+	// finish, so heap and flow-list mutation stay simple.
+	done := s.doneScratch[:0]
+	for s.flowQueue.Len() > 0 {
+		f := s.flowQueue.top()
 		slack := f.rate * timeEpsilon * 1e6 // absolute byte tolerance
 		if slack < 1e-9 {
 			slack = 1e-9
 		}
-		if f.remaining <= slack {
-			done = append(done, f)
-		} else {
-			kept = append(kept, f)
+		if f.remaining-f.rate*(s.now-f.lastUpdate) > slack {
+			break
 		}
+		s.flowQueue.popTop()
+		s.settleFlow(f)
+		s.removeFromFlowList(f)
+		s.componentFinish(f)
+		done = append(done, f)
 	}
-	s.flows = kept
 	if len(done) > 0 {
-		s.ratesDirty = true
+		// Finish the batch in task-id order — the order the eager sweep
+		// used to produce — so same-instant completions feed pool FIFO
+		// queues and the ready worklist identically.
+		sortFlowsByID(done)
+		tasks := s.doneTasks[:0]
+		for _, f := range done {
+			tasks = append(tasks, f.task)
+		}
+		// Recycle the flow structs before dispatching completions: the
+		// batch no longer references them, and a completion may admit new
+		// flows that reuse the structs immediately.
+		for _, f := range done {
+			f.task = nil
+			s.flowPool = append(s.flowPool, f)
+		}
+		for _, task := range tasks {
+			s.finishEngineTask(task)
+		}
+		s.doneTasks = tasks[:0]
 	}
-	for _, f := range done {
-		s.finishEngineTask(f.task)
-	}
+	s.doneScratch = done[:0]
 
 	s.applyCapEvents()
 	s.applyFailEvents()
+}
+
+// sortFlowsByID insertion-sorts a (small) completion batch by task id.
+func sortFlowsByID(fs []*flow) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].task.id < fs[j-1].task.id; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
 }
 
 // finishEngineTask completes a compute or transfer task, releases its
@@ -454,36 +507,58 @@ func (s *Sim) startOnEngine(t *Task) {
 }
 
 // beginFlow admits a transfer task's payload into the fair-sharing flow
-// set (after any setup latency has elapsed).
+// set (after any setup latency has elapsed): the flow joins the
+// active list, the completion heap, and — unless its path is empty — the
+// connected component its resources belong to, which is marked dirty for
+// the next rate recompute.
 func (s *Sim) beginFlow(t *Task) {
 	t.flowStarted = true
+	f := s.takeFlow()
+	f.task = t
 	// Retransmitted attempts re-flow the payload, so detected corruption
 	// consumes real path bandwidth, not just setup latency.
-	f := &flow{task: t, remaining: t.bytes * float64(1+t.retransmits)}
+	f.remaining = t.bytes * float64(1+t.retransmits)
+	f.rate = 0
+	f.lastUpdate = s.now
 	if t.bytes <= 0 || len(t.path) == 0 {
 		f.rate = infiniteRate
 		if t.bytes <= 0 {
 			// Zero-byte transfer: complete in the same instant via the
-			// flow list so engine release ordering stays uniform.
+			// flow set so engine release ordering stays uniform.
 			f.remaining = 0
 		}
 	}
-	// Insert keeping s.flows ordered by task id: the rate computation
-	// depends on id order within each priority class, and maintaining it
-	// here avoids a per-event sort.
-	lo, hi := 0, len(s.flows)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if s.flows[mid].task.id < t.id {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	f.nextRate = f.rate
+	f.pred = f.predict()
+	// s.flows is unordered (O(1) admit and swap-remove); the canonical
+	// iteration order for rate computation lives in the component lists.
+	f.listIdx = len(s.flows)
+	s.flows = append(s.flows, f)
+	s.flowQueue.push(f)
+	s.componentAdmit(f)
+}
+
+// removeFromFlowList unlinks f from the active-flow list in O(1) by
+// swapping the last entry into its slot.
+func (s *Sim) removeFromFlowList(f *flow) {
+	last := len(s.flows) - 1
+	moved := s.flows[last]
+	s.flows[f.listIdx] = moved
+	moved.listIdx = f.listIdx
+	s.flows[last] = nil
+	s.flows = s.flows[:last]
+}
+
+// takeFlow recycles a flow struct from the pool (or allocates one),
+// cutting steady-state GC pressure on DAGs with many transfers.
+func (s *Sim) takeFlow() *flow {
+	if n := len(s.flowPool); n > 0 {
+		f := s.flowPool[n-1]
+		s.flowPool[n-1] = nil
+		s.flowPool = s.flowPool[:n-1]
+		return f
 	}
-	s.flows = append(s.flows, nil)
-	copy(s.flows[lo+1:], s.flows[lo:])
-	s.flows[lo] = f
-	s.ratesDirty = true
+	return &flow{heapIdx: -1}
 }
 
 func (s *Sim) complete(t *Task) {
