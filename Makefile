@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check check-faults check-recovery check-chaos check-perf bench bench-json
+.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-perf bench bench-json
 
 build:
 	$(GO) build ./...
@@ -39,19 +39,30 @@ check-chaos:
 	$(GO) test -run xxx -fuzz 'FuzzParseJSON' -fuzztime 10s ./internal/fault/
 	$(GO) test -run xxx -fuzz 'FuzzChaosInvariants' -fuzztime 10s ./internal/chaos/
 
-# check-perf is the performance smoke gate: a short in-process comparison
+# check-sharded is the sharded-scheduler gate: the full simulator suite —
+# including the differential tests that hold the parallel scheduler
+# bitwise-identical to the serial incremental one and the oracle across
+# the chaos topologies at K ∈ {1,2,4,8} — uncached, under the race
+# detector.
+check-sharded:
+	$(GO) test -race -count=1 ./internal/sim/
+
+# check-perf is the performance smoke gate: short in-process comparisons
 # asserting the incremental flow scheduler still beats the retained
-# global-recompute oracle on the contention workload (relative check, so
-# it holds on any machine; see internal/sim/perf_test.go).
+# global-recompute oracle, and the sharded scheduler still beats the
+# serial incremental one at 1024 flows with allocation-free steady state
+# (relative checks, so they hold on any machine; see
+# internal/sim/perf_test.go).
 check-perf:
-	MOBIUS_CHECK_PERF=1 $(GO) test -run 'TestIncrementalBeatsOracle' -count=1 -v ./internal/sim/
+	MOBIUS_CHECK_PERF=1 $(GO) test -run 'TestIncrementalBeatsOracle|TestParallelBeatsSerial' -count=1 -v ./internal/sim/
 
 # check is the tier-1 gate: everything must compile, vet clean, pass the
 # test suite under the race detector (the planning pipeline is
 # concurrent, so plain `go test` alone is not enough), and survive the
-# fault matrix, the recovery matrix, the chaos matrix, and the
-# performance smoke gate.
-check: build vet race check-faults check-recovery check-chaos check-perf
+# fault matrix, the recovery matrix, the chaos matrix, the sharded
+# scheduler's race-clean differential suite, and the performance smoke
+# gate.
+check: build vet race check-faults check-recovery check-chaos check-sharded check-perf
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/

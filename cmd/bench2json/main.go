@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -26,12 +27,64 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
+// Speedup is a derived ratio between two sub-benchmarks of the same
+// family: how much faster Mode ran than the family's incremental
+// (serial event-loop) baseline. Emitting these alongside the raw lines
+// keeps the headline claims (e.g. parallel vs serial) directly
+// readable from the JSON instead of needing a calculator.
+type Speedup struct {
+	Name     string  `json:"name"`     // family, i.e. benchmark name up to the last '/'
+	Baseline string  `json:"baseline"` // sub-benchmark used as the denominator
+	Mode     string  `json:"mode"`     // sub-benchmark being compared
+	Ratio    float64 `json:"ratio"`    // baseline ns/op divided by mode ns/op
+}
+
 // Document is the emitted JSON shape.
 type Document struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	Goos       string    `json:"goos,omitempty"`
+	Goarch     string    `json:"goarch,omitempty"`
+	CPU        string    `json:"cpu,omitempty"`
+	Benchmarks []Result  `json:"benchmarks"`
+	Speedups   []Speedup `json:"speedups,omitempty"`
+}
+
+// speedupBaseline is the sub-benchmark name every family is compared
+// against. Families without such a sibling get no speedup entries.
+const speedupBaseline = "incremental"
+
+// deriveSpeedups groups sub-benchmarks by family (the name up to the
+// last '/') and, for families that include the incremental baseline,
+// emits one ratio per sibling mode, preserving input order.
+func deriveSpeedups(benchmarks []Result) []Speedup {
+	baselines := make(map[string]float64)
+	for _, b := range benchmarks {
+		i := strings.LastIndex(b.Name, "/")
+		if i < 0 {
+			continue
+		}
+		if b.Name[i+1:] == speedupBaseline && b.NsPerOp > 0 {
+			baselines[b.Name[:i]] = b.NsPerOp
+		}
+	}
+	var out []Speedup
+	for _, b := range benchmarks {
+		i := strings.LastIndex(b.Name, "/")
+		if i < 0 {
+			continue
+		}
+		family, mode := b.Name[:i], b.Name[i+1:]
+		base, ok := baselines[family]
+		if !ok || mode == speedupBaseline || b.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Name:     family,
+			Baseline: speedupBaseline,
+			Mode:     mode,
+			Ratio:    math.Round(base/b.NsPerOp*1000) / 1000,
+		})
+	}
+	return out
 }
 
 // benchLine matches e.g.
@@ -72,6 +125,7 @@ func parse(r io.Reader) (Document, error) {
 		}
 		doc.Benchmarks = append(doc.Benchmarks, res)
 	}
+	doc.Speedups = deriveSpeedups(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

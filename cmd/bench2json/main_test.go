@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: mobius/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimContention/flows=1024/construct-8     	     600	   2000000 ns/op	  900000 B/op	    9000 allocs/op
+BenchmarkSimContention/flows=1024/incremental-8   	     100	  10000000 ns/op	 1000000 B/op	   10000 allocs/op
+BenchmarkSimContention/flows=1024/steady-8        	     200	   6000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimContention/flows=1024/parallel=4-8    	     250	   5000000 ns/op	     212 B/op	       6 allocs/op
+BenchmarkNoFamily-8                               	    1000	   1000000 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if len(doc.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(doc.Benchmarks))
+	}
+	inc := doc.Benchmarks[1]
+	if inc.Name != "BenchmarkSimContention/flows=1024/incremental" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", inc.Name)
+	}
+	if inc.NsPerOp != 10000000 || inc.AllocsPerOp != 10000 || inc.Iterations != 100 {
+		t.Errorf("incremental parsed as %+v", inc)
+	}
+	if pkg := inc.Package; pkg != "mobius/internal/sim" {
+		t.Errorf("package = %q", pkg)
+	}
+}
+
+func TestDeriveSpeedups(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"construct":  5,
+		"steady":     1.667,
+		"parallel=4": 2,
+	}
+	if len(doc.Speedups) != len(want) {
+		t.Fatalf("got %d speedups (%+v), want %d", len(doc.Speedups), doc.Speedups, len(want))
+	}
+	for _, sp := range doc.Speedups {
+		if sp.Name != "BenchmarkSimContention/flows=1024" {
+			t.Errorf("family = %q", sp.Name)
+		}
+		if sp.Baseline != "incremental" {
+			t.Errorf("baseline = %q", sp.Baseline)
+		}
+		w, ok := want[sp.Mode]
+		if !ok {
+			t.Errorf("unexpected mode %q (incremental must not compare to itself)", sp.Mode)
+			continue
+		}
+		if sp.Ratio != w {
+			t.Errorf("mode %q ratio = %v, want %v", sp.Mode, sp.Ratio, w)
+		}
+	}
+}
+
+func TestDeriveSpeedupsNoBaseline(t *testing.T) {
+	sps := deriveSpeedups([]Result{
+		{Name: "BenchmarkX/steady", NsPerOp: 10},
+		{Name: "BenchmarkFlat", NsPerOp: 20},
+	})
+	if len(sps) != 0 {
+		t.Fatalf("speedups without a baseline sibling: %+v", sps)
+	}
+}

@@ -12,8 +12,11 @@
 //     injected corruption taints at least its own delivery;
 //   - replaying the same seed reproduces the run bit for bit.
 //
-// The harness plans once and reuses the plan across seeds, so a single
-// chaos run is a few simulated steps, cheap enough for a fuzz target.
+// The harness plans once and reuses the plan across seeds, and builds
+// the simulated topology and step DAG once, replaying them via sim.Reset
+// for every scenario and replay — so a single chaos run is a few
+// simulated steps with no construction cost, cheap enough for a fuzz
+// target.
 package chaos
 
 import (
@@ -37,6 +40,11 @@ type Harness struct {
 	Partition    *partition.Partition
 	Mapping      *mapping.Mapping
 	Microbatches int
+
+	// built is the constructed Mobius step, created on first use and
+	// replayed via sim.Reset for every subsequent step: one topology and
+	// DAG construction serves all seeds, scenarios and replays.
+	built *pipeline.MobiusStep
 }
 
 // NewHarness plans GPT-3B on the default commodity server (2 root
@@ -230,16 +238,22 @@ func (h *Harness) Run(seed int64) (*Report, error) {
 // own global invariants (clock sanity, event ordering, per-link traffic
 // conservation including retransmit amplification).
 func (h *Harness) step(spec *fault.Spec, checksums bool) (RunStats, error) {
-	cfg := pipeline.MobiusConfig{
-		Partition:    h.Partition,
-		Mapping:      h.Mapping,
-		Microbatches: h.Microbatches,
-		Faults:       spec,
+	if h.built == nil {
+		st, err := pipeline.BuildMobius(h.Topo, pipeline.MobiusConfig{
+			Partition:    h.Partition,
+			Mapping:      h.Mapping,
+			Microbatches: h.Microbatches,
+		})
+		if err != nil {
+			return RunStats{}, err
+		}
+		h.built = st
 	}
+	var cs sim.ChecksumConfig
 	if checksums {
-		cfg.Checksums = sim.ChecksumConfig{Enabled: true}
+		cs = sim.ChecksumConfig{Enabled: true}
 	}
-	res, err := pipeline.RunMobius(h.Topo, cfg)
+	res, err := h.built.Run(spec, cs)
 	if err != nil {
 		return RunStats{}, err
 	}

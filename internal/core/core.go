@@ -457,6 +457,13 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 		return nil, fmt.Errorf("core: unknown system %q", system)
 	}
 
+	fillReport(report, res, opts.Topology)
+	return report, nil
+}
+
+// fillReport copies a pipeline result into a step report and derives the
+// trace-based aggregates (traffic, bandwidth CDFs, overlap fraction).
+func fillReport(report *StepReport, res *pipeline.Result, topo *hw.Topology) {
 	report.StepTime = res.StepTime
 	report.OOM = res.OOM
 	report.OOMCause = res.OOMCause
@@ -470,9 +477,8 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 		report.TrafficBytes = res.Recorder.TotalBytes(nil)
 		report.BandwidthCDF = res.Recorder.BandwidthCDF(nil)
 		report.HostLinkCDF = res.Recorder.BandwidthCDF(func(tag trace.Tag) bool { return tag.PeerGPU < 0 })
-		report.NonOverlapFraction = res.Recorder.NonOverlappedCommFraction(opts.Topology.NumGPUs(), res.StepTime)
+		report.NonOverlapFraction = res.Recorder.NonOverlappedCommFraction(topo.NumGPUs(), res.StepTime)
 	}
-	return report, nil
 }
 
 func (r *StepReport) String() string {

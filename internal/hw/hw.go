@@ -439,7 +439,13 @@ func (e Endpoint) String() string {
 //
 // With P2P and NVLink, GPU-to-GPU transfers use the NVLink ports only,
 // while GPU<->DRAM traffic still crosses PCIe.
+//
+// Routes go through the simulator's interning path constructor: the few
+// distinct hardware paths of a topology are materialized once each, so a
+// schedule routing thousands of transfers allocates a handful of shared
+// path slices instead of one per transfer.
 func (srv *Server) Route(src, dst Endpoint) []sim.PathElem {
+	s := srv.Sim
 	if src.IsSSD() || dst.IsSSD() {
 		other := src
 		if other.IsSSD() {
@@ -450,15 +456,15 @@ func (srv *Server) Route(src, dst Endpoint) []sim.PathElem {
 			return nil
 		}
 		if other.IsSSD() || other.IsDRAM() {
-			return sim.Path(srv.DRAMBus, srv.SSDBus)
+			return s.Path(srv.DRAMBus, srv.SSDBus)
 		}
 		id := other.GPU()
 		rc := srv.RootComplexes[srv.Topo.GPUs[id].RootComplex]
-		return sim.Path(srv.GPULinks[id], rc, srv.DRAMBus, srv.SSDBus)
+		return s.Path(srv.GPULinks[id], rc, srv.DRAMBus, srv.SSDBus)
 	}
 	switch {
 	case src.IsDRAM() && dst.IsDRAM():
-		return sim.Path(srv.DRAMBus)
+		return s.Path(srv.DRAMBus)
 	case src.IsDRAM() != dst.IsDRAM():
 		g := src
 		if g.IsDRAM() {
@@ -466,17 +472,17 @@ func (srv *Server) Route(src, dst Endpoint) []sim.PathElem {
 		}
 		id := g.GPU()
 		rc := srv.RootComplexes[srv.Topo.GPUs[id].RootComplex]
-		return sim.Path(srv.GPULinks[id], rc, srv.DRAMBus)
+		return s.Path(srv.GPULinks[id], rc, srv.DRAMBus)
 	default:
 		a, b := src.GPU(), dst.GPU()
 		if a == b {
 			return nil // same-device copy: free
 		}
 		if srv.Topo.HasP2P() {
-			return sim.Path(srv.NVLinks[a], srv.NVLinks[b])
+			return s.Path(srv.NVLinks[a], srv.NVLinks[b])
 		}
 		rcA := srv.RootComplexes[srv.Topo.GPUs[a].RootComplex]
 		rcB := srv.RootComplexes[srv.Topo.GPUs[b].RootComplex]
-		return sim.Path(srv.GPULinks[a], rcA, srv.DRAMBus, rcB, srv.GPULinks[b])
+		return s.Path(srv.GPULinks[a], rcA, srv.DRAMBus, rcB, srv.GPULinks[b])
 	}
 }

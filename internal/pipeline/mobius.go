@@ -53,8 +53,38 @@ type CheckpointWrite struct {
 	ToSSD bool
 }
 
+// MobiusStep is a built Mobius schedule: the topology instantiated on a
+// simulator and the step DAG constructed. One step can be executed many
+// times under different fault and checksum configurations — each Run
+// rewinds the simulator (sim.Reset) instead of rebuilding topology and
+// DAG, the shape the chaos harness and experiment grids rely on.
+type MobiusStep struct {
+	srv *hw.Server
+	rec *trace.Recorder
+	// oom records that the static memory pre-check failed; the DAG was
+	// never built and every Run reports OOM.
+	oom bool
+}
+
+// Server exposes the simulated hardware backing the step.
+func (st *MobiusStep) Server() *hw.Server { return st.srv }
+
 // RunMobius simulates one Mobius training step on the topology and
-// returns the measured result.
+// returns the measured result. It is BuildMobius followed by a single
+// Run; callers executing the same schedule repeatedly should build once
+// and call Run per configuration.
+func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
+	st, err := BuildMobius(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return st.Run(cfg.Faults, cfg.Checksums)
+}
+
+// BuildMobius constructs the simulated server and the step DAG for the
+// configuration. The DAG shape depends only on the partition, mapping,
+// microbatch count, prefetch knobs and checkpoint clause; the Faults and
+// Checksums fields of cfg are ignored here — they are per-Run inputs.
 //
 // The emitted DAG follows §3.1: stages live in DRAM; each GPU executes
 // its stages in pipeline order, swapping them in ahead of time where
@@ -62,7 +92,7 @@ type CheckpointWrite struct {
 // after forward, re-uploading parameters and checkpoints before backward,
 // and flushing gradients to DRAM for the CPU optimizer at the end of each
 // stage's backward.
-func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
+func BuildMobius(topo *hw.Topology, cfg MobiusConfig) (*MobiusStep, error) {
 	if cfg.Partition == nil || cfg.Mapping == nil {
 		return nil, fmt.Errorf("pipeline: partition and mapping are required")
 	}
@@ -82,11 +112,7 @@ func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
 	}
 	rec := trace.NewRecorder()
 	srv.Sim.Observe(rec)
-	res := &Result{System: "Mobius", Recorder: rec, Server: srv}
-	srv.Sim.Checksums = cfg.Checksums
-	if err := applyFaults(srv, cfg.Faults, res); err != nil {
-		return nil, err
-	}
+	st := &MobiusStep{srv: srv, rec: rec}
 
 	stg := cfg.Partition.Stages
 	gpuOf := func(j int) int { return cfg.Mapping.GPUOf(j) }
@@ -96,11 +122,12 @@ func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
 		totalParam += st.ParamBytes
 	}
 
-	// OOM pre-check (constraint 4).
+	// OOM pre-check (constraint 4). The check is static, so the step is
+	// built DAG-less and every Run reports OOM.
 	for j := 0; j < S; j++ {
 		if stg[j].MemFwd() > gpuMem(j) || stg[j].MemBwd() > gpuMem(j) {
-			res.OOM = true
-			return res, nil
+			st.oom = true
+			return st, nil
 		}
 	}
 
@@ -287,7 +314,30 @@ func RunMobius(topo *hw.Topology, cfg MobiusConfig) (*Result, error) {
 		}
 	}
 
-	if err := finishRun(srv, res); err != nil {
+	return st, nil
+}
+
+// Run executes the built step under the given fault and checksum
+// configuration and returns the measured result. The simulator is reset
+// first — task states, resource/engine/pool state, previously injected
+// faults and the trace recorder are cleared while the topology and DAG
+// survive — so repeated Runs replay the schedule bitwise instead of
+// paying construction again. Results from earlier Runs keep their scalar
+// fields, but share the step's recorder and server: read trace data
+// before the next Run.
+func (st *MobiusStep) Run(faults *fault.Spec, checksums sim.ChecksumConfig) (*Result, error) {
+	st.rec.Reset()
+	st.srv.Sim.Reset()
+	res := &Result{System: "Mobius", Recorder: st.rec, Server: st.srv}
+	st.srv.Sim.Checksums = checksums
+	if err := applyFaults(st.srv, faults, res); err != nil {
+		return nil, err
+	}
+	if st.oom {
+		res.OOM = true
+		return res, nil
+	}
+	if err := finishRun(st.srv, res); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -7,8 +7,10 @@ import (
 
 // benchFlowSim builds a simulator with a contended flow set resembling a
 // Mobius step: nFlows transfers spread over shared root complexes and
-// per-GPU links, in several priority classes.
-func benchFlowSim(nFlows int) *Sim {
+// per-GPU links, in several priority classes. The flows are admitted
+// directly into the serial shard so rate computation can be driven
+// without running the event loop.
+func benchFlowSim(nFlows int) (*Sim, *shard) {
 	s := New()
 	rc := []*Resource{
 		s.NewResource("rc0", 13.1e9),
@@ -18,12 +20,16 @@ func benchFlowSim(nFlows int) *Sim {
 	for i := range links {
 		links[i] = s.NewResource("link", 26.2e9)
 	}
+	var tasks []*Task
 	for f := 0; f < nFlows; f++ {
 		path := Path(links[f%len(links)], rc[f%len(rc)])
-		t := s.Transfer("t", nil, path, float64(1+f)*1e8, f%4)
-		s.beginFlow(t)
+		tasks = append(tasks, s.Transfer("t", nil, path, float64(1+f)*1e8, f%4))
 	}
-	return s
+	sh := s.serialShard()
+	for _, t := range tasks {
+		sh.beginFlow(t)
+	}
+	return s, sh
 }
 
 // BenchmarkSimRecomputeRates measures one full max-min fair rate
@@ -32,13 +38,13 @@ func benchFlowSim(nFlows int) *Sim {
 // through water-filling, as the pre-incremental scheduler did on every
 // event.
 func BenchmarkSimRecomputeRates(b *testing.B) {
-	s := benchFlowSim(64)
+	s, sh := benchFlowSim(64)
 	s.rateOracle = true
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.ratesDirty = true
-		s.recomputeRates()
+		sh.ratesDirty = true
+		sh.recomputeRates()
 	}
 }
 
@@ -47,7 +53,8 @@ func BenchmarkSimRecomputeRates(b *testing.B) {
 // (13.1 GB/s) plus four links (26.2 GB/s), each island carrying `streams`
 // chains of `chain` dependent transfers. Every completion admits the next
 // transfer in its chain, so the event loop sees constant component churn
-// while ~groups×streams flows stay concurrently active.
+// while ~groups×streams flows stay concurrently active. Paths are built
+// through the interning constructor, as the hardware layer does.
 func buildChurn(s *Sim, groups, streams, chain int) {
 	for g := 0; g < groups; g++ {
 		rc := s.NewResource("rc", 13.1e9)
@@ -64,14 +71,15 @@ func buildChurn(s *Sim, groups, streams, chain int) {
 				// perturb every component at every event and hide the
 				// locality the incremental scheduler exploits.
 				bytes := float64(1+(g*5+st*7+k)%13) * 64e6
-				prev = s.Transfer("t", nil, Path(links[st%len(links)], rc), bytes, st%4, prev)
+				prev = s.Transfer("t", nil, s.Path(links[st%len(links)], rc), bytes, st%4, prev)
 			}
 		}
 	}
 }
 
 // runChurn executes one full churn simulation under the given scheduler
-// mode.
+// mode, rebuilding the topology and DAG from scratch (the historical
+// whole-run benchmark shape: construction cost included).
 func runChurn(b *testing.B, groups, streams, chain int, oracle bool) {
 	b.Helper()
 	s := New()
@@ -82,15 +90,54 @@ func runChurn(b *testing.B, groups, streams, chain int, oracle bool) {
 	}
 }
 
+// benchConstruct measures topology and DAG construction alone.
+func benchConstruct(b *testing.B, groups, streams, chain int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		buildChurn(s, groups, streams, chain)
+		if len(s.tasks) == 0 {
+			b.Fatal("no tasks built")
+		}
+	}
+}
+
+// benchSteady measures execution alone: the topology and DAG are built
+// once and every iteration replays them through Reset+Run, the shape the
+// chaos harness and experiment grids use. parallelism 0 is the serial
+// incremental scheduler; K ≥ 1 runs the sharded scheduler on K workers.
+func benchSteady(b *testing.B, groups, streams, chain, parallelism int) {
+	s := New()
+	s.Parallelism = parallelism
+	buildChurn(s, groups, streams, chain)
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimContention is the many-flow contention case from the issue:
 // shared root complexes with 64..1024 concurrent flows (8 groups ×
 // streams/group × 8-deep chains). The incremental scheduler only
 // re-waterfills the perturbed island per event, so its per-flow cost stays
 // flat while the oracle (global recompute, the pre-incremental behavior)
-// grows linearly per event — quadratic in total work.
+// grows linearly per event — quadratic in total work. The construct and
+// steady sub-benchmarks split the historical build-plus-run shape into
+// its construction and execution halves; parallel=4 runs the steady
+// shape through the sharded scheduler.
 func BenchmarkSimContention(b *testing.B) {
 	for _, streams := range []int{8, 32, 128} {
 		flows := 8 * streams
+		b.Run(fmt.Sprintf("flows=%d/construct", flows), func(b *testing.B) {
+			benchConstruct(b, 8, streams, 8)
+		})
 		for _, mode := range []struct {
 			name   string
 			oracle bool
@@ -102,15 +149,27 @@ func BenchmarkSimContention(b *testing.B) {
 				}
 			})
 		}
+		b.Run(fmt.Sprintf("flows=%d/steady", flows), func(b *testing.B) {
+			benchSteady(b, 8, streams, 8, 0)
+		})
+		b.Run(fmt.Sprintf("flows=%d/parallel=4", flows), func(b *testing.B) {
+			benchSteady(b, 8, streams, 8, 4)
+		})
 	}
 }
 
 // BenchmarkSimSparse is the sparse many-NVLink case: hundreds of
 // single-stream islands (a point-to-point NVLink mesh), where almost every
 // event perturbs a one-flow component. This is the best case for
-// component-local recomputation and the worst for a global sweep.
+// component-local recomputation and the worst for a global sweep. With
+// only 8 transfers per island the historical whole-run shape is dominated
+// by construction; the construct/steady split reports the two costs
+// separately.
 func BenchmarkSimSparse(b *testing.B) {
 	for _, groups := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("links=%d/construct", groups), func(b *testing.B) {
+			benchConstruct(b, groups, 1, 8)
+		})
 		for _, mode := range []struct {
 			name   string
 			oracle bool
@@ -122,5 +181,11 @@ func BenchmarkSimSparse(b *testing.B) {
 				}
 			})
 		}
+		b.Run(fmt.Sprintf("links=%d/steady", groups), func(b *testing.B) {
+			benchSteady(b, groups, 1, 8, 0)
+		})
+		b.Run(fmt.Sprintf("links=%d/parallel=4", groups), func(b *testing.B) {
+			benchSteady(b, groups, 1, 8, 4)
+		})
 	}
 }

@@ -12,11 +12,18 @@ package sim
 // water-filling computation is a pure function of a component's flows and
 // capacities, so recomputing an unperturbed component reproduces its
 // rates bit for bit and is merely wasted work. Union-find can therefore
-// over-merge freely (it cannot split), and a periodic rebuild re-derives
-// the partition from the active flows to recover splits after enough
-// flows have finished. The test-only global oracle (flow.go) exploits the
-// same property: it recomputes every component on every event and must
+// over-merge freely (it cannot split); a per-component rebuild re-derives
+// a component's partition from its live flows once enough of its flows
+// have finished that stale merges may be holding unrelated flows
+// together. The test-only global oracle (flow.go) exploits the same
+// purity: it recomputes every live component on every event and must
 // produce bitwise-identical schedules.
+//
+// All state lives on the owning shard. Resources carry the union-find
+// links, but a shard only ever touches resources its own tasks use
+// (partitioning guarantees disjointness), and the generation marks are
+// drawn from globally unique sequences, so links written by another shard
+// or a previous run always read as stale.
 
 // component is a connected set of active flows: the union of their paths
 // is disjoint from every other component's. flows is unordered (O(1)
@@ -25,30 +32,56 @@ package sim
 // the canonical iteration order for water-filling in either mode.
 type component struct {
 	flows []*flow
+	// resources caches the distinct resources the member flows' paths
+	// touch — a superset, kept current at admit/merge/recycle time — so
+	// the water-fill resets per-resource scratch by walking this short
+	// list instead of every flow-hop. Extra entries (resources whose
+	// flows all finished) are harmless: resetting their scratch is
+	// invisible to an allocation that never visits them.
+	resources []*Resource
 	// dirty marks the component perturbed since the last recompute; it
-	// also guards duplicate entries in Sim.dirtyComps.
+	// also guards duplicate entries in shard.dirtyComps.
 	dirty bool
-	// dead marks a component absorbed by a union-find merge; the dirty
-	// drain recycles it.
+	// dead marks a component absorbed by a union-find merge or drained of
+	// its last flow; the dirty drain recycles it.
 	dead bool
 	// visit de-duplicates components during the oracle's global sweep
-	// (compared against Sim.compVisit).
+	// (compared against shard.compVisit).
 	visit uint64
+	// finished counts flow completions charged to this component since it
+	// was created (merges carry the absorbed component's count along); it
+	// triggers the per-component rebuild that recovers splits.
+	finished int
 }
 
 // findRoot returns the union-find root of r, lazily (re)initializing r as
-// a singleton when it has not been touched in the current generation
-// (bumping ufGen is how rebuildComponents resets the whole structure
-// without walking every resource). Path halving keeps chains short.
-func (s *Sim) findRoot(r *Resource) *Resource {
-	if r.ufGen != s.ufGen {
-		r.ufGen = s.ufGen
+// a singleton when it has not been touched in the current generation.
+// Per-component rebuilds invalidate a subset of the structure by zeroing
+// those resources' generations, which can leave a current-generation
+// resource (one whose flows all finished) pointing at an invalidated
+// parent; the walk cuts such stale edges instead of following them. Path
+// halving keeps chains short.
+func (sh *shard) findRoot(r *Resource) *Resource {
+	if r.ufGen != sh.ufGen {
+		r.ufGen = sh.ufGen
 		r.ufParent = r
 		r.ufRank = 0
 		r.comp = nil
 	}
 	for r.ufParent != r {
-		r.ufParent = r.ufParent.ufParent
+		p := r.ufParent
+		if p.ufGen != sh.ufGen {
+			// The parent was invalidated out from under r: r's own flows
+			// are gone (rebuild re-admits every live flow's resources), so
+			// restart it as a bare singleton.
+			r.ufParent = r
+			r.ufRank = 0
+			r.comp = nil
+			return r
+		}
+		if gp := p.ufParent; gp.ufGen == sh.ufGen {
+			r.ufParent = gp
+		}
 		r = r.ufParent
 	}
 	return r
@@ -56,7 +89,7 @@ func (s *Sim) findRoot(r *Resource) *Resource {
 
 // unionRoots merges two union-find roots (and their components) and
 // returns the surviving root.
-func (s *Sim) unionRoots(a, b *Resource) *Resource {
+func (sh *shard) unionRoots(a, b *Resource) *Resource {
 	if a == b {
 		return a
 	}
@@ -73,92 +106,121 @@ func (s *Sim) unionRoots(a, b *Resource) *Resource {
 	case ca == nil:
 		a.comp = cb
 	default:
-		s.mergeComponents(ca, cb)
+		sh.mergeComponents(ca, cb)
 	}
 	b.comp = nil
 	return a
 }
 
 // mergeComponents folds src into dst: src's members are appended to
-// dst's list, dirtiness is inherited, and src is retired through the
-// dirty drain so its buffer returns to the pool.
-func (s *Sim) mergeComponents(dst, src *component) {
+// dst's list, dirtiness and the finished-count debt are inherited, and
+// src is retired through the dirty drain so its buffer returns to the
+// pool.
+func (sh *shard) mergeComponents(dst, src *component) {
 	for _, f := range src.flows {
 		f.compIdx = len(dst.flows)
 		dst.flows = append(dst.flows, f)
 	}
+	for _, r := range src.resources {
+		if r.listedGen == sh.ufGen && r.listedComp == src {
+			r.listedComp = dst
+		}
+		dst.resources = append(dst.resources, r)
+	}
+	src.resources = src.resources[:0]
+	dst.finished += src.finished
 
 	if src.dirty && !dst.dirty {
-		s.markDirty(dst)
+		sh.markDirty(dst)
 	}
 	src.flows = src.flows[:0]
+	src.finished = 0
 	src.dead = true
 	if !src.dirty {
 		// Route the corpse through dirtyComps so the next drain recycles
 		// it; dead components are skipped before any rate work.
-		s.markDirty(src)
+		sh.markDirty(src)
 	}
 }
 
 // markDirty queues c for the next rate recompute (once).
-func (s *Sim) markDirty(c *component) {
-	s.ratesDirty = true
+func (sh *shard) markDirty(c *component) {
+	sh.ratesDirty = true
 	if !c.dirty {
 		c.dirty = true
-		s.dirtyComps = append(s.dirtyComps, c)
+		sh.dirtyComps = append(sh.dirtyComps, c)
 	}
 }
 
 // newComponent takes a component from the pool (or allocates one).
-func (s *Sim) newComponent() *component {
-	if n := len(s.compPool); n > 0 {
-		c := s.compPool[n-1]
-		s.compPool[n-1] = nil
-		s.compPool = s.compPool[:n-1]
+func (sh *shard) newComponent() *component {
+	if n := len(sh.compPool); n > 0 {
+		c := sh.compPool[n-1]
+		sh.compPool[n-1] = nil
+		sh.compPool = sh.compPool[:n-1]
 		return c
 	}
 	return &component{}
 }
 
-func (s *Sim) recycleComponent(c *component) {
+func (sh *shard) recycleComponent(c *component) {
 	c.flows = c.flows[:0]
+	// Unlist only resources still pointing here: one that has since been
+	// re-admitted into a younger component stays on that list.
+	for i, r := range c.resources {
+		if r.listedGen == sh.ufGen && r.listedComp == c {
+			r.listedComp = nil
+		}
+		c.resources[i] = nil
+	}
+	c.resources = c.resources[:0]
 	c.dirty = false
 	c.dead = false
-	s.compPool = append(s.compPool, c)
+	c.finished = 0
+	sh.compPool = append(sh.compPool, c)
 }
 
 // componentAdmit links a newly admitted flow into the union-find: its
 // path's resources are unioned into one component, the flow joins that
 // component's member list, and the component is marked dirty. Empty-path
 // flows are unconstrained and never join a component.
-func (s *Sim) componentAdmit(f *flow) {
+func (sh *shard) componentAdmit(f *flow) {
 	path := f.task.path
 	if len(path) == 0 {
 		return
 	}
-	root := s.findRoot(path[0].Res)
+	root := sh.findRoot(path[0].Res)
 	for _, pe := range path[1:] {
-		root = s.unionRoots(root, s.findRoot(pe.Res))
+		root = sh.unionRoots(root, sh.findRoot(pe.Res))
 	}
 	c := root.comp
 	if c == nil {
-		c = s.newComponent()
+		c = sh.newComponent()
 		root.comp = c
+	}
+	for _, pe := range path {
+		r := pe.Res
+		if r.listedGen != sh.ufGen || r.listedComp != c {
+			r.listedGen = sh.ufGen
+			r.listedComp = c
+			c.resources = append(c.resources, r)
+		}
 	}
 	f.compIdx = len(c.flows)
 	c.flows = append(c.flows, f)
-	s.markDirty(c)
+	sh.markDirty(c)
 }
 
 // componentFinish removes a completed flow from its component and marks
 // the component dirty (the freed bandwidth redistributes to the
 // survivors). Finishes are also what can split a component, which
-// union-find cannot express, so they feed the rebuild counter.
-func (s *Sim) componentFinish(f *flow) {
+// union-find cannot express, so they feed the component's rebuild
+// counter; a component drained of its last flow is retired on the spot.
+func (sh *shard) componentFinish(f *flow) {
 	if len(f.task.path) == 0 {
 		return
 	}
-	root := s.findRoot(f.task.path[0].Res)
+	root := sh.findRoot(f.task.path[0].Res)
 	c := root.comp
 	last := len(c.flows) - 1
 	moved := c.flows[last]
@@ -166,47 +228,41 @@ func (s *Sim) componentFinish(f *flow) {
 	moved.compIdx = f.compIdx
 	c.flows[last] = nil
 	c.flows = c.flows[:last]
-	s.markDirty(c)
-	s.finishedSinceRebuild++
-}
-
-// maybeRebuildComponents re-derives the component partition from the
-// active flows once enough finishes have accumulated that stale merges
-// may be holding unrelated flows together. Rebuilding marks every
-// component dirty, which forces a full (but output-identical) recompute —
-// the cost is bounded by amortizing against the finishes that paid for
-// it.
-func (s *Sim) maybeRebuildComponents() {
-	if s.finishedSinceRebuild <= len(s.flows)+16 {
-		return
-	}
-	s.rebuildComponents()
-}
-
-func (s *Sim) rebuildComponents() {
-	s.finishedSinceRebuild = 0
-	// Recycle every live component before the generation bump orphans it.
-	// dirtyComps is the only registry we keep, so sweep via the flows:
-	// each live component appears at exactly one root.
-	for _, f := range s.flows {
-		if len(f.task.path) == 0 {
-			continue
-		}
-		root := s.findRoot(f.task.path[0].Res)
-		if root.comp != nil {
-			s.recycleComponent(root.comp)
-			root.comp = nil
-		}
-	}
-	for _, c := range s.dirtyComps {
-		if c.dead {
-			s.recycleComponent(c)
-		}
-	}
-	s.dirtyComps = s.dirtyComps[:0]
-	s.ufGen++
-	for _, f := range s.flows {
-		s.componentAdmit(f)
+	c.finished++
+	sh.markDirty(c)
+	if len(c.flows) == 0 {
+		root.comp = nil
+		c.dead = true
 	}
 }
 
+// rebuildComponent re-derives c's partition from its live flows: the
+// component's union-find subtree is invalidated (generation-zeroed) and
+// every member flow re-admitted in list order, which recovers any splits
+// finishes have produced. Newly formed components enter the dirty queue,
+// so the recompute that triggered the rebuild drains them immediately.
+func (sh *shard) rebuildComponent(c *component) {
+	fs := append(sh.rebuildScratch[:0], c.flows...)
+	// Detach the component from its union-find root before the
+	// invalidation orphans the tree: the root can be a resource whose own
+	// flows all finished — still current-generation, not on any live
+	// flow's path — and a dangling comp pointer there would resurrect the
+	// recycled component on a later capacity event.
+	if len(fs) > 0 {
+		root := sh.findRoot(fs[0].task.path[0].Res)
+		root.comp = nil
+	}
+	for _, f := range fs {
+		for _, pe := range f.task.path {
+			pe.Res.ufGen = 0
+		}
+	}
+	sh.recycleComponent(c)
+	for _, f := range fs {
+		sh.componentAdmit(f)
+	}
+	for i := range fs {
+		fs[i] = nil
+	}
+	sh.rebuildScratch = fs[:0]
+}

@@ -133,8 +133,11 @@ func (s *Sim) Integrity() IntegrityStats { return s.integrity }
 // and returns the extra setup latency (checksum compute for retransmitted
 // attempts plus backoff waits). The first attempt's checksum cost is
 // charged unconditionally by the caller. Must only be called for
-// transfers with payload.
-func (s *Sim) injectCorruption(t *Task) (extra Time) {
+// transfers with payload. All bookkeeping is recorded on the task itself —
+// never on shared run-level accumulators — so shards stay write-disjoint;
+// finalizeIntegrity derives the aggregate when the run completes.
+func (sh *shard) injectCorruption(t *Task) (extra Time) {
+	s := sh.sim
 	if s.Checksums.Enabled {
 		max := s.Checksums.maxRetransmits()
 		n := 0
@@ -152,18 +155,45 @@ func (s *Sim) injectCorruption(t *Task) (extra Time) {
 			t.corruptExhausted = true
 		}
 		t.retransmits = retr
-		s.integrity.CorruptedAttempts += n
-		s.integrity.Retransmits += retr
+		t.corruptAttempts = n
 		wait := s.Checksums.backoff() * Time((uint64(1)<<retr)-1)
 		ck := float64(retr) * t.bytes * s.Checksums.costPerByte()
-		s.integrity.RetransmitWait += wait
-		s.integrity.ChecksumCost += ck
 		return wait + Time(ck)
 	}
 	if s.CorruptionPolicy(t, 0) {
 		t.tainted = true
-		s.integrity.CorruptedAttempts++
-		s.integrity.SilentCorruptions++
+		t.corruptAttempts = 1
+		t.silentCorrupt = true
 	}
 	return 0
+}
+
+// finalizeIntegrity derives the run-level IntegrityStats from the
+// per-task counters, scanning tasks in id order. Summation order is
+// therefore a property of the DAG, not of event interleaving — serial,
+// sharded, and oracle runs produce bitwise-identical aggregates.
+func (s *Sim) finalizeIntegrity() {
+	st := IntegrityStats{}
+	if s.Checksums.Enabled || s.CorruptionPolicy != nil {
+		bo := s.Checksums.backoff()
+		cpb := s.Checksums.costPerByte()
+		for _, t := range s.tasks {
+			if t.corruptAttempts > 0 {
+				st.CorruptedAttempts += t.corruptAttempts
+				if t.silentCorrupt {
+					st.SilentCorruptions++
+				} else {
+					st.Retransmits += t.retransmits
+					st.RetransmitWait += bo * Time((uint64(1)<<t.retransmits)-1)
+				}
+			}
+			if t.checksumCharged {
+				st.ChecksumCost += Time(float64(1+t.retransmits) * t.bytes * cpb)
+			}
+			if t.tainted && t.state == stateFinished {
+				st.TaintedTasks++
+			}
+		}
+	}
+	s.integrity = st
 }

@@ -176,17 +176,109 @@ func diffScenario(r *rand.Rand, s *Sim) {
 	}
 }
 
-// runScenario executes the seed's scenario under one scheduler mode and
-// records every observable bit.
-func runScenario(seed int64, oracle bool) runRecord {
-	r := rand.New(rand.NewSource(seed))
-	s := New()
-	s.rateOracle = oracle
-	obs := &timelineObserver{}
-	s.Observe(obs)
-	diffScenario(r, s)
+// diffScenarioIsolated builds a scenario whose groups share nothing — no
+// bridges, per-group engines and pools — so the build-time partition
+// splits it into one shard per group. This is the workload that actually
+// exercises the sharded scheduler: the shared-state scenario above
+// mostly collapses into one shard through its global engines and pool.
+func diffScenarioIsolated(r *rand.Rand, s *Sim) {
+	if r.Intn(3) == 0 {
+		s.TransferLatency = Time(r.Float64() * 5e-4)
+	}
+	if r.Intn(3) == 0 {
+		seed := r.Int63()
+		s.RetryPolicy = func(t *Task) (int, Time) {
+			h := uint64(seed) ^ uint64(t.ID())*0x9e3779b97f4a7c15
+			h ^= h >> 33
+			if h%7 == 0 {
+				return 1 + int(h%2), Time(1e-4)
+			}
+			return 0, 0
+		}
+	}
+	if r.Intn(3) == 0 {
+		seed := r.Int63()
+		s.CorruptionPolicy = func(t *Task, attempt int) bool {
+			h := uint64(seed) ^ uint64(t.ID())*0xbf58476d1ce4e5b9 ^ uint64(attempt)<<32
+			h ^= h >> 29
+			return h%11 == 0
+		}
+		if r.Intn(2) == 0 {
+			s.Checksums = ChecksumConfig{Enabled: true}
+		}
+	}
 
-	makespan, err := s.Run()
+	nGroups := 3 + r.Intn(6)
+	var allRes []*Resource
+	for g := 0; g < nGroups; g++ {
+		cap := 13.1e9
+		if r.Intn(2) == 0 {
+			cap = 1e9 * (4 + 12*r.Float64())
+		}
+		rc := s.NewResource(fmt.Sprintf("rc%d", g), cap)
+		allRes = append(allRes, rc)
+		var links []*Resource
+		for l := 0; l < 1+r.Intn(3); l++ {
+			lcap := 26.2e9
+			if r.Intn(2) == 0 {
+				lcap = 1e9 * (8 + 24*r.Float64())
+			}
+			lr := s.NewResource(fmt.Sprintf("g%d.link%d", g, l), lcap)
+			links = append(links, lr)
+			allRes = append(allRes, lr)
+		}
+		eng := s.NewEngine(fmt.Sprintf("eng%d", g))
+		pool := s.NewMemPool(fmt.Sprintf("mem%d", g), 256)
+
+		nStreams := 1 + r.Intn(4)
+		for st := 0; st < nStreams; st++ {
+			var prev *Task
+			chain := 1 + r.Intn(6)
+			for k := 0; k < chain; k++ {
+				var deps []*Task
+				if prev != nil {
+					deps = append(deps, prev)
+				}
+				switch r.Intn(10) {
+				case 0:
+					prev = s.Compute("c", eng, r.Float64()*0.2, deps...)
+				case 1:
+					amt := 1 + r.Float64()*50
+					a := s.Alloc("a", pool, amt, deps...)
+					prev = s.Free("f", pool, amt, a)
+				case 2:
+					prev = s.Transfer("z", nil, Path(rc), 0, r.Intn(4), deps...)
+				default:
+					link := links[r.Intn(len(links))]
+					var path []PathElem
+					if r.Intn(5) == 0 {
+						path = Path(link, rc, rc)
+					} else {
+						path = Path(link, rc)
+					}
+					var taskEng *Engine
+					if r.Intn(4) == 0 {
+						taskEng = eng
+					}
+					bytes := (0.1 + r.Float64()*2) * 1e9
+					prev = s.Transfer("t", taskEng, path, bytes, r.Intn(4), deps...)
+				}
+			}
+		}
+	}
+
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		res := allRes[r.Intn(len(allRes))]
+		at := r.Float64() * 0.5
+		s.ScheduleCapacity(res, at, res.Capacity()*(0.25+0.5*r.Float64()))
+		if r.Intn(2) == 0 {
+			s.ScheduleCapacity(res, at+r.Float64()*0.5, res.Capacity())
+		}
+	}
+}
+
+// captureRecord snapshots everything observable about a finished run.
+func captureRecord(s *Sim, obs *timelineObserver, makespan Time, err error) runRecord {
 	rec := runRecord{
 		makespanBits: math.Float64bits(makespan),
 		events:       obs.events,
@@ -205,6 +297,27 @@ func runScenario(seed int64, oracle bool) runRecord {
 		rec.invariants = append(rec.invariants, e.Error())
 	}
 	return rec
+}
+
+// runScenarioMode executes a seed's scenario under one scheduler mode —
+// oracle, serial incremental (parallelism 0), or sharded with a given
+// worker bound — and records every observable bit.
+func runScenarioMode(seed int64, oracle bool, parallelism int, build func(*rand.Rand, *Sim)) runRecord {
+	r := rand.New(rand.NewSource(seed))
+	s := New()
+	s.rateOracle = oracle
+	s.Parallelism = parallelism
+	obs := &timelineObserver{}
+	s.Observe(obs)
+	build(r, s)
+
+	makespan, err := s.Run()
+	return captureRecord(s, obs, makespan, err)
+}
+
+// runScenario executes the seed's shared-state scenario serially.
+func runScenario(seed int64, oracle bool) runRecord {
+	return runScenarioMode(seed, oracle, 0, diffScenario)
 }
 
 func diffRecords(t *testing.T, seed int64, inc, ora runRecord) {
@@ -273,6 +386,77 @@ func TestDifferentialReplayDeterminism(t *testing.T) {
 			a := runScenario(seed, oracle)
 			b := runScenario(seed, oracle)
 			diffRecords(t, seed, a, b)
+		}
+	}
+}
+
+// TestDifferentialParallelVsSerial is the sharded-scheduler gate: over 64
+// isolated chaos topologies (one shard per group), parallel execution at
+// K ∈ {1,2,4,8} workers must be bitwise-identical to the serial
+// incremental scheduler, which in turn must match the oracle.
+func TestDifferentialParallelVsSerial(t *testing.T) {
+	for seed := int64(1); seed <= 64; seed++ {
+		serial := runScenarioMode(seed, false, 0, diffScenarioIsolated)
+		oracle := runScenarioMode(seed, true, 0, diffScenarioIsolated)
+		diffRecords(t, seed, serial, oracle)
+		if t.Failed() {
+			t.Fatalf("seed %d: serial vs oracle divergence (stopping)", seed)
+		}
+		for _, k := range []int{1, 2, 4, 8} {
+			par := runScenarioMode(seed, false, k, diffScenarioIsolated)
+			diffRecords(t, seed, serial, par)
+			if t.Failed() {
+				t.Fatalf("seed %d: parallel K=%d vs serial divergence (stopping)", seed, k)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelSharedState runs the shared-state scenarios —
+// global engines, one pool, bridges, permanent failures — with
+// Parallelism set. Most collapse to a single shard or hit the
+// serial-fallback gates (failure events, structured errors); either way
+// the result must stay bitwise-identical to the serial scheduler.
+func TestDifferentialParallelSharedState(t *testing.T) {
+	for seed := int64(1); seed <= 64; seed++ {
+		serial := runScenario(seed, false)
+		for _, k := range []int{2, 8} {
+			par := runScenarioMode(seed, false, k, diffScenario)
+			diffRecords(t, seed, serial, par)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d: shared-state parallel divergence (stopping)", seed)
+		}
+	}
+}
+
+// TestRewindReplayBitwise pins topology reuse: rewinding an executed
+// simulator and re-running the same DAG — the shape Reset gives the
+// chaos harness and experiment grids — must replay every observable bit,
+// in both serial and sharded modes, including scheduled faults.
+func TestRewindReplayBitwise(t *testing.T) {
+	for _, seed := range []int64{3, 17, 42, 58} {
+		for _, build := range []func(*rand.Rand, *Sim){diffScenario, diffScenarioIsolated} {
+			for _, k := range []int{0, 4} {
+				r := rand.New(rand.NewSource(seed))
+				s := New()
+				s.Parallelism = k
+				obs := &timelineObserver{}
+				s.Observe(obs)
+				build(r, s)
+
+				makespan, err := s.Run()
+				first := captureRecord(s, obs, makespan, err)
+
+				s.rewind()
+				obs.events = nil
+				makespan, err = s.Run()
+				second := captureRecord(s, obs, makespan, err)
+				diffRecords(t, seed, first, second)
+				if t.Failed() {
+					t.Fatalf("seed %d K=%d: rewind replay diverged (stopping)", seed, k)
+				}
+			}
 		}
 	}
 }

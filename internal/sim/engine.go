@@ -11,6 +11,11 @@ type Engine struct {
 	current *Task
 	queue   engineQueue
 
+	// kicked guards duplicate entries in the drain cascade's idle-engine
+	// list (shard.kicked), replacing the per-drain map the serial loop
+	// used to allocate. Only ever true inside shard.drain.
+	kicked bool
+
 	// throughput scales compute durations (0 means the default of 1).
 	throughput float64
 }

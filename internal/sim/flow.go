@@ -20,11 +20,11 @@ type flow struct {
 	// lastUpdate is the simulated instant remaining was last settled.
 	lastUpdate Time
 	// pred is the predicted completion time (lastUpdate+remaining/rate),
-	// the flow's key in Sim.flowQueue.
+	// the flow's key in shard.flowQueue.
 	pred Time
-	// heapIdx is the flow's position in Sim.flowQueue (-1 when absent).
+	// heapIdx is the flow's position in shard.flowQueue (-1 when absent).
 	heapIdx int
-	// listIdx is the flow's position in the unordered Sim.flows list.
+	// listIdx is the flow's position in the unordered shard.flows list.
 	listIdx int
 	// compIdx is the flow's position in its component's member list.
 	compIdx int
@@ -35,7 +35,7 @@ const infiniteRate = 1e30
 
 // predSlackFloor is the absolute remaining-bytes tolerance under which a
 // flow counts as complete regardless of rate (matching the completion
-// slack in Sim.advance).
+// slack in shard.advance).
 const predSlackFloor = 1e-9
 
 // predict returns the completion-time key for the heap. A starved flow
@@ -56,23 +56,23 @@ func (f *flow) predict() Time {
 // added to each path resource's carried counter. Rates are piecewise
 // constant between recomputes, so settling only at rate changes and
 // completion is exact.
-func (s *Sim) settleFlow(f *flow) {
-	dt := s.now - f.lastUpdate
+func (sh *shard) settleFlow(f *flow) {
+	dt := sh.now - f.lastUpdate
 	if dt > 0 && f.rate != 0 {
 		f.remaining -= f.rate * dt
 		for _, pe := range f.task.path {
 			pe.Res.carried += f.rate * pe.Weight * dt
 		}
 	}
-	f.lastUpdate = s.now
+	f.lastUpdate = sh.now
 }
 
-// settleAllFlows settles every active flow; called once when Run exits so
-// utilization accounting and invariant checks see fully settled state
-// even on halted runs.
-func (s *Sim) settleAllFlows() {
-	for _, f := range s.flows {
-		s.settleFlow(f)
+// settleAllFlows settles every active flow; called once when a shard's
+// run exits so utilization accounting and invariant checks see fully
+// settled state even on halted runs.
+func (sh *shard) settleAllFlows() {
+	for _, f := range sh.flows {
+		sh.settleFlow(f)
 	}
 }
 
@@ -80,8 +80,9 @@ func (s *Sim) settleAllFlows() {
 // changed, using strict-priority max-min fairness (progressive filling /
 // water-filling):
 //
-//  1. Flows are grouped by priority; higher classes are served first
-//     against the residual capacity left by the classes above them.
+//  1. A component's flows are grouped by priority; higher classes are
+//     served first against the residual capacity left by the classes
+//     above them.
 //  2. Within a class, rates are max-min fair: repeatedly find the most
 //     congested resource, freeze every unfixed flow crossing it at that
 //     resource's fair share, and subtract their consumption.
@@ -90,87 +91,106 @@ func (s *Sim) settleAllFlows() {
 // payload byte, which models staged transfers that cross a root complex
 // twice.
 //
-// The incremental scheduler recomputes only the connected components
-// marked dirty since the last call (see component.go); flows in
-// unperturbed components keep their rates, predictions, and heap
-// positions. The retained test-only oracle (rateOracle) instead
-// recomputes every active flow, the pre-incremental global behavior:
-// because water-filling is a pure per-component function and rates are
-// only applied on bitwise change, both modes must produce identical
-// schedules — the differential tests assert exactly that.
+// Water-filling runs component by component in every mode. Components
+// share no resources, so filling them separately is exact — and it makes
+// the result independent of which other components happen to be dirty at
+// the same instant, which is what lets the sharded scheduler (one
+// component set per shard) reproduce the serial schedule bitwise. The
+// incremental path fills only the components marked dirty since the last
+// call; the retained test-only oracle (rateOracle) fills every live
+// component on every event. Both must produce identical schedules — the
+// differential tests assert exactly that.
 //
 // The computation is allocation-free in steady state: it reuses the
-// scratch slices on Sim and the scratch fields on Resource (epoch-marked
-// residual/demand, the per-round binding flag) instead of building maps
-// per event, and relies on each component's flow list providing a
-// deterministic iteration order shared by both scheduler modes, so no
-// per-call sort is needed.
-func (s *Sim) recomputeRates() {
-	if !s.ratesDirty {
+// scratch slices on the shard and the scratch fields on Resource
+// (epoch-marked residual/demand, the per-round binding flag) instead of
+// building maps per event, and relies on each component's flow list
+// providing a deterministic iteration order shared by all scheduler
+// modes, so no per-call sort is needed.
+func (sh *shard) recomputeRates() {
+	if !sh.ratesDirty {
 		return
 	}
-	// Recover component splits first so the rebuilt (all-dirty) partition
-	// is drained by this very recompute.
-	s.maybeRebuildComponents()
-	s.ratesDirty = false
+	sh.ratesDirty = false
 
-	// Drain the dirty-component queue into the recompute set. Dead
-	// components (absorbed by merges) are recycled here.
-	set := s.recomputeScratch[:0]
-	for _, c := range s.dirtyComps {
-		c.dirty = false
-		if c.dead {
-			s.recycleComponent(c)
-			continue
-		}
-		set = append(set, c.flows...)
-	}
-	s.dirtyComps = s.dirtyComps[:0]
-	if s.rateOracle {
-		// Oracle mode: global recompute over every active flow, exactly as
-		// the pre-incremental scheduler did. The set is assembled component
-		// by component so each resource sees its flows in the same order
-		// the incremental path would produce. Empty-path flows are omitted:
-		// they hold infiniteRate forever, so water-fill and applyRates are
-		// both no-ops for them.
-		set = set[:0]
-		s.compVisit++
-		for _, f := range s.flows {
+	if sh.sim.rateOracle {
+		// Oracle mode: drain the dirty queue for its side effects only
+		// (recycling dead components, recovering splits), then fill every
+		// live component, de-duplicated by visit epoch.
+		sh.resolveDirty(false)
+		sh.compVisit++
+		for _, f := range sh.flows {
 			if len(f.task.path) == 0 {
 				continue
 			}
-			c := s.findRoot(f.task.path[0].Res).comp
-			if c == nil || c.visit == s.compVisit {
+			c := sh.findRoot(f.task.path[0].Res).comp
+			if c == nil || c.visit == sh.compVisit {
 				continue
 			}
-			c.visit = s.compVisit
-			set = append(set, c.flows...)
+			c.visit = sh.compVisit
+			sh.fillComponent(c)
+		}
+		return
+	}
+
+	for _, c := range sh.resolveDirty(true) {
+		sh.fillComponent(c)
+	}
+}
+
+// resolveDirty drains the dirty-component queue: dead components are
+// recycled, components whose finish count outgrew their live size are
+// rebuilt (their replacements re-enter the queue and are drained by this
+// same call), and — when collect is set — the surviving components are
+// returned for filling.
+func (sh *shard) resolveDirty(collect bool) []*component {
+	work := sh.compScratch[:0]
+	for i := 0; i < len(sh.dirtyComps); i++ {
+		c := sh.dirtyComps[i]
+		c.dirty = false
+		if c.dead {
+			sh.recycleComponent(c)
+			continue
+		}
+		if c.finished > len(c.flows)+16 {
+			// Enough finishes that stale merges may be holding unrelated
+			// flows together: re-derive this component's partition. The
+			// rebuild appends its results to dirtyComps, so the loop picks
+			// them up.
+			sh.rebuildComponent(c)
+			continue
+		}
+		if collect {
+			work = append(work, c)
 		}
 	}
-	s.recomputeScratch = set
+	sh.dirtyComps = sh.dirtyComps[:0]
+	sh.compScratch = work
+	return work
+}
+
+// fillComponent runs the strict-priority water-fill over one component
+// and applies the resulting rates.
+func (sh *shard) fillComponent(c *component) {
+	set := c.flows
 	if len(set) == 0 {
 		return
 	}
 
-	// Reset residual capacity on every resource touched by the recompute
-	// set. The epoch mark replaces a per-call "seen" set.
-	s.rateEpoch++
-	for _, f := range set {
-		for _, pe := range f.task.path {
-			if pe.Res.mark != s.rateEpoch {
-				pe.Res.mark = s.rateEpoch
-				pe.Res.residual = pe.Res.capacity
-				pe.Res.demand = 0
-			}
-		}
+	// Reset residual capacity on every resource the component touches,
+	// via the component's cached distinct-resource list (component.go) —
+	// a handful of entries instead of one visit per flow-hop.
+	for _, r := range c.resources {
+		r.residual = r.capacity
+		r.demand = 0
 	}
 
 	// Bucket the set by priority in ONE pass: each flow is appended to
 	// its class's reusable scratch slice, preserving the relative order
-	// within each component. The distinct class count is tiny, so the per-flow
-	// class lookup is a short linear probe, not a map.
-	prios := s.prioScratch[:0]
-	buckets := s.classBuckets
+	// within the component. The distinct class count is tiny, so the
+	// per-flow class lookup is a short linear probe, not a map.
+	prios := sh.prioScratch[:0]
+	buckets := sh.classBuckets
 	for _, f := range set {
 		p := f.task.priority
 		k := -1
@@ -199,13 +219,13 @@ func (s *Sim) recomputeRates() {
 			buckets[j], buckets[j-1] = buckets[j-1], buckets[j]
 		}
 	}
-	s.prioScratch = prios
-	s.classBuckets = buckets
+	sh.prioScratch = prios
+	sh.classBuckets = buckets
 
 	for k := range prios {
-		s.waterFill(buckets[k])
+		sh.waterFill(buckets[k])
 	}
-	s.applyRates(set)
+	sh.applyRates(set)
 }
 
 // applyRates promotes the water-fill results: every flow whose new rate
@@ -213,60 +233,68 @@ func (s *Sim) recomputeRates() {
 // re-keyed in the completion heap. Flows whose rate is reproduced exactly
 // are untouched, which is what makes a conservative (over-large)
 // recompute set behaviorally invisible.
-func (s *Sim) applyRates(set []*flow) {
+func (sh *shard) applyRates(set []*flow) {
 	for _, f := range set {
 		if f.nextRate == f.rate {
 			continue
 		}
-		s.settleFlow(f)
+		sh.settleFlow(f)
 		f.rate = f.nextRate
 		f.pred = f.predict()
-		s.flowQueue.fix(f)
+		sh.flowQueue.fix(f)
 	}
 }
 
 // waterFill performs one max-min fair allocation round for a single
 // priority class, consuming the resources' residual capacities. Results
 // are written to flow.nextRate; applyRates decides what actually changed.
-func (s *Sim) waterFill(class []*flow) {
-	fixed := s.fixedScratch[:0]
+//
+// Per round, the binding-share search and the scratch clearing run over
+// the distinct resources the round's unfixed flows touch — a handful per
+// component — instead of re-walking every flow-hop. The set of
+// residual/demand quotients examined is unchanged and a float minimum is
+// order-independent, so the allocation stays bitwise-identical to the
+// per-hop formulation; only the freeze pass, whose flow order decides
+// the residual subtraction order, still iterates flows.
+func (sh *shard) waterFill(class []*flow) {
+	fixed := sh.fixedScratch[:0]
 	for range class {
 		fixed = append(fixed, false)
 	}
-	s.fixedScratch = fixed
+	sh.fixedScratch = fixed
 	unfixed := len(class)
 
 	for unfixed > 0 {
-		// Demand per resource: sum of path weights of unfixed flows.
+		// Demand per resource: sum of path weights of unfixed flows. A
+		// resource's first contribution this round registers it in the
+		// distinct-resource list (demand is zero between rounds).
+		res := sh.resScratch[:0]
 		for i, f := range class {
 			if fixed[i] {
 				continue
 			}
 			for _, pe := range f.task.path {
+				if pe.Res.demand == 0 {
+					res = append(res, pe.Res)
+				}
 				pe.Res.demand += pe.Weight
 			}
 		}
+		sh.resScratch = res
 
 		// The binding share is the smallest residual/demand over resources
 		// that carry at least one unfixed flow.
 		minShare := -1.0
-		for i, f := range class {
-			if fixed[i] {
-				continue
-			}
-			for _, pe := range f.task.path {
-				if pe.Res.demand <= 0 {
-					continue
-				}
-				share := pe.Res.residual / pe.Res.demand
-				if minShare < 0 || share < minShare {
-					minShare = share
-				}
+		for _, r := range res {
+			share := r.residual / r.demand
+			if minShare < 0 || share < minShare {
+				minShare = share
 			}
 		}
 
 		if minShare < 0 {
-			// Remaining flows have empty paths: unconstrained.
+			// Remaining flows have empty paths: unconstrained. No resource
+			// accumulated demand, so there is no scratch to clear.
 			for i := range class {
 				if !fixed[i] {
 					class[i].nextRate = infiniteRate
@@ -274,22 +302,13 @@ func (s *Sim) waterFill(class []*flow) {
 					unfixed--
 				}
 			}
-			clearRoundScratch(class)
 			return
 		}
 
 		// Mark binding resources before any subtraction mutates residuals.
-		for i, f := range class {
-			if fixed[i] {
-				continue
-			}
-			for _, pe := range f.task.path {
-				if pe.Res.demand <= 0 {
-					continue
-				}
-				if pe.Res.residual/pe.Res.demand <= minShare*(1+1e-12) {
-					pe.Res.binding = true
-				}
+		for _, r := range res {
+			if r.residual/r.demand <= minShare*(1+1e-12) {
+				r.binding = true
 			}
 		}
 
@@ -320,7 +339,10 @@ func (s *Sim) waterFill(class []*flow) {
 				}
 			}
 		}
-		clearRoundScratch(class)
+		for _, r := range res {
+			r.demand = 0
+			r.binding = false
+		}
 		if !progress {
 			// Defensive: cannot happen with positive weights, but never
 			// spin forever on pathological float input.
@@ -331,17 +353,6 @@ func (s *Sim) waterFill(class []*flow) {
 					unfixed--
 				}
 			}
-		}
-	}
-}
-
-// clearRoundScratch resets the per-round demand accounting and binding
-// marks on every resource the class touches.
-func clearRoundScratch(class []*flow) {
-	for _, f := range class {
-		for _, pe := range f.task.path {
-			pe.Res.demand = 0
-			pe.Res.binding = false
 		}
 	}
 }

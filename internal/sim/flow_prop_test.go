@@ -58,15 +58,16 @@ func (sc fairnessScenario) rates() ([]float64, []*Resource) {
 		s.Transfer("f", nil, path, 1e12, sc.prios[i])
 	}
 	// Arm the flows without running to completion: seed ready queue.
+	sh := s.serialShard()
 	for _, t := range s.tasks {
 		if t.waiting == 0 {
-			s.ready = append(s.ready, t)
+			sh.ready = append(sh.ready, t)
 		}
 	}
-	s.drain()
-	s.recomputeRates()
-	rates := make([]float64, len(s.flows))
-	for i, f := range s.flows {
+	sh.drain()
+	sh.recomputeRates()
+	rates := make([]float64, len(sh.flows))
+	for i, f := range sh.flows {
 		rates[i] = f.rate
 	}
 	return rates, res
@@ -161,15 +162,16 @@ func TestEqualFlowsGetEqualRates(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		s.Transfer("f", nil, Path(rc), 1e12, 0)
 	}
+	sh := s.serialShard()
 	for _, task := range s.tasks {
 		if task.waiting == 0 {
-			s.ready = append(s.ready, task)
+			sh.ready = append(sh.ready, task)
 		}
 	}
-	s.drain()
-	s.recomputeRates()
+	sh.drain()
+	sh.recomputeRates()
 	want := 12e9 / 5.0
-	for _, f := range s.flows {
+	for _, f := range sh.flows {
 		almost(t, f.rate, want, 1, "equal split")
 	}
 }

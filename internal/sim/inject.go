@@ -45,15 +45,16 @@ func sortCapEvents(evs []capEvent) {
 }
 
 // applyCapEvents applies every capacity event due at (or before) the
-// current clock and marks the affected resource's component dirty when
-// anything changed.
-func (s *Sim) applyCapEvents() {
-	for s.nextCap < len(s.capEvents) && s.capEvents[s.nextCap].at <= s.now+timeEpsilon {
-		ev := s.capEvents[s.nextCap]
-		s.nextCap++
+// shard's clock and marks the affected resource's component dirty when
+// anything changed. Parallel runs route each event to the shard owning
+// its resource, so two shards never race on a capacity write.
+func (sh *shard) applyCapEvents() {
+	for sh.nextCap < len(sh.capEvents) && sh.capEvents[sh.nextCap].at <= sh.now+timeEpsilon {
+		ev := sh.capEvents[sh.nextCap]
+		sh.nextCap++
 		if ev.res.capacity != ev.capacity {
 			ev.res.capacity = ev.capacity
-			s.touchResource(ev.res)
+			sh.touchResource(ev.res)
 		}
 	}
 }
@@ -61,20 +62,12 @@ func (s *Sim) applyCapEvents() {
 // touchResource marks the component of r dirty, if any active flow
 // crosses it. A capacity change on an idle resource perturbs nobody: the
 // new capacity is simply what the next admission will water-fill against.
-func (s *Sim) touchResource(r *Resource) {
-	if r.ufGen != s.ufGen {
+func (sh *shard) touchResource(r *Resource) {
+	if r.ufGen != sh.ufGen {
 		return
 	}
-	if root := s.findRoot(r); root.comp != nil {
-		s.markDirty(root.comp)
-	}
-}
-
-// fail records the first structured failure; Run stops at the next event
-// boundary and returns it.
-func (s *Sim) fail(err error) {
-	if s.err == nil {
-		s.err = err
+	if root := sh.findRoot(r); root.comp != nil {
+		sh.markDirty(root.comp)
 	}
 }
 

@@ -13,6 +13,10 @@ type MemPool struct {
 	used     float64
 	peak     float64
 	waiters  []*Task
+
+	// baseCapacity is the construction-time capacity; Sim.Reset restores
+	// it (the fault layer shrinks capacity to model memory pressure).
+	baseCapacity float64
 }
 
 // Name returns the pool's label.

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file shards the event loop. partition computes, at build time, the
+// connected components of the task DAG under "shares state with": two
+// tasks land in the same shard when one depends on the other or when they
+// use the same engine, memory pool, or path resource. Shards therefore
+// share no mutable simulation state at all, which makes the parallel
+// composition trivial to reason about: each shard runs the ordinary
+// event loop (shard.go) on its own slice of the world, and the merge is
+// pure bookkeeping — max of clocks, sum of pending counts, a sweep of
+// capacity events whose shard-local clock stopped early, and the
+// canonical observer dispatch (sim.go). The differential suite asserts
+// the composition is bitwise-identical to the serial scheduler at
+// K ∈ {1,2,4,8}.
+//
+// Runs that need global event order — scheduled permanent failures
+// (victim collection spans shards), oracle mode, continuations of an
+// already-started schedule — never take this path; Run falls back to the
+// serial loop. Likewise, a parallel run that ends in a structured
+// failure or a deadlock rewinds and reruns serially: those results
+// depend on which event fires first globally, and the pristine serial
+// rerun reproduces exactly what the serial scheduler would have
+// reported, at the cost of rerunning one (exceptional) schedule.
+
+// partition splits the task DAG into independent shards via a union-find
+// over task ids: dependency edges and shared engines/pools/resources are
+// unioned, roots are numbered in ascending task-id order (deterministic),
+// and every task and resource is labeled with its shard. The result is
+// cached until the topology changes (shardsValid).
+func (s *Sim) partition() {
+	n := len(s.tasks)
+	uf := s.taskUF[:0]
+	for i := 0; i < n; i++ {
+		uf = append(uf, int32(i))
+	}
+	s.taskUF = uf
+
+	find := func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		// Min-id roots keep shard numbering stable under task insertion
+		// order; path halving in find keeps the trees shallow.
+		uf[rb] = ra
+	}
+
+	anchors := func(anchor []int32, count int) []int32 {
+		anchor = anchor[:0]
+		for i := 0; i < count; i++ {
+			anchor = append(anchor, -1)
+		}
+		return anchor
+	}
+	engAnchor := anchors(s.engineAnchor, len(s.engines))
+	poolAnchor := anchors(s.poolAnchor, len(s.pools))
+	resAnchor := anchors(s.resAnchor, len(s.resources))
+	s.engineAnchor, s.poolAnchor, s.resAnchor = engAnchor, poolAnchor, resAnchor
+
+	couple := func(anchor []int32, id int, task int32) {
+		if anchor[id] < 0 {
+			anchor[id] = task
+			return
+		}
+		union(anchor[id], task)
+	}
+	for _, t := range s.tasks {
+		id := int32(t.id)
+		for _, succ := range t.succs {
+			union(id, int32(succ.id))
+		}
+		if t.engine != nil {
+			couple(engAnchor, t.engine.id, id)
+		}
+		if t.pool != nil {
+			couple(poolAnchor, t.pool.id, id)
+		}
+		for _, pe := range t.path {
+			couple(resAnchor, pe.Res.id, id)
+		}
+	}
+
+	// Number the roots in ascending task-id order and label every task.
+	shardOf := s.shardOf[:0]
+	for i := 0; i < n; i++ {
+		shardOf = append(shardOf, -1)
+	}
+	s.shardOf = shardOf
+	count := 0
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		if shardOf[r] < 0 {
+			shardOf[r] = int32(count)
+			count++
+		}
+		s.tasks[i].shardIdx = shardOf[r]
+	}
+	for id, a := range resAnchor {
+		if a < 0 {
+			s.resources[id].shardIdx = -1
+			continue
+		}
+		s.resources[id].shardIdx = shardOf[find(a)]
+	}
+
+	for len(s.shards) < count {
+		s.shards = append(s.shards, &shard{sim: s})
+	}
+	s.nShards = count
+	for _, sh := range s.shards[:count] {
+		sh.tasks = sh.tasks[:0]
+	}
+	for _, t := range s.tasks {
+		sh := s.shards[t.shardIdx]
+		sh.tasks = append(sh.tasks, t)
+	}
+	s.shardsValid = true
+}
+
+// runParallel executes a fresh run over the cached partition on a worker
+// pool bounded by Parallelism. It reports false — leaving the simulator
+// rewound to pristine state — when the DAG has fewer than two shards or
+// when the outcome needs global event order (structured failure,
+// deadlock); Run then takes the serial path.
+func (s *Sim) runParallel() bool {
+	if !s.shardsValid {
+		s.partition()
+	}
+	if s.nShards < 2 {
+		return false
+	}
+	shards := s.shards[:s.nShards]
+	s.routeCapEvents(shards)
+	for _, sh := range shards {
+		sh.prepare()
+		sh.used = true
+	}
+
+	workers := s.Parallelism
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for _, sh := range shards {
+			sh.run()
+		}
+	} else {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(shards) {
+						return
+					}
+					shards[i].run()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	now, pending, failed := Time(0), 0, false
+	for _, sh := range shards {
+		if sh.err != nil {
+			failed = true
+		}
+		if sh.now > now {
+			now = sh.now
+		}
+		pending += sh.pending
+	}
+	if failed || pending > 0 {
+		// Structured failures and deadlock reports depend on global event
+		// order. Rewind and let Run rerun serially from pristine state:
+		// bitwise-identical to a serial run by construction.
+		s.rewind()
+		return false
+	}
+
+	s.now = now
+	s.pending = 0
+	s.err = nil
+	s.sweepLeftoverCaps(shards)
+	s.active = append(s.active[:0], shards...)
+	return true
+}
+
+// routeCapEvents distributes the (sorted) capacity events to the shards
+// owning their resources, preserving (at, seq) order within each shard.
+// Events on resources no task touches go to orphanCap; they cannot
+// perturb any schedule and are applied at merge time.
+func (s *Sim) routeCapEvents(shards []*shard) {
+	for _, sh := range shards {
+		sh.capEvents = sh.capEvents[:0]
+	}
+	s.orphanCap = s.orphanCap[:0]
+	for _, ev := range s.capEvents {
+		if idx := ev.res.shardIdx; idx >= 0 {
+			sh := shards[idx]
+			sh.capEvents = append(sh.capEvents, ev)
+		} else {
+			s.orphanCap = append(s.orphanCap, ev)
+		}
+	}
+}
+
+// sweepLeftoverCaps applies the capacity events still due at the merged
+// clock: a shard's local clock stops at its own last completion, so
+// events between that instant and the global makespan — which the serial
+// loop applies inline — are applied here. Final resource capacities
+// match the serial run exactly; events beyond the makespan stay
+// unapplied in both modes.
+func (s *Sim) sweepLeftoverCaps(shards []*shard) {
+	evs := s.orphanCap
+	for _, sh := range shards {
+		evs = append(evs, sh.capEvents[sh.nextCap:]...)
+		sh.nextCap = len(sh.capEvents)
+	}
+	due := evs[:0]
+	for _, ev := range evs {
+		if ev.at <= s.now+timeEpsilon {
+			due = append(due, ev)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].at != due[j].at {
+			return due[i].at < due[j].at
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, ev := range due {
+		ev.res.capacity = ev.capacity
+	}
+	s.orphanCap = s.orphanCap[:0]
+}

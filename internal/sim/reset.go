@@ -1,0 +1,93 @@
+package sim
+
+// This file implements topology reuse. Building a large DAG is a real
+// fraction of short-run cost (experiment grids, chaos replays), so rewind
+// returns an executed simulator to its pre-Run state without rebuilding
+// anything: task states, resource/engine/pool state, and the run results
+// are cleared, while the DAG, the topology, and registered observers
+// survive. The public Reset additionally clears injected faults, making
+// the simulator ready for the next experiment cell on the same topology.
+
+// rewind restores every task, resource, engine, and pool to its pre-Run
+// state, keeping scheduled fault events and pre-run mutations (pool
+// capacity, engine throughput) intact — it is also how a failed parallel
+// attempt returns to pristine state before the serial rerun. Dependencies
+// that were already finished when a task was created were never counted
+// in its waiting count; they replay that way, so DAGs built incrementally
+// across runs keep the dependency structure they were created with.
+func (s *Sim) rewind() {
+	for _, t := range s.tasks {
+		t.state = statePending
+		t.waiting = t.initWaiting
+		t.readyAt = 0
+		t.startAt = 0
+		t.endAt = 0
+		t.flowStarted = false
+		t.retries = 0
+		t.retryLatency = 0
+		t.retransmits = 0
+		t.tainted = false
+		t.corruptExhausted = false
+		t.corruptAttempts = 0
+		t.silentCorrupt = false
+		t.checksumCharged = false
+	}
+	for _, r := range s.resources {
+		r.capacity = r.baseCapacity
+		r.carried = 0
+		r.ufGen = 0
+		r.ufParent = nil
+		r.comp = nil
+		r.listedGen = 0
+		r.listedComp = nil
+	}
+	for _, e := range s.engines {
+		e.current = nil
+		for i := range e.queue {
+			e.queue[i] = nil
+		}
+		e.queue = e.queue[:0]
+		e.kicked = false
+	}
+	for _, p := range s.pools {
+		p.used = 0
+		p.peak = 0
+		p.waiters = p.waiters[:0]
+	}
+	// Shards re-prepare on next use.
+	if s.serial != nil {
+		s.serial.used = false
+	}
+	for _, sh := range s.shards[:s.nShards] {
+		sh.used = false
+	}
+	s.now = 0
+	s.pending = len(s.tasks)
+	s.err = nil
+	s.finalErr = nil
+	s.started = false
+	s.ran = false
+	s.integrity = IntegrityStats{}
+}
+
+// Reset returns the simulator to its just-built state so the constructed
+// topology and DAG can be executed again: rewind plus removal of every
+// injected fault — scheduled capacity and failure events, retry and
+// corruption policies, checksum configuration, engine throughput
+// overrides, and pool resizes. Observers stay registered; a run after
+// Reset replays the fault-free schedule bitwise.
+func (s *Sim) Reset() {
+	s.rewind()
+	s.capEvents = s.capEvents[:0]
+	s.failEvents = s.failEvents[:0]
+	s.orphanCap = s.orphanCap[:0]
+	s.RetryPolicy = nil
+	s.CorruptionPolicy = nil
+	s.Checksums = ChecksumConfig{}
+	for _, e := range s.engines {
+		e.throughput = 0
+	}
+	for _, p := range s.pools {
+		p.capacity = p.baseCapacity
+	}
+}

@@ -9,13 +9,19 @@ type Resource struct {
 	name     string
 	capacity float64
 
+	// baseCapacity is the construction-time capacity; rewind/Reset
+	// restore it (scheduled capacity events mutate capacity mid-run).
+	baseCapacity float64
+
+	// shardIdx routes this resource's capacity events to the shard whose
+	// tasks use it (-1 when no task touches it); see parallel.go. Valid
+	// only while Sim.shardsValid.
+	shardIdx int32
+
 	// residual is scratch state used during rate computation.
 	residual float64
 	// demand is scratch: sum of weights of unfixed flows on this resource.
 	demand float64
-	// mark is the rate-computation epoch that last reset this resource's
-	// scratch state; it replaces a per-call "seen" set allocation.
-	mark uint64
 	// binding is per-round scratch: the resource was the bottleneck of the
 	// current water-filling round.
 	binding bool
@@ -24,12 +30,19 @@ type Resource struct {
 
 	// Union-find state grouping resources into connected components of
 	// active flows (see component.go). ufGen lazily invalidates the
-	// structure: a resource whose generation trails Sim.ufGen reads as a
-	// fresh singleton. comp is only meaningful on a root.
+	// structure: a resource whose generation differs from its shard's
+	// reads as a fresh singleton. comp is only meaningful on a root.
 	ufParent *Resource
 	ufRank   int
 	ufGen    uint64
 	comp     *component
+
+	// listedComp/listedGen track which component's cached resource list
+	// this resource sits on (see component.resources); the generation
+	// guard makes entries written by another shard or a previous run read
+	// as absent.
+	listedComp *component
+	listedGen  uint64
 }
 
 // Name returns the resource's label.
@@ -57,6 +70,45 @@ func (r *Resource) Utilization(duration float64) float64 {
 type PathElem struct {
 	Res    *Resource
 	Weight float64
+}
+
+// pathKey is the comparable interning key for a merged path of up to
+// five hops (a staged cross-root-complex GPU-to-GPU copy: link, RC, DRAM
+// bus, RC, link): resource ids and weights, not strings, so interning
+// costs a small array compare/hash.
+type pathKey struct {
+	n    int
+	hops [5]struct {
+		res    int32
+		weight float64
+	}
+}
+
+// Path is the interning variant of the package-level Path constructor:
+// structurally identical paths (same resources, same merged weights)
+// return the same shared []PathElem slice. DAG builders that route many
+// transfers over the same few hardware paths (every pipeline schedule
+// does) construct each distinct path once instead of once per transfer.
+// Paths longer than five merged hops are passed through uninterned.
+func (s *Sim) Path(resources ...*Resource) []PathElem {
+	p := Path(resources...)
+	if len(p) > 5 {
+		return p
+	}
+	var k pathKey
+	k.n = len(p)
+	for i, pe := range p {
+		k.hops[i].res = int32(pe.Res.id)
+		k.hops[i].weight = pe.Weight
+	}
+	if q, ok := s.pathCache[k]; ok {
+		return q
+	}
+	if s.pathCache == nil {
+		s.pathCache = make(map[pathKey][]PathElem)
+	}
+	s.pathCache[k] = p
+	return p
 }
 
 // Path is a convenience constructor for a unit-weight path, merging

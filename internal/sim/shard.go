@@ -1,0 +1,541 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// This file is the sharded event loop of the simulator. A shard owns a
+// subset of the task DAG closed under dependency edges and under shared
+// engines, pools, and path resources (see parallel.go), plus every piece
+// of event-loop state the scheduler needs: clock, ready worklist, active
+// flows, completion heaps, and the union-find component structure over
+// the shard's resources. The serial scheduler is the degenerate case of
+// one shard owning every task.
+//
+// Because two shards share no tasks, resources, engines, or pools, their
+// event loops are fully independent: an event in one shard can never
+// change the timing, rates, or ordering of events in another. Running
+// the shards concurrently and merging the results — max of clocks, sum
+// of pending counts, leftover capacity events swept in, buffered
+// observer notifications dispatched in one canonical order — therefore
+// reproduces the serial schedule bit for bit. The differential tests
+// (differential_test.go) assert exactly that at K ∈ {1,2,4,8}.
+
+// obsEvent is one buffered observer notification. Notifications are
+// dispatched after the run, sorted by (time, task id, start-before-
+// finish): a canonical order shared by the serial, sharded, and oracle
+// schedulers, so observed timelines are mode-independent by
+// construction rather than by matching cascade orders.
+type obsEvent struct {
+	task   *Task
+	at     Time
+	finish bool
+}
+
+// shard runs the event loop over one partition of the DAG.
+type shard struct {
+	sim   *Sim
+	tasks []*Task // the shard's slice of the DAG, in creation order
+
+	now     Time
+	pending int
+	err     error // first structured failure in this shard
+	used    bool  // a Run consumed this shard's state (prepare before reuse)
+
+	// ready is the instantaneous-cascade worklist, consumed FIFO through
+	// readyHead so the backing array is reused instead of abandoned one
+	// pop at a time; drain resets both once the queue empties.
+	ready     []*Task
+	readyHead int
+
+	flows []*flow
+
+	ratesDirty bool
+	computes   computeHeap
+	flowQueue  flowHeap
+
+	// Component state (component.go). The generation and epoch counters
+	// are drawn from global sequences on Sim so a resource can never
+	// carry a stale-but-equal mark from another shard or a previous run.
+	dirtyComps []*component
+	compPool   []*component
+	ufGen      uint64
+	compVisit  uint64
+
+	// Scratch reused across events (allocation-free steady state).
+	prioScratch    []int
+	classBuckets   [][]*flow
+	fixedScratch   []bool
+	resScratch     []*Resource
+	compScratch    []*component
+	rebuildScratch []*flow
+	doneScratch    []*flow
+	doneTasks      []*Task
+	kicked         []*Engine
+	flowPool       []*flow
+	flowSlab       []flow
+
+	// Scheduled events. The serial shard aliases Sim.capEvents and
+	// Sim.failEvents; parallel shards hold the subsequences routed to
+	// them (failure events force serial execution and never reach a
+	// parallel shard).
+	capEvents  []capEvent
+	nextCap    int
+	failEvents []failEvent
+	nextFail   int
+
+	events []obsEvent // buffered observer notifications
+}
+
+// prepare resets the shard's execution state for a fresh run over its
+// current task list, recycling flow and component structs and drawing
+// fresh generation/epoch ranges. Task, resource, engine, and pool state
+// is NOT touched here — that is rewind's job (reset.go); prepare only
+// clears what the shard itself owns.
+func (sh *shard) prepare() {
+	for _, c := range sh.dirtyComps {
+		c.dirty = false
+		sh.recycleComponent(c)
+	}
+	sh.dirtyComps = sh.dirtyComps[:0]
+	for _, f := range sh.flows {
+		f.task = nil
+		sh.flowPool = append(sh.flowPool, f)
+	}
+	sh.flows = sh.flows[:0]
+	for i := range sh.computes {
+		sh.computes[i] = nil
+	}
+	sh.computes = sh.computes[:0]
+	for i := range sh.flowQueue.items {
+		sh.flowQueue.items[i] = nil
+	}
+	sh.flowQueue.items = sh.flowQueue.items[:0]
+	sh.ready = sh.ready[:0]
+	sh.readyHead = 0
+	sh.events = sh.events[:0]
+	sh.ratesDirty = false
+	sh.err = nil
+	sh.now = 0
+	sh.nextCap, sh.nextFail = 0, 0
+
+	// Fresh, globally unique generation and epoch ranges: stale resource
+	// marks from any shard or any previous run can never collide.
+	s := sh.sim
+	s.ufGenSeq++
+	sh.ufGen = s.ufGenSeq
+	s.visitSeq += 1 << 32
+	sh.compVisit = s.visitSeq
+
+	pending := 0
+	for _, t := range sh.tasks {
+		if t.state != stateFinished {
+			pending++
+		}
+	}
+	sh.pending = pending
+}
+
+// run executes the shard's event loop to completion, structured failure,
+// or local deadlock (pending tasks left with no event to fire; the
+// merge in Run derives the deadlock error from the combined state).
+func (sh *shard) run() {
+	sh.applyCapEvents()
+	sh.applyFailEvents()
+
+	// Seed the worklist with dependency-free tasks.
+	for _, t := range sh.tasks {
+		if t.state == statePending && t.waiting == 0 {
+			sh.ready = append(sh.ready, t)
+		}
+	}
+	sh.drain()
+
+	for sh.pending > 0 && sh.err == nil {
+		sh.recomputeRates()
+
+		// Picking the next event is O(log F): the flow with the earliest
+		// predicted completion sits at the top of the completion heap,
+		// maintained incrementally as rates change.
+		next := math.Inf(1)
+		if len(sh.computes) > 0 {
+			next = sh.computes[0].endAt
+		}
+		if sh.flowQueue.Len() > 0 {
+			if p := sh.flowQueue.top().pred; p < next {
+				next = p
+			}
+		}
+		if sh.nextCap < len(sh.capEvents) && sh.capEvents[sh.nextCap].at < next {
+			next = sh.capEvents[sh.nextCap].at
+		}
+		if sh.nextFail < len(sh.failEvents) && sh.failEvents[sh.nextFail].at < next {
+			next = sh.failEvents[sh.nextFail].at
+		}
+		if math.IsInf(next, 1) {
+			// Local deadlock: no event can fire in this shard.
+			break
+		}
+		if next < sh.now {
+			next = sh.now
+		}
+		sh.advance(next)
+		sh.drain()
+	}
+	// Settle lazy progress so utilization accounting and invariant checks
+	// see exact per-resource traffic, including for runs halted by a
+	// structured failure with flows still in flight.
+	sh.settleAllFlows()
+}
+
+// advance moves the clock to t and completes every compute and flow that
+// finishes at (or within epsilon of) t. Flow progress is lazy: nothing is
+// swept per event — a flow's remaining payload is settled only here (on
+// completion) or when its rate changes (applyRates).
+func (sh *shard) advance(t Time) {
+	sh.now = t
+
+	// Complete finished computes; transfer tasks surfacing here have
+	// finished their setup latency and now begin flowing.
+	for len(sh.computes) > 0 && sh.computes[0].endAt <= sh.now+timeEpsilon {
+		task := heap.Pop(&sh.computes).(*Task)
+		if task.kind == KindTransfer {
+			sh.beginFlow(task)
+			continue
+		}
+		sh.finishEngineTask(task)
+	}
+
+	// Complete finished flows: pop the completion heap while the settled
+	// remaining payload is within slack of zero. Collect first, then
+	// finish, so heap and flow-list mutation stay simple.
+	done := sh.doneScratch[:0]
+	for sh.flowQueue.Len() > 0 {
+		f := sh.flowQueue.top()
+		slack := f.rate * timeEpsilon * 1e6 // absolute byte tolerance
+		if slack < 1e-9 {
+			slack = 1e-9
+		}
+		if f.remaining-f.rate*(sh.now-f.lastUpdate) > slack {
+			break
+		}
+		sh.flowQueue.popTop()
+		sh.settleFlow(f)
+		sh.removeFromFlowList(f)
+		sh.componentFinish(f)
+		done = append(done, f)
+	}
+	if len(done) > 0 {
+		// Finish the batch in task-id order — the order the eager sweep
+		// used to produce — so same-instant completions feed pool FIFO
+		// queues and the ready worklist identically.
+		sortFlowsByID(done)
+		tasks := sh.doneTasks[:0]
+		for _, f := range done {
+			tasks = append(tasks, f.task)
+		}
+		// Recycle the flow structs before dispatching completions: the
+		// batch no longer references them, and a completion may admit new
+		// flows that reuse the structs immediately.
+		for _, f := range done {
+			f.task = nil
+			sh.flowPool = append(sh.flowPool, f)
+		}
+		for _, task := range tasks {
+			sh.finishEngineTask(task)
+		}
+		sh.doneTasks = tasks[:0]
+	}
+	sh.doneScratch = done[:0]
+
+	sh.applyCapEvents()
+	sh.applyFailEvents()
+}
+
+// finishEngineTask completes a compute or transfer task, releases its
+// engine and dispatches the next queued task on that engine.
+func (sh *shard) finishEngineTask(t *Task) {
+	sh.complete(t)
+	if t.engine != nil && t.engine.current == t {
+		t.engine.current = nil
+		if nxt := t.engine.pop(); nxt != nil {
+			sh.startOnEngine(nxt)
+		}
+	}
+}
+
+// drain processes the instantaneous cascade: completed tasks release
+// successors, virtual/alloc/free tasks execute with zero duration, and
+// compute/transfer tasks are dispatched to their engines.
+func (sh *shard) drain() {
+	for {
+		for sh.readyHead < len(sh.ready) {
+			if sh.err != nil {
+				sh.clearKicked()
+				return
+			}
+			t := sh.ready[sh.readyHead]
+			sh.readyHead++
+			sh.drainOne(t)
+		}
+		sh.ready = sh.ready[:0]
+		sh.readyHead = 0
+		if len(sh.kicked) == 0 {
+			return
+		}
+		// Dispatch idle engines only after the instantaneous cascade has
+		// settled so that same-instant arrivals compete by priority.
+		sortEngines(sh.kicked)
+		for _, e := range sh.kicked {
+			e.kicked = false
+		}
+		// No new kicks can happen during dispatch (startOnEngine never
+		// feeds the ready worklist), so iterating while resetting after
+		// the loop is safe.
+		for _, e := range sh.kicked {
+			for e.current == nil {
+				nxt := e.pop()
+				if nxt == nil {
+					break
+				}
+				sh.startOnEngine(nxt)
+			}
+		}
+		sh.kicked = sh.kicked[:0]
+	}
+}
+
+// clearKicked drops the pending idle-engine list (error bail-out path)
+// so the flags never leak into a later drain.
+func (sh *shard) clearKicked() {
+	for _, e := range sh.kicked {
+		e.kicked = false
+	}
+	sh.kicked = sh.kicked[:0]
+}
+
+func (sh *shard) drainOne(t *Task) {
+	if t.state != statePending {
+		return
+	}
+	t.state = stateReady
+	t.readyAt = sh.now
+
+	switch t.kind {
+	case KindVirtual:
+		t.startAt = sh.now
+		sh.notifyStart(t)
+		sh.complete(t)
+	case KindAlloc:
+		if t.amount > t.pool.capacity+memEpsilon {
+			// The request can never be satisfied (e.g. memory pressure
+			// shrank the pool): a structured OOM beats an eventual
+			// deadlock report.
+			sh.fail(&OOMError{Pool: t.pool.name, Task: t.name, Need: t.amount, Capacity: t.pool.capacity})
+			return
+		}
+		if t.pool.tryAlloc(t) {
+			t.startAt = sh.now
+			sh.notifyStart(t)
+			sh.complete(t)
+		} else {
+			t.state = stateRunning
+			t.pool.waiters = append(t.pool.waiters, t)
+		}
+	case KindFree:
+		t.startAt = sh.now
+		sh.notifyStart(t)
+		woken, below := t.pool.release(t.amount)
+		if below > 0 {
+			sh.fail(&MemAccountError{Pool: t.pool.name, Task: t.name, Freed: t.amount, Below: below})
+			return
+		}
+		sh.complete(t)
+		for _, w := range woken {
+			w.startAt = sh.now
+			sh.notifyStart(w)
+			sh.complete(w)
+		}
+	case KindCompute, KindTransfer:
+		if t.engine == nil {
+			sh.startOnEngine(t)
+			return
+		}
+		t.engine.push(t)
+		if t.engine.current == nil && !t.engine.kicked {
+			t.engine.kicked = true
+			sh.kicked = append(sh.kicked, t.engine)
+		}
+	}
+}
+
+// startOnEngine begins running a compute or transfer task now.
+func (sh *shard) startOnEngine(t *Task) {
+	s := sh.sim
+	t.state = stateRunning
+	t.startAt = sh.now
+	if t.engine != nil {
+		t.engine.current = t
+	}
+	sh.notifyStart(t)
+
+	switch t.kind {
+	case KindCompute:
+		d := t.duration
+		if t.engine != nil {
+			if f := t.engine.Throughput(); f != 1 {
+				d /= f
+			}
+		}
+		t.endAt = sh.now + d
+		heap.Push(&sh.computes, t)
+	case KindTransfer:
+		lat := t.latency
+		if lat <= 0 {
+			lat = s.TransferLatency
+		}
+		if s.RetryPolicy != nil && t.bytes > 0 {
+			if n, backoff := s.RetryPolicy(t); n > 0 && backoff > 0 {
+				// Failed attempts wait backoff, 2*backoff, ... before the
+				// payload is finally admitted.
+				extra, step := Time(0), backoff
+				for i := 0; i < n; i++ {
+					extra += step
+					step *= 2
+				}
+				t.retries = n
+				t.retryLatency = extra
+				lat += extra
+			}
+		}
+		if t.bytes > 0 {
+			if s.Checksums.Enabled {
+				// Detection price of the first delivery attempt;
+				// retransmitted attempts are charged inside
+				// injectCorruption. Recorded on the task; the run-level
+				// totals are derived by finalizeIntegrity.
+				t.checksumCharged = true
+				lat += Time(t.bytes * s.Checksums.costPerByte())
+			}
+			if s.CorruptionPolicy != nil {
+				lat += sh.injectCorruption(t)
+			}
+		}
+		if lat > 0 && t.bytes > 0 {
+			// Setup phase: occupy the engine for the latency, then flow.
+			t.endAt = sh.now + lat
+			heap.Push(&sh.computes, t)
+			return
+		}
+		sh.beginFlow(t)
+	}
+}
+
+// beginFlow admits a transfer task's payload into the fair-sharing flow
+// set (after any setup latency has elapsed): the flow joins the
+// active list, the completion heap, and — unless its path is empty — the
+// connected component its resources belong to, which is marked dirty for
+// the next rate recompute.
+func (sh *shard) beginFlow(t *Task) {
+	t.flowStarted = true
+	f := sh.takeFlow()
+	f.task = t
+	// Retransmitted attempts re-flow the payload, so detected corruption
+	// consumes real path bandwidth, not just setup latency.
+	f.remaining = t.bytes * float64(1+t.retransmits)
+	f.rate = 0
+	f.lastUpdate = sh.now
+	if t.bytes <= 0 || len(t.path) == 0 {
+		f.rate = infiniteRate
+		if t.bytes <= 0 {
+			// Zero-byte transfer: complete in the same instant via the
+			// flow set so engine release ordering stays uniform.
+			f.remaining = 0
+		}
+	}
+	f.nextRate = f.rate
+	f.pred = f.predict()
+	// sh.flows is unordered (O(1) admit and swap-remove); the canonical
+	// iteration order for rate computation lives in the component lists.
+	f.listIdx = len(sh.flows)
+	sh.flows = append(sh.flows, f)
+	sh.flowQueue.push(f)
+	sh.componentAdmit(f)
+}
+
+// removeFromFlowList unlinks f from the active-flow list in O(1) by
+// swapping the last entry into its slot.
+func (sh *shard) removeFromFlowList(f *flow) {
+	last := len(sh.flows) - 1
+	moved := sh.flows[last]
+	sh.flows[f.listIdx] = moved
+	moved.listIdx = f.listIdx
+	sh.flows[last] = nil
+	sh.flows = sh.flows[:last]
+}
+
+// takeFlow recycles a flow struct from the pool, or carves one from the
+// shard's slab, cutting steady-state GC pressure on DAGs with many
+// transfers (and construction-time allocation churn on reruns).
+func (sh *shard) takeFlow() *flow {
+	if n := len(sh.flowPool); n > 0 {
+		f := sh.flowPool[n-1]
+		sh.flowPool[n-1] = nil
+		sh.flowPool = sh.flowPool[:n-1]
+		return f
+	}
+	if len(sh.flowSlab) == 0 {
+		sh.flowSlab = make([]flow, 64)
+	}
+	f := &sh.flowSlab[0]
+	sh.flowSlab = sh.flowSlab[1:]
+	f.heapIdx = -1
+	return f
+}
+
+func (sh *shard) complete(t *Task) {
+	if t.state == stateFinished {
+		return
+	}
+	t.state = stateFinished
+	t.endAt = sh.now
+	sh.pending--
+	sh.notifyFinish(t)
+	for _, succ := range t.succs {
+		if t.tainted {
+			// Silent corruption poisons everything downstream.
+			succ.tainted = true
+		}
+		succ.waiting--
+		if succ.waiting == 0 && succ.state == statePending {
+			sh.ready = append(sh.ready, succ)
+		}
+	}
+	if t.corruptExhausted {
+		sh.fail(&CorruptionError{Task: t.name, At: sh.now, Attempts: 1 + t.retransmits})
+	}
+}
+
+func (sh *shard) notifyStart(t *Task) {
+	if len(sh.sim.observers) != 0 {
+		sh.events = append(sh.events, obsEvent{task: t, at: sh.now})
+	}
+}
+
+func (sh *shard) notifyFinish(t *Task) {
+	if len(sh.sim.observers) != 0 {
+		sh.events = append(sh.events, obsEvent{task: t, at: sh.now, finish: true})
+	}
+}
+
+// fail records the shard's first structured failure; the loop stops at
+// the next event boundary. Under parallel execution any shard failure
+// forces a pristine serial rerun (see runParallel), whose own first
+// failure — the earliest one in global event order — is what Run
+// reports.
+func (sh *shard) fail(err error) {
+	if sh.err == nil {
+		sh.err = err
+	}
+}

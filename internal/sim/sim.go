@@ -1,14 +1,18 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
+	"sort"
 	"strings"
 )
 
 // Observer receives task lifecycle notifications. The trace package
 // implements Observer to collect bandwidth statistics and timelines.
+//
+// Notifications are buffered during Run and dispatched when it returns,
+// sorted by (time, task id, start-before-finish). The order is canonical
+// across scheduler modes: serial, sharded-parallel, and the test oracle
+// all deliver the same sequence for the same DAG.
 type Observer interface {
 	// TaskStarted fires when a task begins running (a compute occupies its
 	// engine, a transfer's flow is admitted, an alloc succeeds).
@@ -18,56 +22,28 @@ type Observer interface {
 }
 
 // Sim owns the simulated hardware (resources, engines, pools) and the work
-// DAG, and executes the DAG to completion.
+// DAG, and executes the DAG to completion. The event loop itself lives in
+// shard (shard.go): the serial scheduler runs the whole DAG in one shard;
+// setting Parallelism partitions the DAG into independent shards executed
+// on a bounded worker pool with a deterministic merge (parallel.go). Both
+// produce bitwise-identical results.
 type Sim struct {
-	now        Time
-	tasks      []*Task
-	pending    int
-	flows      []*flow
-	ratesDirty bool
-	computes   computeHeap
-	observers  []Observer
+	now     Time
+	pending int
+	tasks   []*Task
+
+	observers []Observer
 
 	resources []*Resource
 	engines   []*Engine
 	pools     []*MemPool
 
-	// worklist of tasks whose dependencies just completed.
-	ready []*Task
-
-	// Incremental scheduler state. flowQueue is the indexed min-heap of
-	// active flows keyed by predicted completion (flowheap.go); the
-	// union-find over resources groups flows into connected components
-	// whose dirty subset is all a recompute touches (component.go).
-	flowQueue            flowHeap
-	dirtyComps           []*component
-	compPool             []*component
-	ufGen                uint64
-	finishedSinceRebuild int
-	// compVisit is the epoch for the oracle's component de-duplication.
-	compVisit uint64
-
-	// rateOracle switches recomputeRates to the retained global
-	// reference implementation (every flow, every event) — test-only;
-	// the differential tests assert it is schedule-identical to the
-	// incremental path.
-	rateOracle bool
-
-	// Rate-computation scratch, reused across events so the hot path
-	// allocates nothing in steady state (see flow.go). rateEpoch versions
-	// the per-Resource scratch fields; the slices are recycled buffers.
-	rateEpoch        uint64
-	prioScratch      []int
-	classBuckets     [][]*flow
-	fixedScratch     []bool
-	recomputeScratch []*flow
-
-	// Completion-batch and flow-struct recycling (steady-state GC
-	// relief): doneScratch/doneTasks are the per-event completion
-	// buffers, flowPool the freelist flows return to after finishing.
-	doneScratch []*flow
-	doneTasks   []*Task
-	flowPool    []*flow
+	// Parallelism bounds the worker pool for sharded execution: 0 (the
+	// default) runs the classic serial event loop; K ≥ 1 partitions the
+	// DAG into independent shards (parallel.go) and runs up to K of them
+	// concurrently. Schedules, observer timelines, carried-byte
+	// accounting, and errors are bitwise-identical across all settings.
+	Parallelism int
 
 	// TransferLatency is the fixed per-transfer setup time applied to
 	// every Transfer task (DMA descriptor setup, host staging
@@ -87,27 +63,77 @@ type Sim struct {
 	// retransmit of injected corruption); the zero value disables them.
 	Checksums ChecksumConfig
 
-	// integrity aggregates corruption/detection bookkeeping; see corrupt.go.
+	// integrity aggregates corruption/detection bookkeeping, derived from
+	// per-task counters by finalizeIntegrity when Run returns.
 	integrity IntegrityStats
 
-	// Scheduled capacity changes (fault injection), applied in time order.
-	capEvents []capEvent
-	nextCap   int
+	// rateOracle switches rate computation to the retained global
+	// reference implementation (every live component, every event) —
+	// test-only; the differential tests assert it is schedule-identical
+	// to the incremental path. Oracle runs are always serial.
+	rateOracle bool
 
-	// Scheduled permanent failures (see loss.go), applied in time order.
+	// Scheduled capacity changes and permanent failures (fault
+	// injection), applied in time order. The serial shard consumes these
+	// directly; parallel runs route capacity events to the owning shard
+	// (failure events force serial execution).
+	capEvents  []capEvent
 	failEvents []failEvent
-	nextFail   int
 
-	// First structured failure (OOM, memory accounting); Run returns it.
+	// serial is the single shard the serial scheduler runs the whole DAG
+	// in (created lazily); shards[:nShards] is the partition parallel
+	// runs execute, cached while shardsValid. active lists the shards
+	// that executed the most recent Run (their buffered observer events
+	// are dispatched and drained by finishRun).
+	serial      *shard
+	shards      []*shard
+	nShards     int
+	shardsValid bool
+	active      []*shard
+
+	// orphanCap holds capacity events for resources no task's path
+	// touches; they cannot perturb any shard, so a parallel run applies
+	// the due ones at merge time (the serial loop applies them inline).
+	orphanCap []capEvent
+
+	// started records that a Run consumed builder-time state: continuing
+	// an existing schedule (tasks added after a Run) stays on the serial
+	// path, whose shard retains the in-flight event-loop state.
+	started bool
+	// ran short-circuits repeated Run calls: the DAG is executed once and
+	// (now, finalErr) replayed until new tasks arrive or Reset is called.
+	ran      bool
+	finalErr error
+
+	// err is the first structured failure of the last run (invariant
+	// checks distinguish halted from completed runs by it).
 	err error
+
+	// Global generation/epoch sequences. Each shard draws fresh ranges
+	// per run (prepare), so the per-Resource scratch marks — which
+	// persist on the shared Resource structs — can never collide across
+	// shards or reruns.
+	ufGenSeq uint64
+	visitSeq uint64
+
+	// Partition scratch (parallel.go).
+	taskUF       []int32
+	shardOf      []int32
+	engineAnchor []int32
+	poolAnchor   []int32
+	resAnchor    []int32
+
+	// eventScratch merges the shards' buffered observer notifications.
+	eventScratch []obsEvent
+
+	// taskSlab is the arena Task structs are carved from; pathCache backs
+	// the Path interning method (resource.go).
+	taskSlab  []Task
+	pathCache map[pathKey][]PathElem
 }
 
 // New creates an empty simulator.
-func New() *Sim {
-	// ufGen starts at 1 so zero-valued Resources read as "not yet in the
-	// union-find" (see findRoot).
-	return &Sim{ufGen: 1}
-}
+func New() *Sim { return &Sim{} }
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
@@ -118,8 +144,9 @@ func (s *Sim) Observe(o Observer) { s.observers = append(s.observers, o) }
 // NewResource adds a bandwidth-shared resource with the given capacity in
 // bytes per second.
 func (s *Sim) NewResource(name string, capacity float64) *Resource {
-	r := &Resource{id: len(s.resources), name: name, capacity: capacity}
+	r := &Resource{id: len(s.resources), name: name, capacity: capacity, baseCapacity: capacity}
 	s.resources = append(s.resources, r)
+	s.shardsValid = false
 	return r
 }
 
@@ -127,18 +154,34 @@ func (s *Sim) NewResource(name string, capacity float64) *Resource {
 func (s *Sim) NewEngine(name string) *Engine {
 	e := &Engine{id: len(s.engines), name: name}
 	s.engines = append(s.engines, e)
+	s.shardsValid = false
 	return e
 }
 
 // NewMemPool adds a finite memory pool with the given capacity in bytes.
 func (s *Sim) NewMemPool(name string, capacity float64) *MemPool {
-	p := &MemPool{id: len(s.pools), name: name, capacity: capacity}
+	p := &MemPool{id: len(s.pools), name: name, capacity: capacity, baseCapacity: capacity}
 	s.pools = append(s.pools, p)
+	s.shardsValid = false
 	return p
 }
 
+// allocTask carves a Task from the arena: DAG construction allocates one
+// 256-task chunk at a time instead of one object per task.
+func (s *Sim) allocTask() *Task {
+	if len(s.taskSlab) == 0 {
+		s.taskSlab = make([]Task, 256)
+	}
+	t := &s.taskSlab[0]
+	s.taskSlab = s.taskSlab[1:]
+	return t
+}
+
 func (s *Sim) newTask(name string, kind TaskKind, deps []*Task) *Task {
-	t := &Task{id: len(s.tasks), name: name, kind: kind}
+	t := s.allocTask()
+	t.id = len(s.tasks)
+	t.name = name
+	t.kind = kind
 	for _, d := range deps {
 		if d == nil {
 			continue
@@ -149,8 +192,11 @@ func (s *Sim) newTask(name string, kind TaskKind, deps []*Task) *Task {
 		d.succs = append(d.succs, t)
 		t.waiting++
 	}
+	t.initWaiting = t.waiting
 	s.tasks = append(s.tasks, t)
 	s.pending++
+	s.ran = false
+	s.shardsValid = false
 	return t
 }
 
@@ -203,128 +249,130 @@ func (s *Sim) After(name string, deps ...*Task) *Task {
 // when a structured failure occurs: an Alloc larger than its pool's total
 // capacity yields an *OOMError, a Free returning more bytes than are
 // allocated yields a *MemAccountError.
+//
+// With Parallelism ≥ 1, fresh runs execute the DAG's independent shards
+// on a worker pool (see parallel.go); runs that cannot shard — oracle
+// mode, scheduled permanent failures, or continuations of an already
+// started schedule — fall back to the serial loop. Either way the result
+// is bitwise-identical. Calling Run again without changing the DAG
+// replays the recorded result.
 func (s *Sim) Run() (Time, error) {
+	if s.ran {
+		return s.now, s.finalErr
+	}
 	sortCapEvents(s.capEvents)
-	s.applyCapEvents()
 	sortFailEvents(s.failEvents)
-	s.applyFailEvents()
+	parallel := s.Parallelism > 0 && !s.started && !s.rateOracle && len(s.failEvents) == 0
+	if !parallel || !s.runParallel() {
+		s.runSerial()
+	}
+	s.finishRun()
+	return s.now, s.finalErr
+}
 
-	// Seed the worklist with dependency-free tasks.
+// serialShard returns the single shard the serial scheduler runs the
+// whole DAG in, creating it on first use. On a fresh (not started, not
+// yet prepared since the last rewind) shard it recycles leftover state
+// and draws fresh generation ranges; an already-started schedule keeps
+// its in-flight flows, heaps, and event cursors intact. Test harnesses
+// call this to drive the event loop manually before Run.
+func (s *Sim) serialShard() *shard {
+	sh := s.serial
+	if sh == nil {
+		sh = &shard{sim: s}
+		s.serial = sh
+	}
+	sh.tasks = s.tasks
+	sh.capEvents = s.capEvents
+	sh.failEvents = s.failEvents
+	if !s.started && !sh.used {
+		sh.prepare()
+		sh.used = true
+	}
+	return sh
+}
+
+// runSerial executes the whole DAG in the serial shard.
+func (s *Sim) runSerial() {
+	sh := s.serialShard()
+	sh.now = s.now
+	// Test harnesses drain tasks through the shard directly before Run;
+	// recount so the shard's pending matches actual task state.
+	pending := 0
 	for _, t := range s.tasks {
-		if t.state == statePending && t.waiting == 0 {
-			s.ready = append(s.ready, t)
+		if t.state != stateFinished {
+			pending++
 		}
 	}
-	s.drain()
+	sh.pending = pending
+	sh.run()
+	s.now = sh.now
+	s.pending = sh.pending
+	s.err = sh.err
+	s.active = append(s.active[:0], sh)
+}
 
-	for s.pending > 0 && s.err == nil {
-		s.recomputeRates()
+// finishRun derives the run-level results from the merged shard state:
+// the error Run reports, the integrity statistics, and the canonical
+// observer dispatch.
+func (s *Sim) finishRun() {
+	s.started = true
+	s.ran = true
+	switch {
+	case s.err != nil:
+		s.finalErr = s.err
+	case s.pending > 0:
+		s.finalErr = s.deadlockError()
+	default:
+		s.finalErr = nil
+	}
+	s.finalizeIntegrity()
+	s.dispatchEvents()
+}
 
-		// Picking the next event is O(log F): the flow with the earliest
-		// predicted completion sits at the top of the completion heap,
-		// maintained incrementally as rates change.
-		next := math.Inf(1)
-		if len(s.computes) > 0 {
-			next = s.computes[0].endAt
+// dispatchEvents delivers the buffered observer notifications of the
+// shards that executed this run, in the canonical (time, task id,
+// start-before-finish) order. Keys are strictly unique — a task starts
+// and finishes at most once — so the comparison is a total order.
+func (s *Sim) dispatchEvents() {
+	if len(s.observers) == 0 {
+		return
+	}
+	evs := s.eventScratch[:0]
+	for _, sh := range s.active {
+		evs = append(evs, sh.events...)
+		sh.events = sh.events[:0]
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.at != b.at {
+			return a.at < b.at
 		}
-		if s.flowQueue.Len() > 0 {
-			if p := s.flowQueue.top().pred; p < next {
-				next = p
+		if a.task.id != b.task.id {
+			return a.task.id < b.task.id
+		}
+		return !a.finish && b.finish
+	})
+	for _, ev := range evs {
+		if ev.finish {
+			for _, o := range s.observers {
+				o.TaskFinished(ev.task, ev.at)
+			}
+		} else {
+			for _, o := range s.observers {
+				o.TaskStarted(ev.task, ev.at)
 			}
 		}
-		if s.nextCap < len(s.capEvents) && s.capEvents[s.nextCap].at < next {
-			next = s.capEvents[s.nextCap].at
-		}
-		if s.nextFail < len(s.failEvents) && s.failEvents[s.nextFail].at < next {
-			next = s.failEvents[s.nextFail].at
-		}
-		if math.IsInf(next, 1) {
-			s.settleAllFlows()
-			return s.now, s.deadlockError()
-		}
-		if next < s.now {
-			next = s.now
-		}
-		s.advance(next)
-		s.drain()
 	}
-	// Settle lazy progress so utilization accounting and invariant checks
-	// see exact per-resource traffic, including for runs halted by a
-	// structured failure with flows still in flight.
-	s.settleAllFlows()
-	if s.err != nil {
-		return s.now, s.err
+	for i := range evs {
+		evs[i] = obsEvent{}
 	}
-	return s.now, nil
+	s.eventScratch = evs[:0]
 }
 
 // timeEpsilon groups events that complete within a femtosecond of each
 // other, absorbing floating-point dust in rate arithmetic.
 const timeEpsilon = 1e-15
-
-// advance moves the clock to t and completes every compute and flow that
-// finishes at (or within epsilon of) t. Flow progress is lazy: nothing is
-// swept per event — a flow's remaining payload is settled only here (on
-// completion) or when its rate changes (applyRates).
-func (s *Sim) advance(t Time) {
-	s.now = t
-
-	// Complete finished computes; transfer tasks surfacing here have
-	// finished their setup latency and now begin flowing.
-	for len(s.computes) > 0 && s.computes[0].endAt <= s.now+timeEpsilon {
-		task := heap.Pop(&s.computes).(*Task)
-		if task.kind == KindTransfer {
-			s.beginFlow(task)
-			continue
-		}
-		s.finishEngineTask(task)
-	}
-
-	// Complete finished flows: pop the completion heap while the settled
-	// remaining payload is within slack of zero. Collect first, then
-	// finish, so heap and flow-list mutation stay simple.
-	done := s.doneScratch[:0]
-	for s.flowQueue.Len() > 0 {
-		f := s.flowQueue.top()
-		slack := f.rate * timeEpsilon * 1e6 // absolute byte tolerance
-		if slack < 1e-9 {
-			slack = 1e-9
-		}
-		if f.remaining-f.rate*(s.now-f.lastUpdate) > slack {
-			break
-		}
-		s.flowQueue.popTop()
-		s.settleFlow(f)
-		s.removeFromFlowList(f)
-		s.componentFinish(f)
-		done = append(done, f)
-	}
-	if len(done) > 0 {
-		// Finish the batch in task-id order — the order the eager sweep
-		// used to produce — so same-instant completions feed pool FIFO
-		// queues and the ready worklist identically.
-		sortFlowsByID(done)
-		tasks := s.doneTasks[:0]
-		for _, f := range done {
-			tasks = append(tasks, f.task)
-		}
-		// Recycle the flow structs before dispatching completions: the
-		// batch no longer references them, and a completion may admit new
-		// flows that reuse the structs immediately.
-		for _, f := range done {
-			f.task = nil
-			s.flowPool = append(s.flowPool, f)
-		}
-		for _, task := range tasks {
-			s.finishEngineTask(task)
-		}
-		s.doneTasks = tasks[:0]
-	}
-	s.doneScratch = done[:0]
-
-	s.applyCapEvents()
-	s.applyFailEvents()
-}
 
 // sortFlowsByID insertion-sorts a (small) completion batch by task id.
 func sortFlowsByID(fs []*flow) {
@@ -335,267 +383,11 @@ func sortFlowsByID(fs []*flow) {
 	}
 }
 
-// finishEngineTask completes a compute or transfer task, releases its
-// engine and dispatches the next queued task on that engine.
-func (s *Sim) finishEngineTask(t *Task) {
-	s.complete(t)
-	if t.engine != nil && t.engine.current == t {
-		t.engine.current = nil
-		if nxt := t.engine.pop(); nxt != nil {
-			s.startOnEngine(nxt)
-		}
-	}
-}
-
-// drain processes the instantaneous cascade: completed tasks release
-// successors, virtual/alloc/free tasks execute with zero duration, and
-// compute/transfer tasks are dispatched to their engines.
-func (s *Sim) drain() {
-	kicked := map[*Engine]bool{}
-	for {
-		for len(s.ready) > 0 {
-			if s.err != nil {
-				return
-			}
-			t := s.ready[0]
-			s.ready = s.ready[1:]
-			s.drainOne(t, kicked)
-		}
-		if len(kicked) == 0 {
-			return
-		}
-		// Dispatch idle engines only after the instantaneous cascade has
-		// settled so that same-instant arrivals compete by priority.
-		var order []*Engine
-		for e := range kicked {
-			order = append(order, e)
-		}
-		clear(kicked)
-		sortEngines(order)
-		for _, e := range order {
-			for e.current == nil {
-				nxt := e.pop()
-				if nxt == nil {
-					break
-				}
-				s.startOnEngine(nxt)
-			}
-		}
-	}
-}
-
-func (s *Sim) drainOne(t *Task, kicked map[*Engine]bool) {
-	if t.state != statePending {
-		return
-	}
-	t.state = stateReady
-	t.readyAt = s.now
-
-	switch t.kind {
-	case KindVirtual:
-		t.startAt = s.now
-		s.notifyStart(t)
-		s.complete(t)
-	case KindAlloc:
-		if t.amount > t.pool.capacity+memEpsilon {
-			// The request can never be satisfied (e.g. memory pressure
-			// shrank the pool): a structured OOM beats an eventual
-			// deadlock report.
-			s.fail(&OOMError{Pool: t.pool.name, Task: t.name, Need: t.amount, Capacity: t.pool.capacity})
-			return
-		}
-		if t.pool.tryAlloc(t) {
-			t.startAt = s.now
-			s.notifyStart(t)
-			s.complete(t)
-		} else {
-			t.state = stateRunning
-			t.pool.waiters = append(t.pool.waiters, t)
-		}
-	case KindFree:
-		t.startAt = s.now
-		s.notifyStart(t)
-		woken, below := t.pool.release(t.amount)
-		if below > 0 {
-			s.fail(&MemAccountError{Pool: t.pool.name, Task: t.name, Freed: t.amount, Below: below})
-			return
-		}
-		s.complete(t)
-		for _, w := range woken {
-			w.startAt = s.now
-			s.notifyStart(w)
-			s.complete(w)
-		}
-	case KindCompute, KindTransfer:
-		if t.engine == nil {
-			s.startOnEngine(t)
-			return
-		}
-		t.engine.push(t)
-		if t.engine.current == nil {
-			kicked[t.engine] = true
-		}
-	}
-}
-
 func sortEngines(es []*Engine) {
 	for i := 1; i < len(es); i++ {
 		for j := i; j > 0 && es[j].id < es[j-1].id; j-- {
 			es[j], es[j-1] = es[j-1], es[j]
 		}
-	}
-}
-
-// startOnEngine begins running a compute or transfer task now.
-func (s *Sim) startOnEngine(t *Task) {
-	t.state = stateRunning
-	t.startAt = s.now
-	if t.engine != nil {
-		t.engine.current = t
-	}
-	s.notifyStart(t)
-
-	switch t.kind {
-	case KindCompute:
-		d := t.duration
-		if t.engine != nil {
-			if f := t.engine.Throughput(); f != 1 {
-				d /= f
-			}
-		}
-		t.endAt = s.now + d
-		heap.Push(&s.computes, t)
-	case KindTransfer:
-		lat := t.latency
-		if lat <= 0 {
-			lat = s.TransferLatency
-		}
-		if s.RetryPolicy != nil && t.bytes > 0 {
-			if n, backoff := s.RetryPolicy(t); n > 0 && backoff > 0 {
-				// Failed attempts wait backoff, 2*backoff, ... before the
-				// payload is finally admitted.
-				extra, step := Time(0), backoff
-				for i := 0; i < n; i++ {
-					extra += step
-					step *= 2
-				}
-				t.retries = n
-				t.retryLatency = extra
-				lat += extra
-			}
-		}
-		if t.bytes > 0 {
-			if s.Checksums.Enabled {
-				// Detection price of the first delivery attempt; retransmitted
-				// attempts are charged inside injectCorruption.
-				ck := t.bytes * s.Checksums.costPerByte()
-				s.integrity.ChecksumCost += ck
-				lat += Time(ck)
-			}
-			if s.CorruptionPolicy != nil {
-				lat += s.injectCorruption(t)
-			}
-		}
-		if lat > 0 && t.bytes > 0 {
-			// Setup phase: occupy the engine for the latency, then flow.
-			t.endAt = s.now + lat
-			heap.Push(&s.computes, t)
-			return
-		}
-		s.beginFlow(t)
-	}
-}
-
-// beginFlow admits a transfer task's payload into the fair-sharing flow
-// set (after any setup latency has elapsed): the flow joins the
-// active list, the completion heap, and — unless its path is empty — the
-// connected component its resources belong to, which is marked dirty for
-// the next rate recompute.
-func (s *Sim) beginFlow(t *Task) {
-	t.flowStarted = true
-	f := s.takeFlow()
-	f.task = t
-	// Retransmitted attempts re-flow the payload, so detected corruption
-	// consumes real path bandwidth, not just setup latency.
-	f.remaining = t.bytes * float64(1+t.retransmits)
-	f.rate = 0
-	f.lastUpdate = s.now
-	if t.bytes <= 0 || len(t.path) == 0 {
-		f.rate = infiniteRate
-		if t.bytes <= 0 {
-			// Zero-byte transfer: complete in the same instant via the
-			// flow set so engine release ordering stays uniform.
-			f.remaining = 0
-		}
-	}
-	f.nextRate = f.rate
-	f.pred = f.predict()
-	// s.flows is unordered (O(1) admit and swap-remove); the canonical
-	// iteration order for rate computation lives in the component lists.
-	f.listIdx = len(s.flows)
-	s.flows = append(s.flows, f)
-	s.flowQueue.push(f)
-	s.componentAdmit(f)
-}
-
-// removeFromFlowList unlinks f from the active-flow list in O(1) by
-// swapping the last entry into its slot.
-func (s *Sim) removeFromFlowList(f *flow) {
-	last := len(s.flows) - 1
-	moved := s.flows[last]
-	s.flows[f.listIdx] = moved
-	moved.listIdx = f.listIdx
-	s.flows[last] = nil
-	s.flows = s.flows[:last]
-}
-
-// takeFlow recycles a flow struct from the pool (or allocates one),
-// cutting steady-state GC pressure on DAGs with many transfers.
-func (s *Sim) takeFlow() *flow {
-	if n := len(s.flowPool); n > 0 {
-		f := s.flowPool[n-1]
-		s.flowPool[n-1] = nil
-		s.flowPool = s.flowPool[:n-1]
-		return f
-	}
-	return &flow{heapIdx: -1}
-}
-
-func (s *Sim) complete(t *Task) {
-	if t.state == stateFinished {
-		return
-	}
-	t.state = stateFinished
-	t.endAt = s.now
-	s.pending--
-	if t.tainted {
-		s.integrity.TaintedTasks++
-	}
-	s.notifyFinish(t)
-	for _, succ := range t.succs {
-		if t.tainted {
-			// Silent corruption poisons everything downstream.
-			succ.tainted = true
-		}
-		succ.waiting--
-		if succ.waiting == 0 && succ.state == statePending {
-			s.ready = append(s.ready, succ)
-		}
-	}
-	if t.corruptExhausted {
-		s.fail(&CorruptionError{Task: t.name, At: s.now, Attempts: 1 + t.retransmits})
-	}
-}
-
-func (s *Sim) notifyStart(t *Task) {
-	for _, o := range s.observers {
-		o.TaskStarted(t, s.now)
-	}
-}
-
-func (s *Sim) notifyFinish(t *Task) {
-	for _, o := range s.observers {
-		o.TaskFinished(t, s.now)
 	}
 }
 

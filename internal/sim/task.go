@@ -68,9 +68,17 @@ type Task struct {
 	// Larger values run first.
 	priority int
 
-	// Dependency bookkeeping.
-	waiting int
-	succs   []*Task
+	// Dependency bookkeeping. initWaiting is the dependency count at
+	// creation; rewind/Reset restore waiting from it when re-running a
+	// reused DAG (deps that were already finished at creation never
+	// counted, so the value stays consistent across reruns).
+	waiting     int
+	initWaiting int
+	succs       []*Task
+
+	// shardIdx is the partition this task belongs to, assigned by
+	// Sim.partition (see parallel.go). Valid only while Sim.shardsValid.
+	shardIdx int32
 
 	state   taskState
 	readyAt Time
@@ -81,10 +89,16 @@ type Task struct {
 	retries      int
 	retryLatency Time
 
-	// Corruption bookkeeping (see corrupt.go).
+	// Corruption bookkeeping (see corrupt.go). The counters are per-task
+	// so shards never touch shared accumulators mid-run; finalizeIntegrity
+	// derives the run-level IntegrityStats from them in task-id order,
+	// making the aggregate independent of event interleaving.
 	retransmits      int  // detected-corruption retransmits performed
 	tainted          bool // carries (or consumed) a silently corrupted payload
 	corruptExhausted bool // every delivery attempt in the budget corrupted
+	corruptAttempts  int  // delivery attempts that arrived corrupted
+	silentCorrupt    bool // accepted a corrupted payload (checksums off)
+	checksumCharged  bool // paid the per-attempt checksum latency
 
 	// Tag carries caller metadata through to observers.
 	Tag any

@@ -92,6 +92,14 @@ type Recorder struct {
 // NewRecorder returns an empty recorder; register it with sim.Observe.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// Reset clears the collected records, keeping the backing arrays, so a
+// recorder can stay registered across sim.Reset replays of the same
+// schedule without accumulating stale records.
+func (r *Recorder) Reset() {
+	r.Flows = r.Flows[:0]
+	r.Computes = r.Computes[:0]
+}
+
 // TaskStarted implements sim.Observer.
 func (r *Recorder) TaskStarted(t *sim.Task, at float64) {}
 
