@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-perf bench bench-json
+.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-perf check-plansvc bench bench-json bench-plan-json
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# The full grid under the race detector sits near go test's default 10m
+# per-binary cap on a single-core box; the explicit timeout is headroom,
+# not license for slower tests.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # check-faults is the fault-matrix smoke test: every fault class (link
 # degradation, straggler, transient retries, memory pressure), alone and
@@ -56,13 +59,25 @@ check-sharded:
 check-perf:
 	MOBIUS_CHECK_PERF=1 $(GO) test -run 'TestIncrementalBeatsOracle|TestParallelBeatsSerial' -count=1 -v ./internal/sim/
 
+# check-plansvc is the planning-service gate: the deterministic
+# concurrency suite (cache keys, single-flight coalescing and
+# cancelled-leader handoff, corrupt-entry degradation, the
+# retry/backoff/breaker ladder on a virtual clock, HTTP surface) plus
+# the seed-derived planner-fault chaos matrix (serial bitwise replay and
+# the concurrent fan-out), all under the race detector. -short skips the
+# two MIP-heavy tests (warm-start equivalence, zero-solve elastic
+# recovery); plain `make race` runs them.
+check-plansvc:
+	$(GO) test -race -short -count=1 ./internal/plansvc/
+	$(GO) test -race -run 'TestPlanning' -count=1 ./internal/chaos/
+
 # check is the tier-1 gate: everything must compile, vet clean, pass the
 # test suite under the race detector (the planning pipeline is
 # concurrent, so plain `go test` alone is not enough), and survive the
 # fault matrix, the recovery matrix, the chaos matrix, the sharded
 # scheduler's race-clean differential suite, and the performance smoke
 # gate.
-check: build vet race check-faults check-recovery check-chaos check-sharded check-perf
+check: build vet race check-faults check-recovery check-chaos check-sharded check-perf check-plansvc
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/
@@ -73,3 +88,9 @@ bench:
 # methodology and the recorded pre-optimization baselines.
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/ | $(GO) run ./cmd/bench2json -o BENCH_sim.json
+
+# bench-plan-json regenerates BENCH_plan.json: the planning-service
+# latency benchmarks (cache hit, key derivation, greedy floor) in the
+# same diffable JSON format as BENCH_sim.json.
+bench-plan-json:
+	$(GO) test -run xxx -bench . -benchmem ./internal/plansvc/ | $(GO) run ./cmd/bench2json -o BENCH_plan.json

@@ -7,21 +7,44 @@
 //
 //	mobius-advisor -model 15B
 //	mobius-advisor -model 51B -steps 20000
+//	mobius-advisor -model 15B -cache-stats
+//	mobius-advisor -serve 127.0.0.1:8080
+//
+// All planning flows through one hardened plan service
+// (internal/plansvc), so the menu's repeated shapes are solved once and
+// reused. -serve skips the ranking and instead exposes the service over
+// HTTP: POST /v1/plan plans (cached, single-flighted, degradation
+// ladder) and GET /v1/metrics reports the counters.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"mobius/internal/advisor"
 	"mobius/internal/model"
+	"mobius/internal/plansvc"
 )
 
 func main() {
 	modelName := flag.String("model", "15B", "model: 3B, 8B, 15B, 51B")
 	steps := flag.Int("steps", 20000, "fine-tuning job length for the cost projection")
+	cacheStats := flag.Bool("cache-stats", false, "print plan service counters after advising")
+	serve := flag.String("serve", "", "run as a planning service on this address instead of advising (e.g. 127.0.0.1:8080)")
 	flag.Parse()
+
+	svc := plansvc.New(plansvc.Config{})
+
+	if *serve != "" {
+		fmt.Printf("plan service listening on %s (POST /v1/plan, GET /v1/metrics)\n", *serve)
+		if err := http.ListenAndServe(*serve, svc.Handler()); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var m model.Config
 	found := false
@@ -36,7 +59,7 @@ func main() {
 	}
 
 	fmt.Printf("hardware advisor for %s (job: %d steps)\n\n", m, *steps)
-	recs, err := advisor.Advise(m, advisor.DefaultOptions())
+	recs, err := advisor.AdviseWith(m, advisor.DefaultOptions(), svc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
@@ -51,5 +74,10 @@ func main() {
 	if f := advisor.Fastest(recs); f != nil {
 		fmt.Printf("\nfastest: %s (%s)\ncheapest per sample: %s (%s)\n",
 			f.Label(), f.System, recs[0].Label(), recs[0].System)
+	}
+	if *cacheStats {
+		ms := svc.Metrics()
+		fmt.Printf("\nplansvc: %d requests, %d hits, %d solves, %d warm starts, %d cached plans, breaker %s\n",
+			ms.Requests, ms.Hits, ms.Solves, ms.WarmStarts, ms.CacheEntries, svc.BreakerState())
 	}
 }

@@ -5,6 +5,13 @@
 //
 //	mobius-plan -model 15B -topo 2+2
 //	mobius-plan -model 51B -topo 4+4 -algo min-stage -mapping sequential
+//	mobius-plan -model 15B -topo 2+2 -prewarm -cache-stats
+//
+// Planning goes through the hardened plan service (internal/plansvc):
+// cached, single-flighted, and degrading to the greedy floor rather
+// than failing when a -deadline expires. -prewarm additionally plans
+// every single-GPU-loss survivor topology so a subsequent elastic
+// re-plan is a cache lookup.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"mobius/internal/mapping"
 	"mobius/internal/model"
 	"mobius/internal/partition"
+	"mobius/internal/plansvc"
 )
 
 func fail(format string, args ...any) {
@@ -51,6 +59,8 @@ func main() {
 	mbs := flag.Int("mbs", 0, "microbatch size override (0 = Table 3 default)")
 	asJSON := flag.Bool("json", false, "emit the plan as JSON instead of text")
 	deadline := flag.Duration("deadline", 0, "planning deadline; on expiry the plan degrades to the greedy fallback (0 = none)")
+	prewarm := flag.Bool("prewarm", false, "also pre-plan every single-GPU-loss survivor topology (elastic recovery becomes a cache lookup)")
+	cacheStats := flag.Bool("cache-stats", false, "print plan service counters after planning")
 	flag.Parse()
 
 	m := parseModel(*modelName)
@@ -71,7 +81,8 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
-	plan, err := core.PlanMobiusCtx(ctx, opts)
+	svc := plansvc.New(plansvc.Config{})
+	plan, err := svc.PlanMobius(ctx, opts)
 	if err != nil {
 		fail("planning failed: %v", err)
 	}
@@ -80,6 +91,20 @@ func main() {
 	}
 	if err := plan.Validate(topo); err != nil {
 		fail("plan failed validation: %v", err)
+	}
+
+	// Side reports go to stderr so -json keeps stdout machine-readable.
+	if *prewarm {
+		rep, err := svc.Prewarm(ctx, opts)
+		if err != nil {
+			fail("prewarm: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", rep)
+	}
+	if *cacheStats {
+		ms := svc.Metrics()
+		fmt.Fprintf(os.Stderr, "plansvc:   %d requests, %d hits, %d solves, %d warm starts, %d cached plans, breaker %s\n",
+			ms.Requests, ms.Hits, ms.Solves, ms.WarmStarts, ms.CacheEntries, svc.BreakerState())
 	}
 
 	if *asJSON {

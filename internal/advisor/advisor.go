@@ -68,6 +68,15 @@ func systemsFor() []core.System {
 // recommendations sorted by samples-per-dollar (descending), followed by
 // the infeasible ones.
 func Advise(m model.Config, options []*hw.Topology) ([]Recommendation, error) {
+	return AdviseWith(m, options, nil)
+}
+
+// AdviseWith is Advise with an explicit planner. Passing a
+// plansvc.Service dedups the Mobius plan solves across the menu's
+// repeated shapes and keeps them for later requests (the -serve mode of
+// cmd/mobius-advisor); nil plans directly. A correct planner never
+// changes the ranking, only how fast it is produced.
+func AdviseWith(m model.Config, options []*hw.Topology, planner core.Planner) ([]Recommendation, error) {
 	if len(options) == 0 {
 		options = DefaultOptions()
 	}
@@ -75,7 +84,7 @@ func Advise(m model.Config, options []*hw.Topology) ([]Recommendation, error) {
 	for _, topo := range options {
 		rec := Recommendation{Topology: topo, OOM: true}
 		for _, sys := range systemsFor() {
-			r, err := core.Run(sys, core.Options{Model: m, Topology: topo})
+			r, err := core.Run(sys, core.Options{Model: m, Topology: topo, Planner: planner})
 			if err != nil {
 				return nil, fmt.Errorf("advisor: %s on %s: %w", sys, topo.Name, err)
 			}

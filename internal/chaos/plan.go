@@ -1,0 +1,310 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mobius/internal/core"
+	"mobius/internal/fault"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+	"mobius/internal/plansvc"
+)
+
+// PlanHarness stress-tests the planning service the way the main
+// harness stresses the integrity layer: from a single seed it derives a
+// planner-fault scenario (injected solver latency and transient
+// failures), a retry/breaker configuration and a request sequence,
+// drives them through a plansvc.Service on a virtual clock, and checks
+// the invariants that must hold for every seed:
+//
+//   - every request returns a plan that validates on its topology (a
+//     degraded request returns the greedy fallback, never an error);
+//   - request conservation: every request is accounted as exactly one
+//     of hit, led, coalesced or wait-abort;
+//   - ladder conservation: every led request either solved or took the
+//     greedy floor, and injected failures decompose exactly into
+//     retries plus exhausted requests;
+//   - the cache never holds a degraded or invalid plan;
+//   - replaying the seed reproduces metrics, breaker state and the
+//     full returned-plan sequence bit for bit.
+type PlanHarness struct {
+	// Menu is the request set scenarios draw from; all requests are
+	// solver-free partition algorithms so thousands of chaos plans cost
+	// milliseconds, leaving the ladder logic — not the MIP — under
+	// test.
+	Menu []core.Options
+}
+
+// NewPlanHarness builds the default menu on the 2+2 commodity box.
+func NewPlanHarness() *PlanHarness {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	var menu []core.Options
+	for _, m := range []model.Config{model.GPT3B, model.GPT8B} {
+		menu = append(menu,
+			core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoMinStage},
+			core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoMaxStage},
+			core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoBalanced, BalancedStages: 4},
+			core.Options{Model: m, Topology: topo, PartitionAlgo: partition.AlgoBalanced, BalancedStages: 8},
+		)
+	}
+	return &PlanHarness{Menu: menu}
+}
+
+// PlanScenario is the derived configuration for one seed.
+type PlanScenario struct {
+	Spec             *fault.Spec
+	MaxAttempts      int
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Requests indexes the harness menu; Advances[i] is virtual time
+	// inserted before request i (letting breaker cooldowns elapse).
+	Requests []int
+	Advances []time.Duration
+}
+
+// PlanScenario derives the scenario for a seed. Everything is inside
+// documented ranges, so the spec always validates — asserted again per
+// run.
+func (h *PlanHarness) PlanScenario(seed int64) *PlanScenario {
+	rng := rand.New(rand.NewSource(seed))
+	spec := &fault.Spec{Seed: seed}
+	matches := []string{"3B", "8B", "*"}
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		spec.Planner = append(spec.Planner, fault.PlannerFault{
+			Match:       matches[rng.Intn(len(matches))],
+			Probability: 0.95 * rng.Float64(),
+			LatencyMS:   20 * rng.Float64(),
+			MaxFailures: rng.Intn(9), // 0 means the clause default
+		})
+	}
+	sc := &PlanScenario{
+		Spec:             spec,
+		MaxAttempts:      1 + rng.Intn(4),
+		BreakerThreshold: 1 + rng.Intn(3),
+		BreakerCooldown:  time.Duration(5+rng.Intn(25)) * time.Second,
+	}
+	n := 20 + rng.Intn(21)
+	for i := 0; i < n; i++ {
+		sc.Requests = append(sc.Requests, rng.Intn(len(h.Menu)))
+		var adv time.Duration
+		if rng.Intn(4) == 0 {
+			adv = time.Duration(rng.Intn(40)) * time.Second
+		}
+		sc.Advances = append(sc.Advances, adv)
+	}
+	return sc
+}
+
+// PlanRunStats is the deterministic outcome of one scenario execution.
+type PlanRunStats struct {
+	Metrics plansvc.Metrics
+	Breaker string
+	// PlanSeq fingerprints the full sequence of returned plans in
+	// request order; replays must reproduce it exactly.
+	PlanSeq string
+}
+
+// PlanReport is the outcome of one planning-chaos seed.
+type PlanReport struct {
+	Seed     int64
+	Scenario *PlanScenario
+	Stats    PlanRunStats
+}
+
+func (r *PlanReport) String() string {
+	m := r.Stats.Metrics
+	return fmt.Sprintf("plan chaos seed %d: %d requests, %d solves, %d retries, %d greedy, %d trips (breaker %s)",
+		r.Seed, m.Requests, m.Solves, m.Retries, m.GreedyFallbacks, m.BreakerTrips, r.Stats.Breaker)
+}
+
+// virtualClock advances only via Sleep and Advance, so backoff and
+// breaker cooldowns are deterministic and free.
+type virtualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (v *virtualClock) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.t
+}
+
+func (v *virtualClock) Sleep(_ context.Context, d time.Duration) {
+	v.Advance(d)
+}
+
+func (v *virtualClock) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.t = v.t.Add(d)
+	v.mu.Unlock()
+}
+
+// RunPlanning executes the planning-chaos scenario for a seed — serial
+// execution, invariant checks, and a bitwise replay — and returns a
+// non-nil error when any invariant is violated.
+func (h *PlanHarness) RunPlanning(seed int64) (*PlanReport, error) {
+	sc := h.PlanScenario(seed)
+	if err := sc.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: seed %d generated an invalid planner spec: %w", seed, err)
+	}
+
+	first, err := h.execute(sc)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
+	}
+	if err := h.checkPlanInvariants(sc, first); err != nil {
+		return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
+	}
+	replay, err := h.execute(sc)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: seed %d replay: %w", seed, err)
+	}
+	if first != replay {
+		return nil, fmt.Errorf("chaos: seed %d replay diverged:\n  first  %+v\n  replay %+v", seed, first, replay)
+	}
+	return &PlanReport{Seed: seed, Scenario: sc, Stats: first}, nil
+}
+
+// execute runs the scenario once on a fresh service and virtual clock.
+func (h *PlanHarness) execute(sc *PlanScenario) (PlanRunStats, error) {
+	vc := &virtualClock{t: time.Unix(1_700_000_000, 0)}
+	svc := plansvc.New(plansvc.Config{
+		Faults:           sc.Spec,
+		MaxAttempts:      sc.MaxAttempts,
+		BreakerThreshold: sc.BreakerThreshold,
+		BreakerCooldown:  sc.BreakerCooldown,
+		Now:              vc.Now,
+		Sleep:            vc.Sleep,
+	})
+	seq := ""
+	for i, mi := range sc.Requests {
+		if sc.Advances[i] > 0 {
+			vc.Advance(sc.Advances[i])
+		}
+		opts := h.Menu[mi]
+		plan, err := svc.PlanMobius(context.Background(), opts)
+		if err != nil {
+			return PlanRunStats{}, fmt.Errorf("request %d: %w", i, err)
+		}
+		if verr := plan.Validate(opts.Topology); verr != nil {
+			return PlanRunStats{}, fmt.Errorf("request %d returned an invalid plan: %w", i, verr)
+		}
+		seq += plansvc.Fingerprint(plan)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		return PlanRunStats{}, err
+	}
+	return PlanRunStats{Metrics: svc.Metrics(), Breaker: svc.BreakerState(), PlanSeq: foldSeq(seq)}, nil
+}
+
+// foldSeq collapses the concatenated fingerprint string to a short
+// stable digest.
+func foldSeq(s string) string {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// checkPlanInvariants asserts the ladder conservation identities on a
+// quiescent serial run.
+func (h *PlanHarness) checkPlanInvariants(sc *PlanScenario, st PlanRunStats) error {
+	m := st.Metrics
+	if err := m.ConservationError(); err != nil {
+		return err
+	}
+	if m.Requests != uint64(len(sc.Requests)) {
+		return fmt.Errorf("accounted %d requests, sent %d", m.Requests, len(sc.Requests))
+	}
+	// Serial execution never coalesces or aborts a wait.
+	if m.Coalesced != 0 || m.WaitAborts != 0 || m.Handoffs != 0 {
+		return fmt.Errorf("serial run coalesced=%d waitAborts=%d handoffs=%d, want 0", m.Coalesced, m.WaitAborts, m.Handoffs)
+	}
+	// Every led request either solved or took the greedy floor; no
+	// context deadlines exist on the virtual clock, so the solver never
+	// degrades mid-flight.
+	if m.Led != m.Solves+m.GreedyFallbacks {
+		return fmt.Errorf("ladder conservation violated: Led %d != Solves %d + GreedyFallbacks %d", m.Led, m.Solves, m.GreedyFallbacks)
+	}
+	if m.DeadlineFallbacks != 0 {
+		return fmt.Errorf("deadline fallbacks on a virtual clock: %d", m.DeadlineFallbacks)
+	}
+	// Injected failures decompose exactly: each retried attempt plus a
+	// final failure per exhausted request (breaker shorts never reach
+	// injection).
+	exhausted := m.GreedyFallbacks - m.BreakerShorted
+	if m.InjectedFailures != m.Retries+exhausted {
+		return fmt.Errorf("injection accounting violated: InjectedFailures %d != Retries %d + exhausted %d",
+			m.InjectedFailures, m.Retries, exhausted)
+	}
+	// A breaker short implies the breaker tripped at least once.
+	if m.BreakerShorted > 0 && m.BreakerTrips == 0 {
+		return fmt.Errorf("breaker shorted %d request(s) without ever tripping", m.BreakerShorted)
+	}
+	return nil
+}
+
+// RunPlanningConcurrent re-executes the scenario's request set with
+// conc goroutines on a fresh service. Outcome counts are
+// schedule-dependent (the breaker is shared global state), but the
+// structural invariants are not: conservation, ladder accounting and
+// cache validity must hold under any interleaving — this is the -race
+// surface for single-flight and breaker state.
+func (h *PlanHarness) RunPlanningConcurrent(seed int64, conc int) error {
+	sc := h.PlanScenario(seed)
+	vc := &virtualClock{t: time.Unix(1_700_000_000, 0)}
+	svc := plansvc.New(plansvc.Config{
+		Faults:           sc.Spec,
+		MaxAttempts:      sc.MaxAttempts,
+		BreakerThreshold: sc.BreakerThreshold,
+		BreakerCooldown:  sc.BreakerCooldown,
+		Now:              vc.Now,
+		Sleep:            vc.Sleep,
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, conc)
+	for g := 0; g < conc; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, mi := range sc.Requests {
+				opts := h.Menu[(mi+g)%len(h.Menu)]
+				plan, err := svc.PlanMobius(context.Background(), opts)
+				if err != nil {
+					errs[g] = fmt.Errorf("goroutine %d request %d: %w", g, i, err)
+					return
+				}
+				if verr := plan.Validate(opts.Topology); verr != nil {
+					errs[g] = fmt.Errorf("goroutine %d request %d invalid plan: %w", g, i, verr)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("chaos: seed %d concurrent: %w", seed, err)
+		}
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		return fmt.Errorf("chaos: seed %d concurrent: %w", seed, err)
+	}
+	m := svc.Metrics()
+	if err := m.ConservationError(); err != nil {
+		return fmt.Errorf("chaos: seed %d concurrent: %w", seed, err)
+	}
+	if m.Led != m.Solves+m.GreedyFallbacks {
+		return fmt.Errorf("chaos: seed %d concurrent: Led %d != Solves %d + GreedyFallbacks %d",
+			seed, m.Led, m.Solves, m.GreedyFallbacks)
+	}
+	return nil
+}

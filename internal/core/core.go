@@ -99,6 +99,40 @@ type Options struct {
 	// bounded retransmits for detected corruption, and a structured
 	// sim.CorruptionError when the budget is exhausted.
 	Checksums sim.ChecksumConfig
+	// Planner, when non-nil, computes the Mobius plan in place of a
+	// direct PlanMobiusCtx call: RunCtx and NewMobiusSession route
+	// planning through it, so an experiment grid or an elastic run can
+	// share one caching plansvc.Service. Plans are pure functions of the
+	// planning inputs, so a correct Planner never changes results — only
+	// cost and failure behavior.
+	Planner Planner `json:"-"`
+}
+
+// Planner computes Mobius execution plans. The default is the direct,
+// uncached PlanMobiusCtx; internal/plansvc implements Planner with a
+// content-addressed cache, single-flight deduplication, a degradation
+// ladder and a circuit breaker.
+type Planner interface {
+	PlanMobius(ctx context.Context, opts Options) (*Plan, error)
+}
+
+// PlannerFunc adapts a plain function to the Planner interface.
+type PlannerFunc func(ctx context.Context, opts Options) (*Plan, error)
+
+// PlanMobius implements Planner.
+func (f PlannerFunc) PlanMobius(ctx context.Context, opts Options) (*Plan, error) {
+	return f(ctx, opts)
+}
+
+// DefaultPlanner returns the direct planner backed by PlanMobiusCtx.
+func DefaultPlanner() Planner { return PlannerFunc(PlanMobiusCtx) }
+
+// planMobius routes planning through the configured Planner when set.
+func planMobius(ctx context.Context, opts Options) (*Plan, error) {
+	if opts.Planner != nil {
+		return opts.Planner.PlanMobius(ctx, opts)
+	}
+	return PlanMobiusCtx(ctx, opts)
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -119,6 +153,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	return o, nil
 }
+
+// Normalized returns the options with every planning default applied
+// (microbatches, partition algorithm, mapping scheme). The planning
+// service canonicalizes requests through it, so a zero-valued field and
+// its explicit default address the same cache entry.
+func (o Options) Normalized() (Options, error) { return o.withDefaults() }
 
 // PlanBandwidth returns the average effective transfer bandwidth B used
 // by the partition MIP: the narrower of a GPU link and its root complex.
@@ -215,14 +255,7 @@ func PlanMobiusCtx(ctx context.Context, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := partition.Params{
-		Profile:      prof,
-		NumGPUs:      opts.Topology.NumGPUs(),
-		Microbatches: opts.Microbatches,
-		GPUMem:       opts.Topology.GPUMem(0) * UsableMemFraction,
-		Bandwidth:    PlanBandwidth(opts.Topology),
-		Latency:      opts.Topology.TransferLatency,
-	}
+	params := planParams(prof, opts)
 
 	plan := &Plan{Profile: prof}
 	switch opts.PartitionAlgo {
@@ -278,6 +311,36 @@ func PlanMobiusCtx(ctx context.Context, opts Options) (*Plan, error) {
 		plan.PredictedStep = t
 	}
 	return plan, nil
+}
+
+// planParams derives the partition search parameters from a profiled
+// model and normalized options.
+func planParams(prof *profile.Profile, opts Options) partition.Params {
+	return partition.Params{
+		Profile:      prof,
+		NumGPUs:      opts.Topology.NumGPUs(),
+		Microbatches: opts.Microbatches,
+		GPUMem:       opts.Topology.GPUMem(0) * UsableMemFraction,
+		Bandwidth:    PlanBandwidth(opts.Topology),
+		Latency:      opts.Topology.TransferLatency,
+	}
+}
+
+// GreedyPlan computes the deterministic degraded plan directly: greedy
+// partition + sequential mapping, no solver involved. It is the plan
+// PlanMobiusCtx degrades to on an expired deadline and the floor of the
+// planning service's degradation ladder (internal/plansvc); reason is
+// recorded as the plan's FallbackReason.
+func GreedyPlan(opts Options, reason string) (*Plan, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.Run(opts.Model, opts.Topology.GPUs[0].Spec, opts.ProfileOptions)
+	if err != nil {
+		return nil, err
+	}
+	return fallbackPlan(&Plan{Profile: prof}, planParams(prof, opts), opts, errors.New(reason))
 }
 
 // fallbackPlan replaces whatever planning had produced so far with the
@@ -383,7 +446,7 @@ func RunCtx(ctx context.Context, system System, opts Options) (*StepReport, erro
 	var res *pipeline.Result
 	switch system {
 	case SystemMobius:
-		plan, err := PlanMobiusCtx(ctx, opts)
+		plan, err := planMobius(ctx, opts)
 		if err != nil {
 			return nil, err
 		}

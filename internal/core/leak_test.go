@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+)
+
+// TestPlanCancellationLeaksNoGoroutines audits PlanMobiusCtx's worker
+// shutdown: planning with contexts that are cancelled before, during and
+// after the MIP sweep must leave no worker or feeder goroutines behind.
+// The sweep joins its pool on every exit path (including the patience
+// break and the all-or-nothing cancellation return), so the goroutine
+// count must return to its pre-planning baseline.
+func TestPlanCancellationLeaksNoGoroutines(t *testing.T) {
+	topo := hw.Commodity(hw.RTX3090Ti, 2, 2)
+	// Warm the profiler/caches once so the baseline is not polluted by
+	// lazily started runtime helpers.
+	if _, err := PlanMobius(Options{Model: model.GPT8B, Topology: topo}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	run := func(ctx context.Context, m model.Config, par int) {
+		opts := Options{
+			Model:    m,
+			Topology: topo,
+			// Uncached so every iteration re-runs the pool; a small node
+			// budget keeps the unbounded solves short — the test is about
+			// shutdown, not solution quality.
+			MIP:         partition.MIPOptions{DisableCache: true, NodeLimit: 25, MaxStages: 12},
+			Parallelism: par,
+		}
+		plan, err := PlanMobiusCtx(ctx, opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if err := plan.Validate(topo); err != nil {
+			t.Fatalf("parallelism %d: invalid plan: %v", par, err)
+		}
+	}
+
+	for _, par := range []int{1, 4, 8} {
+		// Already-cancelled context: degrades to greedy before the pool
+		// even starts.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		run(ctx, model.GPT15B, par)
+
+		// Deadline that expires mid-sweep: workers must be joined before
+		// the degraded plan is returned.
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		run(ctx2, model.GPT15B, par)
+		cancel2()
+
+		// Unbounded run: the patience break cancels in-flight candidates;
+		// they too must be joined.
+		run(context.Background(), model.GPT8B, par)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("planning leaked goroutines: %d running, baseline %d\n%s", g, baseline, buf[:n])
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mobius/internal/fault"
@@ -37,7 +38,7 @@ func NewMobiusSession(opts Options) (*MobiusSession, error) {
 		return nil, fmt.Errorf("core: model states (%.0f GB) exceed DRAM capacity (%.0f GB)",
 			states/1e9, opts.Topology.DRAMBytes/1e9)
 	}
-	plan, err := PlanMobius(opts)
+	plan, err := planMobius(context.Background(), opts)
 	if err != nil {
 		return nil, err
 	}

@@ -94,6 +94,13 @@ type Config struct {
 	Microbatches int
 	// Parallelism bounds planner worker goroutines.
 	Parallelism int
+	// Planner, when non-nil, computes every plan of the run — the full
+	// machine's and the recovery's — in place of direct PlanMobiusCtx
+	// calls. With a prewarmed plansvc.Service here, the recovery re-plan
+	// is a cache lookup and ReplanSeconds collapses to microseconds;
+	// plans are pure functions of their inputs, so a correct Planner
+	// never changes what is planned, only what it costs.
+	Planner core.Planner
 }
 
 // RecoveryReport prices one elastic run. All durations are simulated
@@ -469,12 +476,16 @@ func planOn(cfg Config, topo *hw.Topology, mb int) (*core.Plan, error) {
 		ctx, cancel = context.WithTimeout(ctx, cfg.PlanDeadline)
 		defer cancel()
 	}
-	return core.PlanMobiusCtx(ctx, core.Options{
+	opts := core.Options{
 		Model:        cfg.Model,
 		Topology:     topo,
 		Microbatches: mb,
 		Parallelism:  cfg.Parallelism,
-	})
+	}
+	if cfg.Planner != nil {
+		return cfg.Planner.PlanMobius(ctx, opts)
+	}
+	return core.PlanMobiusCtx(ctx, opts)
 }
 
 // recoveryPlan derives the plan the run resumes with, per policy:

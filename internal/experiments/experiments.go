@@ -8,9 +8,27 @@ import (
 	"mobius/internal/core"
 	"mobius/internal/hw"
 	"mobius/internal/model"
+	"mobius/internal/plansvc"
 	"mobius/internal/sim"
 	"mobius/internal/trace"
 )
+
+// planService is the shared planner for every experiment cell. The
+// memoized runCache dedups identical (system, model, topology) cells,
+// but ablation, fault and checksum variants of the same cell still
+// re-plan the same inputs; routing them through one plan service turns
+// those repeat solves into validated cache hits. Options.Planner is not
+// part of runKey for the same reason it is excluded from plan cache
+// keys: a correct planner never changes what is planned. Warm starting
+// is off here: every distinct problem in the grids is solved exactly
+// once (then cached), and a cross-topology incumbent that prunes a
+// candidate to non-optimality forces the outcome-preserving cold
+// re-solve — all cost, no reuse.
+var planService = plansvc.New(plansvc.Config{DisableWarm: true})
+
+// PlanMetrics exposes the shared plan service's counters so drivers can
+// report how much planning work the grids actually deduplicated.
+func PlanMetrics() plansvc.Metrics { return planService.Metrics() }
 
 // Topologies of the main evaluation (§4 "GPU topologies"), ordered from
 // least to most communication contention.
@@ -66,6 +84,9 @@ func run(sys core.System, opts core.Options) (*core.StepReport, error) {
 		return r, nil
 	}
 	runMu.Unlock()
+	if opts.Planner == nil {
+		opts.Planner = planService
+	}
 	r, err := core.Run(sys, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,77 @@
+package fault
+
+import "testing"
+
+// TestPlannerAttemptDeterministicAndRuleOrdered pins the planner-fault
+// clause semantics: decisions are pure functions of (seed, key, rule,
+// attempt); the first matching rule wins; MaxFailures caps injected
+// failures so attempt MaxFailures always reaches the solver; and
+// different seeds decorrelate the failure pattern.
+func TestPlannerAttemptDeterministicAndRuleOrdered(t *testing.T) {
+	spec := &Spec{
+		Seed: 11,
+		Planner: []PlannerFault{
+			{Match: "15B", Probability: 0.9, LatencyMS: 20, MaxFailures: 2},
+			{Match: "*", Probability: 0, LatencyMS: 5},
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replays are bitwise-identical.
+	for attempt := 0; attempt < 4; attempt++ {
+		l1, f1 := spec.PlannerAttempt("15B", 0xfeed, attempt)
+		l2, f2 := spec.PlannerAttempt("15B", 0xfeed, attempt)
+		if l1 != l2 || f1 != f2 {
+			t.Fatalf("attempt %d not deterministic: (%v,%v) vs (%v,%v)", attempt, l1, f1, l2, f2)
+		}
+	}
+
+	// First matching rule decides: "15B" takes rule 0's latency, other
+	// models fall through to the wildcard.
+	if l, _ := spec.PlannerAttempt("15B", 1, 0); l != 0.020 {
+		t.Errorf("15B latency: got %v want 0.020", l)
+	}
+	if l, f := spec.PlannerAttempt("8B", 1, 0); l != 0.005 || f {
+		t.Errorf("8B should hit the zero-probability wildcard: latency %v fail %v", l, f)
+	}
+
+	// MaxFailures caps the injected failures: attempts past the cap never
+	// fail, whatever the hash says.
+	if _, f := spec.PlannerAttempt("15B", 0xfeed, 2); f {
+		t.Errorf("attempt at MaxFailures still failed")
+	}
+
+	// With probability 0.9 and 2 allowed failures, some key must fail at
+	// attempt 0 — and a different seed must produce a different pattern
+	// over enough keys.
+	fails := 0
+	flips := 0
+	other := &Spec{Seed: 12, Planner: spec.Planner}
+	for key := uint64(0); key < 64; key++ {
+		_, f1 := spec.PlannerAttempt("15B", key, 0)
+		_, f2 := other.PlannerAttempt("15B", key, 0)
+		if f1 {
+			fails++
+		}
+		if f1 != f2 {
+			flips++
+		}
+	}
+	if fails == 0 {
+		t.Errorf("probability 0.9 never failed over 64 keys")
+	}
+	if flips == 0 {
+		t.Errorf("seeds 11 and 12 produced identical failure patterns")
+	}
+
+	// A nil spec and a planner-free spec inject nothing.
+	var nilSpec *Spec
+	if l, f := nilSpec.PlannerAttempt("15B", 1, 0); l != 0 || f {
+		t.Errorf("nil spec injected something")
+	}
+	if (&Spec{}).Empty() != true || spec.Empty() {
+		t.Errorf("Empty() does not account for planner clauses")
+	}
+}

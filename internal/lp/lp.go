@@ -154,6 +154,20 @@ func (p *Problem) Clone() *Problem {
 	return q
 }
 
+// CloneInto copies p into dst, reusing dst's backing slices where their
+// capacity allows (constraint rows are shared, as in Clone). It returns
+// dst. Callers that clone once per branch-and-bound node use this with a
+// per-worker scratch Problem to avoid four allocations per node.
+func (p *Problem) CloneInto(dst *Problem) *Problem {
+	dst.n = p.n
+	dst.objective = append(dst.objective[:0], p.objective...)
+	dst.constraints = append(dst.constraints[:0], p.constraints...)
+	dst.lower = append(dst.lower[:0], p.lower...)
+	dst.upper = append(dst.upper[:0], p.upper...)
+	dst.buildErr = p.buildErr
+	return dst
+}
+
 // Solution is the result of a solve.
 type Solution struct {
 	Status    Status
@@ -169,10 +183,32 @@ const (
 // ErrBadProblem reports a structurally invalid problem.
 var ErrBadProblem = errors.New("lp: invalid problem")
 
+// Scratch is reusable solver working memory: the dense tableau, the row
+// workspace, and the sign-flip term arena. A Scratch may serve any
+// number of sequential SolveWith calls (it grows to the largest problem
+// seen) but must not be shared by concurrent solves — pool one per
+// worker goroutine.
+type Scratch struct {
+	a      []float64
+	obj    []float64
+	basis  []int
+	banned []bool
+	rows   []rowSpec
+	terms  []Term
+}
+
 // Solve runs the two-phase simplex and returns a solution. The Status
 // field distinguishes optimal, infeasible and unbounded outcomes; Solve
 // returns a non-nil error only for structurally invalid input.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveWith(nil)
+}
+
+// SolveWith is Solve with caller-owned scratch memory: the tableau and
+// row workspace come from sc (grown as needed) instead of fresh
+// allocations, removing the dominant allocation from hot
+// branch-and-bound loops. A nil sc behaves exactly like Solve.
+func (p *Problem) SolveWith(sc *Scratch) (*Solution, error) {
 	if p.buildErr != nil {
 		return nil, p.buildErr
 	}
@@ -189,7 +225,10 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 	}
 
-	t := newTableau(p)
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	t := newTableau(p, sc)
 	st := t.phase1()
 	if st != Optimal {
 		return &Solution{Status: st}, nil

@@ -33,10 +33,45 @@ type rowSpec struct {
 	rhs   float64
 }
 
-func newTableau(p *Problem) *tableau {
+// growFloats returns a zeroed float slice of length n, reusing s's
+// backing array when its capacity allows.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func newTableau(p *Problem, sc *Scratch) *tableau {
 	// Gather rows: explicit constraints plus upper-bound rows, with lower
 	// bounds substituted out.
-	var rows []rowSpec
+	rows := sc.rows[:0]
 	for _, c := range p.constraints {
 		rhs := c.rhs
 		for _, tm := range c.terms {
@@ -44,10 +79,29 @@ func newTableau(p *Problem) *tableau {
 		}
 		rows = append(rows, rowSpec{terms: c.terms, rel: c.rel, rhs: rhs})
 	}
+	// Size the term arena before taking subslices: a later append must not
+	// move earlier rows' term storage. Negative-rhs constraint rows need a
+	// sign-flipped copy; each finite upper bound needs a one-term row.
+	need := 0
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			need += len(rows[i].terms)
+		}
+	}
 	for i := 0; i < p.n; i++ {
 		if !math.IsInf(p.upper[i], 1) {
+			need++
+		}
+	}
+	arena := sc.terms[:0]
+	if cap(arena) < need {
+		arena = make([]Term, 0, need)
+	}
+	for i := 0; i < p.n; i++ {
+		if !math.IsInf(p.upper[i], 1) {
+			arena = append(arena, Term{Var: i, Coeff: 1})
 			rows = append(rows, rowSpec{
-				terms: []Term{{Var: i, Coeff: 1}},
+				terms: arena[len(arena)-1 : len(arena) : len(arena)],
 				rel:   LE,
 				rhs:   p.upper[i] - p.lower[i],
 			})
@@ -61,11 +115,11 @@ func newTableau(p *Problem) *tableau {
 	for i := range rows {
 		if rows[i].rhs < 0 {
 			// Flip the row so RHS >= 0.
-			flipped := make([]Term, len(rows[i].terms))
-			for k, tm := range rows[i].terms {
-				flipped[k] = Term{Var: tm.Var, Coeff: -tm.Coeff}
+			start := len(arena)
+			for _, tm := range rows[i].terms {
+				arena = append(arena, Term{Var: tm.Var, Coeff: -tm.Coeff})
 			}
-			rows[i].terms = flipped
+			rows[i].terms = arena[start:len(arena):len(arena)]
 			rows[i].rhs = -rows[i].rhs
 			switch rows[i].rel {
 			case LE:
@@ -84,18 +138,24 @@ func newTableau(p *Problem) *tableau {
 			nArt++
 		}
 	}
+	sc.rows = rows
+	sc.terms = arena
 
 	total := p.n + nSlack + nArt
+	sc.a = growFloats(sc.a, m*(total+1))
+	sc.obj = growFloats(sc.obj, total+1)
+	sc.basis = growInts(sc.basis, m)
+	sc.banned = growBools(sc.banned, total)
 	t := &tableau{
 		p:       p,
 		m:       m,
 		total:   total,
 		nArt:    nArt,
 		artAt:   p.n + nSlack,
-		a:       make([]float64, m*(total+1)),
-		obj:     make([]float64, total+1),
-		basis:   make([]int, m),
-		banned:  make([]bool, total),
+		a:       sc.a,
+		obj:     sc.obj,
+		basis:   sc.basis,
+		banned:  sc.banned,
 		maxIter: 200 * (m + p.n + 10),
 	}
 

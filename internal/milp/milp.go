@@ -38,7 +38,25 @@ type Options struct {
 	// caller running several solves concurrently stop work whose outcome
 	// it already knows it will discard.
 	Cancel func() bool
+	// Scratch, when non-nil, supplies pooled working memory for the
+	// per-node LP clone and simplex tableau. One scratch serves one
+	// worker goroutine across any number of Solve calls; concurrent
+	// sharing is not safe.
+	Scratch *Scratch
 }
+
+// Scratch pools the branch-and-bound working memory: the LP problem
+// clone mutated per node and the simplex solver's tableau. Reuse across
+// sequential Solve calls is safe and removes the dominant allocations of
+// the search; concurrent sharing is not safe.
+type Scratch struct {
+	lp   lp.Scratch
+	prob lp.Problem
+}
+
+// NewScratch returns an empty scratch that grows to the largest problem
+// it solves.
+func NewScratch() *Scratch { return &Scratch{} }
 
 func (o Options) withDefaults() Options {
 	if o.MaxNodes <= 0 {
@@ -95,8 +113,12 @@ func Solve(p *lp.Problem, intVars []int, opts Options) (*Result, error) {
 	res := &Result{Status: lp.IterLimit, Objective: opts.Incumbent}
 	var bestX []float64
 
+	sc := opts.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
 	relax := func(fixes map[int][2]float64) (*lp.Solution, error) {
-		q := p.Clone()
+		q := p.CloneInto(&sc.prob)
 		for v, b := range fixes {
 			lo, hi := q.Bounds(v)
 			if b[0] > lo {
@@ -107,7 +129,7 @@ func Solve(p *lp.Problem, intVars []int, opts Options) (*Result, error) {
 			}
 			q.SetBounds(v, lo, hi)
 		}
-		return q.Solve()
+		return q.SolveWith(&sc.lp)
 	}
 
 	// fractional returns the integer variable furthest from integrality.

@@ -46,7 +46,23 @@ type MIPOptions struct {
 	// experiments. The overhead benchmark (Figure 12) disables the cache
 	// to measure true solve time.
 	DisableCache bool
+	// Warm, when non-nil, warm-starts the sweep from a previously solved
+	// partition of a nearby problem: its stage boundaries are re-evaluated
+	// under the current params and, when feasible, seal the shared
+	// branch-and-bound incumbent bound before the fan-out and compete as
+	// an explicit candidate. A candidate solve that exhausts its limits
+	// under the warm-tightened bound is re-solved cold, so warm starting
+	// changes solve effort, never the sweep outcome. The warm partition is
+	// never mutated.
+	Warm *Partition
 }
+
+// Normalized returns the options with every solver default applied for a
+// model with the given transformer-block count, exactly as the sweep
+// itself applies them. The planning service canonicalizes MIP options
+// through it so a zero-valued field and its explicit default hash to the
+// same cache key.
+func (o MIPOptions) Normalized(blocks int) MIPOptions { return o.withDefaults(blocks) }
 
 func (o MIPOptions) withDefaults(blocks int) MIPOptions {
 	if o.MaxStages <= 0 {
@@ -95,6 +111,12 @@ type MIPStats struct {
 	// MaxStages) beat every MIP candidate — the regime of Figure 9's
 	// second observation.
 	UsedMinStageFallback bool
+	// WarmStart is true when a feasible warm partition sealed the shared
+	// incumbent bound before the fan-out.
+	WarmStart bool
+	// WarmWon is true when the warm partition itself beat every sweep
+	// candidate and is the returned partition.
+	WarmWon bool
 }
 
 // blockStats extracts the compressed per-group statistics the MILP is
@@ -170,9 +192,14 @@ func MIPCtx(ctx context.Context, params Params, opts MIPOptions) (*Partition, *M
 	if !opts.DisableCache {
 		// Parallelism does not change the result, so it is stripped from
 		// the cache key: runs at different worker counts share entries.
+		// The warm pointer is replaced by a fingerprint of its stage
+		// boundaries: identical warm shapes share an entry regardless of
+		// which allocation supplied them.
 		kopts := opts
 		kopts.Parallelism = 0
+		kopts.Warm = nil
 		key := mipKey{
+			warm: warmFingerprint(opts.Warm),
 			model:     params.Profile.Model,
 			gpu:       params.Profile.GPU.Name,
 			n:         params.NumGPUs,
@@ -207,7 +234,21 @@ type mipKey struct {
 	mem       float64
 	bandwidth float64
 	latency   float64
+	warm      string
 	opts      MIPOptions
+}
+
+// warmFingerprint canonicalizes a warm partition to its stage boundary
+// shape for cache keying.
+func warmFingerprint(p *Partition) string {
+	if p == nil {
+		return ""
+	}
+	var b []byte
+	for _, st := range p.Stages {
+		b = append(b, fmt.Sprintf("%d-%d;", st.First, st.Last)...)
+	}
+	return string(b)
 }
 
 type mipCacheEntry struct {
@@ -286,8 +327,8 @@ func mipSolve(ctx context.Context, params Params, opts MIPOptions) (*Partition, 
 		inc      float64
 	}
 	seeds := make([]seeded, len(cands))
-	var bound atomicBound
-	bound.store(math.Inf(1))
+	var coldBound atomicBound
+	coldBound.store(math.Inf(1))
 	for i, s := range cands {
 		balanced, balErr := Balanced(params, s)
 		if balErr != nil {
@@ -299,7 +340,29 @@ func mipSolve(ctx context.Context, params Params, opts MIPOptions) (*Partition, 
 			// Seed with slack: the analytic evaluator and the LP agree on
 			// the model, but the seed must never over-prune the optimum.
 			seeds[i].inc = (t - bs.tbEmb) * 1.001
-			bound.min(seeds[i].inc)
+			coldBound.min(seeds[i].inc)
+		}
+	}
+
+	// Warm start: re-evaluate the warm partition's stage boundaries under
+	// the current profile; when feasible, its (slacked) objective value
+	// joins the sealed bound and the shape competes as an explicit
+	// candidate after the sweep. Rebuilding from boundaries recomputes all
+	// per-stage statistics, so a warm shape solved on a different topology
+	// or GPU spec cannot smuggle stale costs in.
+	warmBound := coldBound.load()
+	var warmPart *Partition
+	if opts.Warm != nil {
+		sizes := make([]int, len(opts.Warm.Stages))
+		for i, st := range opts.Warm.Stages {
+			sizes[i] = st.NumLayers()
+		}
+		if wc, wErr := FromBoundaries(params.Profile, sizes, AlgoMIP); wErr == nil {
+			if t, tErr := StepTime(params, wc); tErr == nil && !math.IsInf(t, 1) {
+				warmPart = wc
+				stats.WarmStart = true
+				warmBound = math.Min(warmBound, (t-bs.tbEmb)*1.001)
+			}
 		}
 	}
 
@@ -328,26 +391,47 @@ func mipSolve(ctx context.Context, params Params, opts MIPOptions) (*Partition, 
 	var cancelled atomic.Bool
 	abort := func() bool { return cancelled.Load() || ctx.Err() != nil }
 	work := make(chan int)
+	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
+			// Solver scratch is pooled per worker: every candidate this
+			// worker solves reuses one tableau and one LP clone.
+			sc := milp.NewScratch()
 			for i := range work {
 				if abort() {
 					results[i] <- solveRes{} // discarded by the replay
 					continue
 				}
 				start := time.Now()
-				inc := math.Min(seeds[i].inc, bound.load())
-				part, nodes, err := solveOne(params, bs, cands[i], opts, inc, seeds[i].balanced, abort)
+				incCold := math.Min(seeds[i].inc, coldBound.load())
+				inc := math.Min(incCold, warmBound)
+				part, nodes, optimal, err := solveOne(params, bs, cands[i], opts, inc, seeds[i].balanced, abort, sc)
+				if err == nil && !optimal && inc < incCold && !abort() {
+					// The warm-tightened bound may have pruned this
+					// candidate's whole search; re-solve with the cold seed
+					// so warm starting never changes the sweep outcome.
+					var n2 int
+					part, n2, _, err = solveOne(params, bs, cands[i], opts, incCold, seeds[i].balanced, abort, sc)
+					nodes += n2
+				}
 				results[i] <- solveRes{part: part, nodes: nodes, dur: time.Since(start), err: err}
 			}
 		}()
 	}
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		for i := range cands {
 			work <- i
 		}
 		close(work)
 	}()
+	// All exit paths join the pool: workers poll abort between nodes, so a
+	// cancelled sweep shuts down promptly and leaks nothing (the replay
+	// below sets cancelled before every early return).
+	defer wg.Wait()
 
 	// Replay completed solves in candidate order, applying the serial
 	// patience rule, so both the chosen partition and the reported stats
@@ -392,6 +476,16 @@ func mipSolve(ctx context.Context, params Params, opts MIPOptions) (*Partition, 
 		}
 	}
 
+	// The warm shape competes last and loses ties, so a warm start can
+	// only win where the sweep found nothing at least as good — adding a
+	// warm hint never worsens and (on ties) never alters the result.
+	if warmPart != nil {
+		if err := consider(warmPart, len(warmPart.Stages), true); err != nil {
+			return nil, nil, err
+		}
+		stats.WarmWon = best == warmPart
+	}
+
 	// A deadline that expired mid-sweep invalidates the whole result, even
 	// if some candidates finished: which ones did is timing-dependent, and
 	// the contract is all-or-nothing (see ErrCancelled).
@@ -410,8 +504,12 @@ func mipSolve(ctx context.Context, params Params, opts MIPOptions) (*Partition, 
 // incumbent objective (already in the MILP's objective space) and the
 // balanced-heuristic fallback partition are computed by the caller so
 // they can be shared across concurrent solves; cancel is polled by
-// the solver to abandon work whose result the sweep will discard.
-func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent float64, balanced *Partition, cancel func() bool) (*Partition, int, error) {
+// the solver to abandon work whose result the sweep will discard; sc is
+// the calling worker's pooled solver scratch. The optimal result
+// reports whether the MILP itself produced the partition (false means
+// limits were hit and the balanced fallback — possibly nil — stands in,
+// which the caller may retry with a looser incumbent).
+func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent float64, balanced *Partition, cancel func() bool, sc *milp.Scratch) (part *Partition, nodes int, optimal bool, err error) {
 	N := params.NumGPUs
 	M := params.Microbatches
 	G := params.GPUMem * 1e-9    // GB
@@ -467,7 +565,9 @@ func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent f
 			lo = 0 // embedding/head alone is a valid stage
 		}
 		if hi < lo {
-			return nil, 0, nil // a single block cannot fit: infeasible S
+			// A single block cannot fit: infeasible S, independent of any
+			// incumbent, so the caller must not retry.
+			return nil, 0, true, nil
 		}
 		p.SetBounds(nVarAt(j), lo, hi)
 	}
@@ -592,7 +692,7 @@ func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent f
 	for j := 0; j < S; j++ {
 		intVars[j] = j
 	}
-	mopts := milp.Options{MaxNodes: opts.NodeLimit, TimeLimit: opts.TimeLimit, GapTol: mipGapTol}
+	mopts := milp.Options{MaxNodes: opts.NodeLimit, TimeLimit: opts.TimeLimit, GapTol: mipGapTol, Scratch: sc}
 	if !math.IsInf(incumbent, 1) {
 		mopts.Incumbent = incumbent
 		mopts.IncumbentSet = true
@@ -603,15 +703,15 @@ func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent f
 
 	res, err := milp.Solve(p, intVars, mopts)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if res.Status != lp.Optimal {
 		// Limits hit with no MILP incumbent: fall back to the balanced
 		// heuristic so the sweep still has a candidate for this S.
 		if balanced != nil {
-			return balanced, res.Nodes, nil
+			return balanced, res.Nodes, false, nil
 		}
-		return nil, res.Nodes, nil
+		return nil, res.Nodes, false, nil
 	}
 
 	sizes := make([]int, S)
@@ -620,9 +720,9 @@ func solveOne(params Params, bs *blockStats, S int, opts MIPOptions, incumbent f
 	}
 	sizes[0]++   // embedding layer
 	sizes[S-1]++ // head layer
-	part, err := FromBoundaries(params.Profile, sizes, AlgoMIP)
+	part, err = FromBoundaries(params.Profile, sizes, AlgoMIP)
 	if err != nil {
-		return nil, res.Nodes, err
+		return nil, res.Nodes, false, err
 	}
-	return part, res.Nodes, nil
+	return part, res.Nodes, true, nil
 }

@@ -1,0 +1,86 @@
+package plansvc
+
+import "time"
+
+// breakerState is the circuit breaker's position.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker trips the ladder to its greedy floor after repeated planning
+// failures (deadline blowups, exhausted transient retries). While open,
+// requests short-circuit to greedy; once the cooldown elapses the next
+// request becomes a half-open probe — its solve going through closes
+// the breaker, another failure reopens it for a fresh cooldown. Time
+// comes from the service's injectable clock, so tests and the chaos
+// harness drive the state machine deterministically. Caller holds s.mu
+// for every method.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    breakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+}
+
+// allow reports whether this request may attempt a real solve, and
+// whether that attempt is the half-open probe. An open breaker past its
+// cooldown transitions to half-open and admits exactly one probe;
+// requests arriving while the probe is out take the greedy floor.
+func (b *breaker) allow() (ok, probe bool) {
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // half-open: probe already in flight
+		return false, false
+	}
+}
+
+// success records a non-degraded solve; any probe success closes the
+// breaker.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// failure records a planning failure and reports whether it tripped the
+// breaker open (including a failed probe re-opening it).
+func (b *breaker) failure() (tripped bool) {
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		return true
+	}
+	b.fails++
+	if b.state == breakerClosed && b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.fails = 0
+		return true
+	}
+	return false
+}

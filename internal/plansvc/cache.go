@@ -1,0 +1,131 @@
+package plansvc
+
+import (
+	"fmt"
+
+	"mobius/internal/core"
+	"mobius/internal/hw"
+	"mobius/internal/partition"
+)
+
+// entry is one cached plan. Cached plans are treated as immutable by
+// the service and must be by callers; the MIP warm-start path rebuilds
+// partitions from stage boundaries, so borrowing an incumbent never
+// mutates the entry either.
+type entry struct {
+	plan *core.Plan
+	// topo is the topology the plan was computed for; hits re-validate
+	// against the requester's topology, which keys guarantee is
+	// content-identical.
+	topo *hw.Topology
+	// modelSig / numGPUs index the entry for the nearest-incumbent
+	// search; key breaks ties deterministically.
+	modelSig uint64
+	numGPUs  int
+	key      Key
+}
+
+// cacheGet returns the cached plan for key after re-validating it
+// against the request's topology. A plan that fails validation —
+// corrupt in place, or stale relative to the topology it is asked to
+// serve — is dropped so the request degrades to a recompute. Caller
+// holds s.mu.
+func (s *Service) cacheGet(req *Request) (*core.Plan, bool) {
+	e, ok := s.cache[req.Key]
+	if !ok {
+		return nil, false
+	}
+	if err := e.plan.Validate(req.Opts.Topology); err != nil {
+		delete(s.cache, req.Key)
+		s.m.ValidateDrops++
+		return nil, false
+	}
+	return e.plan, true
+}
+
+// cachePut stores a non-degraded plan. Caller holds s.mu.
+func (s *Service) cachePut(req *Request, plan *core.Plan) {
+	s.cache[req.Key] = &entry{
+		plan:     plan,
+		topo:     req.Opts.Topology,
+		modelSig: req.ModelSig,
+		numGPUs:  req.Opts.Topology.NumGPUs(),
+		key:      req.Key,
+	}
+}
+
+// CheckInvariants verifies the structural invariants of the service's
+// state: every cached plan is complete, non-degraded (fallback plans
+// are never cached) and valid for its topology. The chaos harness calls
+// it after every scenario.
+func (s *Service) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range s.cache {
+		if e.plan == nil {
+			return fmt.Errorf("plansvc: cache entry %s holds a nil plan", k)
+		}
+		if e.plan.Fallback {
+			return fmt.Errorf("plansvc: degraded plan cached under %s (%s)", k, e.plan.FallbackReason)
+		}
+		if err := e.plan.Validate(e.topo); err != nil {
+			return fmt.Errorf("plansvc: cache entry %s invalid: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// nearestWarm picks the cached incumbent nearest to the request: same
+// model content, minimal GPU-count distance, ties broken toward the
+// smaller machine and then by key — a total order, so the choice is
+// deterministic whatever the map iteration order. Only MIP-planned
+// partitions are borrowed (a greedy or balanced shape would still be
+// outcome-preserving, but it is a uselessly loose incumbent). Caller
+// holds s.mu.
+func (s *Service) nearestWarm(req *Request) *partition.Partition {
+	var best *entry
+	for _, e := range s.cache {
+		if e.modelSig != req.ModelSig || e.key == req.Key {
+			continue
+		}
+		if e.plan.Partition == nil || e.plan.Partition.Algorithm != partition.AlgoMIP {
+			continue
+		}
+		if best == nil || closerWarm(e, best, req.Opts.Topology.NumGPUs()) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.plan.Partition
+}
+
+// closerWarm reports whether a beats b as a warm incumbent for an
+// n-GPU request.
+func closerWarm(a, b *entry, n int) bool {
+	da, db := absInt(a.numGPUs-n), absInt(b.numGPUs-n)
+	if da != db {
+		return da < db
+	}
+	if a.numGPUs != b.numGPUs {
+		return a.numGPUs < b.numGPUs
+	}
+	return lessKey(a.key, b.key)
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func lessKey(a, b Key) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package plansvc
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mobius/internal/core"
+	"mobius/internal/elastic"
+	"mobius/internal/fault"
+	"mobius/internal/model"
+)
+
+// TestElasticRecoveryIsZeroSolveWithPrewarm is the tentpole acceptance
+// test for speculative pre-planning: after Prewarm, an elastic run that
+// loses a GPU recovers without a single planner solve — both the full
+// plan and the recovery re-plan are validated cache hits — the re-plan
+// term collapses to lookup latency, and the recovery accounting
+// identity still balances exactly.
+func TestElasticRecoveryIsZeroSolveWithPrewarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MIP solves in -short mode")
+	}
+	topo := topo22()
+	svc := New(Config{})
+	opts := core.Options{Model: model.GPT3B, Topology: topo}
+
+	rep, err := svc.Prewarm(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Survivors != 2 {
+		t.Fatalf("prewarm: %+v, want 2 survivor plans on the symmetric box", rep)
+	}
+
+	// Nominal step (planned through the service: a cache hit) to place
+	// the failure onset.
+	nominal, err := core.Run(core.SystemMobius, core.Options{Model: model.GPT3B, Topology: topo, Planner: svc})
+	if err != nil || nominal.OOM {
+		t.Fatalf("nominal run: err=%v oom=%v", err, nominal.OOM)
+	}
+	step := nominal.StepTime
+
+	before := svc.Metrics()
+
+	rec, err := elastic.Run(elastic.Config{
+		Model:           model.GPT3B,
+		Topology:        topo,
+		Steps:           8,
+		CheckpointEvery: 2,
+		Policy:          elastic.PolicyReplan,
+		Planner:         svc,
+		Faults: &fault.Spec{
+			GPUFails: []fault.GPUFailFault{{GPU: 1, At: 4.6 * step}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Lost == nil || rec.FailedStep == 0 {
+		t.Fatalf("failure did not fire: %+v", rec)
+	}
+
+	after := svc.Metrics()
+	checkConservation(t, after)
+	if after.Solves != before.Solves {
+		t.Errorf("recovery path performed %d planner solve(s); want 0 (all cache hits)",
+			after.Solves-before.Solves)
+	}
+	if hits := after.Hits - before.Hits; hits < 2 {
+		t.Errorf("recovery path recorded %d cache hits, want >= 2 (full plan + re-plan)", hits)
+	}
+	if rec.ReplanFallback {
+		t.Errorf("prewarmed re-plan degraded to fallback: %+v", rec)
+	}
+	// The re-plan term is now lookup latency. Anything near a solver
+	// timescale means the cache was missed.
+	if rec.ReplanSeconds > 0.05 {
+		t.Errorf("ReplanSeconds = %gs; a warmed re-plan should be a cache lookup", rec.ReplanSeconds)
+	}
+
+	// The accounting identity holds with the collapsed re-plan term.
+	if diff := math.Abs(rec.TotalTime - rec.AccountedTotal()); diff > 1e-9*rec.TotalTime {
+		t.Errorf("accounting identity broken: total %.12f vs accounted %.12f (diff %g)",
+			rec.TotalTime, rec.AccountedTotal(), diff)
+	}
+	if rec.SurvivorStep < rec.PlainStep {
+		t.Errorf("survivor step %g faster than full-machine step %g", rec.SurvivorStep, rec.PlainStep)
+	}
+}

@@ -1,0 +1,214 @@
+// Package plansvc is a hardened planning service in front of the Mobius
+// planner (core.PlanMobiusCtx). Plans are pure functions of (model,
+// topology, planning options), so the service can be aggressive about
+// reuse without ever changing a result:
+//
+//   - a content-addressed plan cache keyed by a canonical hash of the
+//     planning inputs, with Plan.Validate re-checked on every hit so a
+//     corrupt or stale entry degrades to a recompute instead of serving
+//     garbage;
+//   - single-flight deduplication: N concurrent requests for the same
+//     key cost one solve, and a leader whose own context dies hands the
+//     key off to a waiter instead of poisoning it;
+//   - a deadline-aware degradation ladder — exact cache hit, then a
+//     warm-started MIP seeded from the nearest cached incumbent, then
+//     the deterministic greedy fallback — with bounded retries,
+//     exponential backoff and deterministic jitter for transient solver
+//     failures, and a circuit breaker that trips to greedy-only after
+//     repeated deadline blowups and half-opens on a probe;
+//   - speculative pre-planning of every surviving single-GPU-loss
+//     topology, so an elastic recovery's re-plan is a cache lookup.
+//
+// Planner-side failures are part of the fault-injection surface: a
+// fault.Spec planner clause injects solver latency and transient errors
+// (fault.Spec.PlannerAttempt), which the chaos suite drives through the
+// ladder under -race.
+package plansvc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"math"
+
+	"mobius/internal/core"
+)
+
+// Key is the content address of a planning request: a SHA-256 over the
+// canonical encoding of every input the plan is a function of.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Uint64 folds the key to 64 bits for hash-streamed decisions (fault
+// injection, backoff jitter).
+func (k Key) Uint64() uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// Request is a canonicalized planning request: options with every
+// planning default applied, plus the content key derived from them.
+type Request struct {
+	// Opts are the normalized options; two requests with equal keys have
+	// semantically identical Opts.
+	Opts core.Options
+	// Key is the content address.
+	Key Key
+	// ModelSig hashes the model content alone; the warm-start index
+	// groups cache entries by it so an incumbent is only ever borrowed
+	// across topologies of the same model.
+	ModelSig uint64
+}
+
+// NewRequest canonicalizes opts and computes its content key.
+//
+// The encoding is by construction independent of how the caller spelled
+// the inputs: fields are hashed in a fixed order, defaults are applied
+// first (core.Options.Normalized, partition.MIPOptions.Normalized), and
+// floats are hashed as their IEEE-754 bits, so 13.1e9 and 13100000000.0
+// address the same entry. Labels (model and topology names, GPU product
+// names, prices) are excluded — content, not naming, addresses the
+// cache. Also excluded is everything a plan provably does not depend
+// on: Parallelism (plans are identical at every level), fault and
+// integrity scenarios, checkpoint policy, the prefetch ablation flags
+// (execution-time, not plan-time), the Planner itself, and the MIP
+// cache/warm-start controls (warm starting is outcome-preserving by
+// construction).
+func NewRequest(opts core.Options) (*Request, error) {
+	norm, err := opts.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	norm.MIP = norm.MIP.Normalized(norm.Model.Layers)
+	if norm.ProfileOptions.Repeats <= 0 {
+		norm.ProfileOptions.Repeats = 3
+	}
+
+	w := newHasher()
+	w.str("plansvc/v1")
+
+	w.str("model")
+	mw := newHasher()
+	for _, h := range []*hasher{w, mw} {
+		h.ints(norm.Model.Layers, norm.Model.Hidden, norm.Model.Heads,
+			norm.Model.VocabSize, norm.Model.SeqLen, norm.Model.MicrobatchSize)
+	}
+
+	topo := norm.Topology
+	w.str("topo")
+	w.ints(len(topo.GPUs))
+	for _, g := range topo.GPUs {
+		w.ints(g.RootComplex)
+		w.f64s(g.Spec.MemBytes, g.Spec.FP16TFLOPS, g.Spec.Efficiency, g.Spec.LinkBW)
+		w.bools(g.Spec.P2P)
+	}
+	w.ints(len(topo.RootComplexBW))
+	w.f64s(topo.RootComplexBW...)
+	w.f64s(topo.DRAMBW, topo.DRAMBytes, topo.NVLinkBW, topo.TransferLatency, topo.SSDBW, topo.SSDBytes)
+
+	w.str("opts")
+	w.ints(norm.Microbatches, norm.BalancedStages)
+	w.str(norm.PartitionAlgo)
+	w.str(norm.MappingScheme)
+
+	w.str("mip")
+	w.ints(norm.MIP.MaxStages, norm.MIP.Patience, norm.MIP.NodeLimit, int(norm.MIP.TimeLimit))
+
+	w.str("profile")
+	w.ints(norm.ProfileOptions.Repeats)
+	w.bools(norm.ProfileOptions.DisableSimilarity)
+
+	return &Request{Opts: norm, Key: w.sum(), ModelSig: mw.sumLow()}, nil
+}
+
+// KeyOf is NewRequest reduced to the key.
+func KeyOf(opts core.Options) (Key, error) {
+	req, err := NewRequest(opts)
+	if err != nil {
+		return Key{}, err
+	}
+	return req.Key, nil
+}
+
+// hasher is an incremental canonical encoder over SHA-256.
+type hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newHasher() *hasher { return &hasher{h: sha256.New()} }
+
+func (w *hasher) u64(v uint64) {
+	binary.BigEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *hasher) ints(vs ...int) {
+	for _, v := range vs {
+		w.u64(uint64(int64(v)))
+	}
+}
+
+func (w *hasher) f64s(vs ...float64) {
+	for _, v := range vs {
+		w.u64(math.Float64bits(v))
+	}
+}
+
+func (w *hasher) bools(vs ...bool) {
+	for _, v := range vs {
+		if v {
+			w.u64(1)
+		} else {
+			w.u64(0)
+		}
+	}
+}
+
+func (w *hasher) str(s string) {
+	w.u64(uint64(len(s)))
+	io.WriteString(w.h, s)
+}
+
+func (w *hasher) sum() Key {
+	var k Key
+	w.h.Sum(k[:0])
+	return k
+}
+
+// sumLow is the first 64 bits of the current digest.
+func (w *hasher) sumLow() uint64 {
+	var k Key
+	w.h.Sum(k[:0])
+	return binary.BigEndian.Uint64(k[:8])
+}
+
+// Fingerprint hashes the deterministic content of a plan — partition
+// stages, mapping, predicted step, fallback state — excluding the
+// wall-clock measurements (CrossMapTime, MIPStats.SolveTime). Two plans
+// with equal fingerprints are the same plan for every consumer of the
+// service; determinism and chaos tests compare fingerprints across
+// replays and concurrency levels.
+func Fingerprint(p *core.Plan) string {
+	w := newHasher()
+	if p == nil {
+		w.str("nil")
+		k := w.sum()
+		return k.String()
+	}
+	w.str(p.Partition.Algorithm)
+	w.ints(len(p.Partition.Stages))
+	for _, st := range p.Partition.Stages {
+		w.ints(st.First, st.Last, st.Blocks)
+		w.f64s(st.FwdTime, st.BwdTime, st.ParamBytes, st.GradBytes,
+			st.ActInBytes, st.ActOutBytes, st.WorkingBytes)
+	}
+	w.ints(p.Mapping.NumStages)
+	w.ints(p.Mapping.Perm...)
+	w.f64s(p.PredictedStep)
+	w.bools(p.Fallback)
+	w.str(p.FallbackReason)
+	k := w.sum()
+	return k.String()
+}

@@ -1,0 +1,76 @@
+package plansvc
+
+import (
+	"context"
+	"fmt"
+
+	"mobius/internal/core"
+	"mobius/internal/elastic"
+	"mobius/internal/fault"
+)
+
+// PrewarmReport summarizes one speculative pre-planning pass.
+type PrewarmReport struct {
+	// Full is the key of the intact-topology plan.
+	Full Key
+	// Survivors counts distinct surviving topologies planned (after
+	// key deduplication).
+	Survivors int
+	// Deduped counts single-GPU-loss scenarios whose surviving machine
+	// keyed to an already-planned entry (symmetric losses collapse).
+	Deduped int
+	// Unsurvivable counts GPU losses that leave no usable machine.
+	Unsurvivable int
+}
+
+func (r *PrewarmReport) String() string {
+	return fmt.Sprintf("prewarm: full plan + %d survivor plan(s) (%d deduplicated, %d unsurvivable)",
+		r.Survivors, r.Deduped, r.Unsurvivable)
+}
+
+// Prewarm speculatively plans the request and every topology that
+// survives the loss of a single GPU, so a later elastic recovery's
+// re-plan is a cache lookup instead of a MIP solve. Survivor scenarios
+// are deduplicated by content key — on a symmetric machine, losing any
+// of the four GPUs leaves the same surviving topology, which is planned
+// once. Survivor plans keep the full request's microbatch count,
+// matching elastic recovery semantics (the global batch size is
+// preserved across a recovery). Each survivor solve is warm-started
+// from the already-cached full plan via the nearest-incumbent index.
+func (s *Service) Prewarm(ctx context.Context, opts core.Options) (*PrewarmReport, error) {
+	req, err := NewRequest(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PrewarmReport{Full: req.Key}
+	if _, err := s.plan(ctx, req); err != nil {
+		return nil, err
+	}
+	seen := map[Key]bool{req.Key: true}
+	topo := req.Opts.Topology
+	for g := 0; g < topo.NumGPUs(); g++ {
+		spec := &fault.Spec{GPUFails: []fault.GPUFailFault{{GPU: g}}}
+		surv, _, err := elastic.SurvivingTopology(topo, spec)
+		if err != nil {
+			rep.Unsurvivable++
+			continue
+		}
+		sopts := req.Opts
+		sopts.Topology = surv
+		sreq, err := NewRequest(sopts)
+		if err != nil {
+			return rep, fmt.Errorf("plansvc: prewarm survivor (lost gpu %d): %w", g, err)
+		}
+		if seen[sreq.Key] {
+			rep.Deduped++
+			continue
+		}
+		seen[sreq.Key] = true
+		if _, err := s.plan(ctx, sreq); err != nil {
+			return rep, fmt.Errorf("plansvc: prewarm survivor (lost gpu %d): %w", g, err)
+		}
+		rep.Survivors++
+		s.count(func(m *Metrics) { m.PrewarmPlans++ })
+	}
+	return rep, nil
+}

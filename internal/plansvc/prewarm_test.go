@@ -1,0 +1,41 @@
+package plansvc
+
+import (
+	"context"
+	"testing"
+
+	"mobius/internal/model"
+)
+
+// TestPrewarmDeduplicatesSymmetricSurvivors: on the symmetric 2+2 box,
+// losing either GPU of a root complex leaves the same surviving
+// machine, so four loss scenarios cost two survivor plans.
+func TestPrewarmDeduplicatesSymmetricSurvivors(t *testing.T) {
+	svc := New(Config{})
+	opts := balancedOpts(model.GPT3B)
+
+	rep, err := svc.Prewarm(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Survivors != 2 || rep.Deduped != 2 || rep.Unsurvivable != 0 {
+		t.Errorf("report %+v, want 2 survivors / 2 deduped / 0 unsurvivable", rep)
+	}
+	m := svc.Metrics()
+	checkConservation(t, m)
+	if m.CacheEntries != 3 { // full + two distinct survivors
+		t.Errorf("CacheEntries = %d, want 3", m.CacheEntries)
+	}
+	if m.PrewarmPlans != 2 {
+		t.Errorf("PrewarmPlans = %d, want 2", m.PrewarmPlans)
+	}
+
+	// A repeated prewarm is all cache hits: zero extra solves.
+	before := m.Solves
+	if _, err := svc.Prewarm(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if after := svc.Metrics().Solves; after != before {
+		t.Errorf("repeat prewarm solved %d more times", after-before)
+	}
+}
