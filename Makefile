@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-perf check-plansvc bench bench-json bench-plan-json
+.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-perf check-plansvc check-cluster bench bench-json bench-plan-json bench-cluster-json
 
 build:
 	$(GO) build ./...
@@ -71,13 +71,25 @@ check-plansvc:
 	$(GO) test -race -short -count=1 ./internal/plansvc/
 	$(GO) test -race -run 'TestPlanning' -count=1 ./internal/chaos/
 
+# check-cluster is the fleet gate: the multi-tenant cluster suite
+# (conservation and fairness identities, the admission/backpressure/
+# degrade/shed ladder, server-loss recovery with zero-solve re-landing,
+# the bitwise differential against single-job core.Run) plus the
+# seed-derived cluster chaos matrix (serial bitwise replay, concurrent
+# fan-out over a shared step cache) and the overload-sweep shape
+# assertions, all under the race detector.
+check-cluster:
+	$(GO) test -race -run 'TestCluster|TestJain|TestBucket|TestGamma' -count=1 ./internal/cluster/
+	$(GO) test -race -run 'TestClusterChaos' -count=1 ./internal/chaos/
+	$(GO) test -race -run 'TestOverload' -count=1 ./internal/experiments/
+
 # check is the tier-1 gate: everything must compile, vet clean, pass the
 # test suite under the race detector (the planning pipeline is
 # concurrent, so plain `go test` alone is not enough), and survive the
 # fault matrix, the recovery matrix, the chaos matrix, the sharded
-# scheduler's race-clean differential suite, and the performance smoke
-# gate.
-check: build vet race check-faults check-recovery check-chaos check-sharded check-perf check-plansvc
+# scheduler's race-clean differential suite, the performance smoke gate,
+# and the multi-tenant fleet gate.
+check: build vet race check-faults check-recovery check-chaos check-sharded check-perf check-plansvc check-cluster
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/
@@ -94,3 +106,10 @@ bench-json:
 # same diffable JSON format as BENCH_sim.json.
 bench-plan-json:
 	$(GO) test -run xxx -bench . -benchmem ./internal/plansvc/ | $(GO) run ./cmd/bench2json -o BENCH_plan.json
+
+# bench-cluster-json regenerates BENCH_cluster.json: fleet-simulation
+# throughput (jobs/s at a fixed 3-server fleet with a warm step cache)
+# and the per-arrival admission-decision latency, in the same diffable
+# JSON format as the other BENCH_*.json documents.
+bench-cluster-json:
+	$(GO) test -run xxx -bench . -benchmem ./internal/cluster/ | $(GO) run ./cmd/bench2json -o BENCH_cluster.json

@@ -1,0 +1,247 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mobius/internal/cluster"
+	"mobius/internal/core"
+	"mobius/internal/fault"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+	"mobius/internal/plansvc"
+)
+
+// ClusterHarness stress-tests the fleet simulator the way PlanHarness
+// stresses the planning service: from a single seed it derives a whole
+// cluster scenario — fleet size, tenant classes with arrival processes
+// and admission budgets, server losses, transient dispatch failures —
+// runs it with the paranoid per-event audit on, and checks the
+// invariants that must hold for every seed:
+//
+//   - job conservation, fleet-wide and per class: every submitted job
+//     is accounted as exactly one of completed, rejected, shed or
+//     failed on the drained report (no accepted job silently dropped);
+//   - the Jain fairness index lies in [1/n, 1];
+//   - failure accounting: server-loss counts match the scenario, a
+//     loss-free scenario re-lands nothing, and a prewarmed fleet
+//     performs exactly one solve per (server, distinct shape) no
+//     matter what fails — re-landing is zero-solve;
+//   - replaying the seed reproduces the full report fingerprint bit
+//     for bit, cold or warm step cache.
+//
+// The concurrent fan-out runs many seeds in parallel against one
+// shared StepCache — the -race surface for the pricing layer.
+type ClusterHarness struct {
+	// Cache is shared across every scenario the harness runs; pricing
+	// is pure, so sharing is invisible to results (asserted by the
+	// replay check, which mixes cold and warm executions).
+	Cache *cluster.StepCache
+
+	menu []cluster.Class
+	topo *hw.Topology
+}
+
+// NewClusterHarness builds the default harness: solver-free job shapes
+// on the 2+2 commodity box, so a seed costs milliseconds after the
+// first pricing of each shape.
+func NewClusterHarness() *ClusterHarness {
+	return &ClusterHarness{
+		Cache: cluster.NewStepCache(),
+		topo:  hw.Commodity(hw.RTX3090Ti, 2, 2),
+		menu: []cluster.Class{
+			{Model: model.GPT3B, PartitionAlgo: partition.AlgoBalanced, BalancedStages: 4},
+			{Model: model.GPT8B, PartitionAlgo: partition.AlgoBalanced, BalancedStages: 4},
+			{Model: model.GPT3B, PartitionAlgo: partition.AlgoMinStage},
+		},
+	}
+}
+
+// ClusterScenario derives the fleet configuration for a seed. Every
+// parameter stays inside the config's documented ranges, so the
+// scenario always validates — asserted again per run.
+func (h *ClusterHarness) ClusterScenario(seed int64) cluster.Config {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := cluster.Config{
+		Servers:          2 + rng.Intn(3),
+		Topology:         h.topo,
+		HorizonS:         float64(200 + rng.Intn(400)),
+		Seed:             seed,
+		QueueCap:         2 + rng.Intn(7),
+		DispatchAttempts: 3 + rng.Intn(3),
+		BreakerThreshold: 1 + rng.Intn(3),
+		BreakerCooldownS: float64(5 + rng.Intn(16)),
+		DetectLatencyS:   0.5 + 3.5*rng.Float64(),
+		DispatchFailProb: 0.25 * rng.Float64() * float64(rng.Intn(2)),
+		Prewarm:          rng.Intn(2) == 0,
+		Paranoid:         true,
+		Cache:            h.Cache,
+	}
+	nClasses := 2 + rng.Intn(2)
+	for i := 0; i < nClasses; i++ {
+		cl := h.menu[rng.Intn(len(h.menu))]
+		cl.Name = fmt.Sprintf("t%d", i)
+		cl.SLO = i
+		cl.RatePerS = 0.01 + 0.11*rng.Float64()
+		if rng.Intn(2) == 0 {
+			cl.Arrival = cluster.ArrivalGamma
+			cl.GammaShape = 0.3 + 1.2*rng.Float64()
+		}
+		cl.StepsMin = 1 + rng.Intn(2)
+		cl.StepsMax = cl.StepsMin + rng.Intn(3)
+		cl.CheckpointEvery = rng.Intn(4)
+		if rng.Intn(2) == 0 {
+			cl.TokenRatePerS = cl.RatePerS * (0.4 + 0.5*rng.Float64())
+		}
+		if rng.Intn(2) == 0 {
+			cl.DeadlineS = float64(30 + rng.Intn(90))
+		}
+		if rng.Intn(2) == 0 {
+			cl.DegradeAfterS = float64(20 + rng.Intn(60))
+		}
+		cfg.Classes = append(cfg.Classes, cl)
+	}
+	if n := rng.Intn(3); n > 0 && n < cfg.Servers {
+		spec := &fault.Spec{Seed: seed}
+		order := rng.Perm(cfg.Servers)
+		for i := 0; i < n; i++ {
+			spec.ServerFails = append(spec.ServerFails, fault.ServerFailFault{
+				Server: order[i],
+				At:     cfg.HorizonS * (0.1 + 0.6*rng.Float64()),
+			})
+		}
+		cfg.Faults = spec
+	}
+	return cfg
+}
+
+// ClusterReport is the outcome of one cluster-chaos seed.
+type ClusterReport struct {
+	Seed   int64
+	Report *cluster.Report
+}
+
+func (r *ClusterReport) String() string {
+	rep := r.Report
+	return fmt.Sprintf("cluster chaos seed %d: %d servers, %d jobs (%d done, %d rej, %d shed, %d failed), %d server losses, Jain %.3f",
+		r.Seed, rep.Servers, rep.Submitted, rep.Completed, rep.Rejected, rep.Shed, rep.Failed, rep.ServerFailures, rep.Jain)
+}
+
+// RunCluster executes one seed: serial run, invariant checks, and a
+// bitwise replay. A non-nil error means an invariant was violated.
+func (h *ClusterHarness) RunCluster(seed int64) (*ClusterReport, error) {
+	cfg := h.ClusterScenario(seed)
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos: seed %d generated an invalid fleet spec: %w", seed, err)
+		}
+	}
+	first, err := cluster.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
+	}
+	if err := h.checkClusterInvariants(cfg, first); err != nil {
+		return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
+	}
+	replay, err := cluster.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: seed %d replay: %w", seed, err)
+	}
+	if a, b := first.Fingerprint(), replay.Fingerprint(); a != b {
+		return nil, fmt.Errorf("chaos: seed %d replay diverged: %s vs %s", seed, a, b)
+	}
+	return &ClusterReport{Seed: seed, Report: first}, nil
+}
+
+// checkClusterInvariants asserts the fleet identities on a drained
+// report.
+func (h *ClusterHarness) checkClusterInvariants(cfg cluster.Config, rep *cluster.Report) error {
+	if err := rep.Conservation(); err != nil {
+		return err
+	}
+	n := 0
+	for _, c := range rep.Classes {
+		if c.Submitted > 0 {
+			n++
+		}
+	}
+	if n > 0 && (rep.Jain < 1/float64(n)-1e-9 || rep.Jain > 1+1e-9) {
+		return fmt.Errorf("Jain index %g outside [1/%d, 1]", rep.Jain, n)
+	}
+	wantFails := 0
+	if cfg.Faults != nil {
+		wantFails = len(cfg.Faults.ServerFails)
+	}
+	if rep.ServerFailures != wantFails {
+		return fmt.Errorf("ServerFailures %d, scenario declared %d", rep.ServerFailures, wantFails)
+	}
+	relands := 0
+	for _, c := range rep.Classes {
+		relands += c.Relands
+	}
+	if wantFails == 0 && relands != 0 {
+		return fmt.Errorf("loss-free scenario re-landed %d job(s)", relands)
+	}
+	if cfg.Prewarm {
+		if want := uint64(cfg.Servers) * uint64(h.distinctShapes(cfg)); rep.PlanSolves != want {
+			return fmt.Errorf("prewarmed fleet performed %d solves, want exactly %d (servers x distinct shapes)",
+				rep.PlanSolves, want)
+		}
+	}
+	if rep.BreakerTrips > 0 && rep.DispatchFailures == 0 {
+		return fmt.Errorf("breaker tripped %d time(s) without a dispatch failure", rep.BreakerTrips)
+	}
+	return nil
+}
+
+// distinctShapes counts the distinct plan keys among the scenario's
+// classes — what a prewarmed server solves once each.
+func (h *ClusterHarness) distinctShapes(cfg cluster.Config) int {
+	seen := map[plansvc.Key]bool{}
+	for _, cl := range cfg.Classes {
+		opts := core.Options{
+			Model:          cl.Model,
+			Topology:       cfg.Topology,
+			Microbatches:   cl.Microbatches,
+			PartitionAlgo:  cl.PartitionAlgo,
+			BalancedStages: cl.BalancedStages,
+		}
+		k, err := plansvc.KeyOf(opts)
+		if err != nil {
+			continue
+		}
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+// RunClusterConcurrent fans seeds out over goroutines sharing the
+// harness cache — the -race surface for the shared pricing layer. Each
+// seed's own run stays single-goroutine (that is the simulator's
+// contract); the concurrency is across scenarios.
+func (h *ClusterHarness) RunClusterConcurrent(seeds []int64, conc int) error {
+	if conc <= 0 {
+		conc = 4
+	}
+	sem := make(chan struct{}, conc)
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, seed int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, errs[i] = h.RunCluster(seed)
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

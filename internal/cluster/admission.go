@@ -1,0 +1,33 @@
+package cluster
+
+// bucket is a token bucket refilled continuously in virtual time: one
+// token per admitted job, rate tokens per second, at most burst held.
+// A zero-rate bucket admits everything (admission control disabled for
+// the class).
+type bucket struct {
+	rate, burst float64
+	tokens      float64
+	last        float64
+}
+
+func newBucket(cl Class) bucket {
+	return bucket{rate: cl.TokenRatePerS, burst: cl.TokenBurst, tokens: cl.TokenBurst}
+}
+
+// take refills up to now and consumes one token; false means the class
+// is over budget and the job is rejected at the door.
+func (b *bucket) take(now float64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.tokens += (now - b.last) * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

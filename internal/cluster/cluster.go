@@ -1,0 +1,765 @@
+// Package cluster simulates a multi-tenant fleet of Mobius servers
+// under a stream of fine-tuning jobs, on one shared virtual clock. It
+// closes the overload → admit → queue → degrade → shed ladder at fleet
+// scope, the way internal/plansvc closes it for a single planning
+// request:
+//
+//   - token-bucket admission control with per-SLO-class budgets: a
+//     class that exhausts its budget is rejected at the door, so one
+//     tenant's burst cannot starve another's steady trickle;
+//   - bounded per-server queues with backpressure: when every queue is
+//     full the job is rejected rather than buffered without bound;
+//   - deadline-based load shedding at dequeue, and degradation to the
+//     planner's greedy floor for jobs that waited past their class's
+//     patience — reject, queue, degrade, shed, in that order;
+//   - dispatch retries with exponential backoff and a per-server
+//     circuit breaker, so a dead-but-undetected or flaky server is
+//     routed around instead of hammered;
+//   - server-loss failure domains: fault.Spec's server_fails clauses
+//     drop whole servers mid-run; in-flight work resumes from its last
+//     checkpoint on a survivor, priced through the same
+//     checkpoint-migration machinery as internal/elastic, and lands on
+//     the server whose plan cache already holds its plan (zero-solve
+//     when the fleet was prewarmed).
+//
+// Determinism: the event loop is a single goroutine over a (time, seq)
+// ordered heap; arrival processes and step counts come from per-class
+// seeded streams, and every tie is broken by construction order — the
+// same Config replays the same Report bit for bit. The chaos harness
+// (internal/chaos) asserts this, plus the job-conservation identity
+//
+//	Submitted == Completed + Rejected + Shed + Failed + InFlight
+//
+// on a seed-driven matrix of overload and server-loss scenarios.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mobius/internal/fault"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+)
+
+// Class is one tenant class: an arrival process, a job shape, an
+// admission budget and an SLO.
+type Class struct {
+	// Name labels the class in reports.
+	Name string
+	// SLO is the service priority; 0 is the highest. Dequeue order is
+	// SLO first, then FIFO — under overload the ladder sheds the
+	// lowest classes first because they wait longest.
+	SLO int
+
+	// Arrival selects the interarrival process: "poisson" (default) or
+	// "gamma" (bursty; see GammaShape). RatePerS is the mean arrival
+	// rate in jobs per virtual second.
+	Arrival  string
+	RatePerS float64
+	// GammaShape is the gamma shape parameter k (default 0.5); the
+	// coefficient of variation is 1/sqrt(k), so k < 1 means burstier
+	// than Poisson at the same mean rate.
+	GammaShape float64
+
+	// Model and the planning knobs fix the job shape. PartitionAlgo
+	// defaults to the core default (the MIP); simulations at fleet
+	// scale want a cheap algorithm (partition.AlgoBalanced et al).
+	Model          model.Config
+	PartitionAlgo  string
+	BalancedStages int
+	Microbatches   int
+	// StepsMin/StepsMax bound the per-job fine-tuning step count,
+	// drawn uniformly from the class stream (defaults 1/StepsMin).
+	StepsMin, StepsMax int
+	// CheckpointEvery writes a consistent snapshot after every k-th
+	// step (0 disables); it is what a server loss can resume from.
+	CheckpointEvery int
+
+	// TokenRatePerS and TokenBurst are the class's admission budget: a
+	// token bucket refilled continuously in virtual time, one token
+	// per job. Rate 0 disables admission control for the class (every
+	// job is admitted — the overload baseline). Burst defaults to
+	// max(1, 2*rate).
+	TokenRatePerS float64
+	TokenBurst    float64
+
+	// DeadlineS bounds a dispatch's queueing delay: a job that waited
+	// longer is shed at dequeue instead of run (0 disables).
+	// DegradeAfterS is the softer rung: past it the job still runs,
+	// but on the planner's greedy floor instead of a solved plan
+	// (0 disables).
+	DeadlineS     float64
+	DegradeAfterS float64
+}
+
+func (c Class) withDefaults(i int) (Class, error) {
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("class%d", i)
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.Arrival != ArrivalPoisson && c.Arrival != ArrivalGamma {
+		return c, fmt.Errorf("cluster: class %q: unknown arrival process %q (want %q or %q)",
+			c.Name, c.Arrival, ArrivalPoisson, ArrivalGamma)
+	}
+	if c.RatePerS <= 0 {
+		return c, fmt.Errorf("cluster: class %q: arrival rate %g must be positive", c.Name, c.RatePerS)
+	}
+	if c.GammaShape <= 0 {
+		c.GammaShape = 0.5
+	}
+	if c.SLO < 0 {
+		return c, fmt.Errorf("cluster: class %q: negative SLO %d", c.Name, c.SLO)
+	}
+	if c.StepsMin <= 0 {
+		c.StepsMin = 1
+	}
+	if c.StepsMax < c.StepsMin {
+		c.StepsMax = c.StepsMin
+	}
+	if c.CheckpointEvery < 0 {
+		return c, fmt.Errorf("cluster: class %q: negative checkpoint interval %d", c.Name, c.CheckpointEvery)
+	}
+	if c.TokenRatePerS < 0 || c.TokenBurst < 0 {
+		return c, fmt.Errorf("cluster: class %q: negative admission budget", c.Name)
+	}
+	if c.TokenRatePerS > 0 && c.TokenBurst == 0 {
+		c.TokenBurst = 2 * c.TokenRatePerS
+		if c.TokenBurst < 1 {
+			c.TokenBurst = 1
+		}
+	}
+	if c.DeadlineS < 0 || c.DegradeAfterS < 0 {
+		return c, fmt.Errorf("cluster: class %q: negative deadline", c.Name)
+	}
+	return c, nil
+}
+
+// Arrival process names.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalGamma   = "gamma"
+)
+
+// Config describes one fleet run.
+type Config struct {
+	// Servers is the fleet size; every server runs Topology (default:
+	// the 2+2 commodity box).
+	Servers  int
+	Topology *hw.Topology
+	// Classes are the tenant classes sharing the fleet.
+	Classes []Class
+	// HorizonS bounds the arrival window in virtual seconds; jobs
+	// admitted before the horizon drain to completion after it.
+	HorizonS float64
+	// Seed drives every stochastic stream (arrivals, step counts,
+	// dispatch-failure hashes). Same seed, same Report, bit for bit.
+	Seed int64
+
+	// QueueCap bounds each server's queue (default 8); a fleet of full
+	// queues pushes back by rejecting. Re-landed jobs are exempt —
+	// they already spent their admission token.
+	QueueCap int
+	// DispatchTimeoutS is the virtual time burned by one failed
+	// dispatch before its retry is scheduled (default 0.05).
+	// DispatchAttempts bounds attempts per job routing round (default
+	// 4); past it the job fails. BackoffBaseS/BackoffMaxS shape the
+	// exponential retry backoff (defaults 0.025, 2), jittered
+	// deterministically per job.
+	DispatchTimeoutS float64
+	DispatchAttempts int
+	BackoffBaseS     float64
+	BackoffMaxS      float64
+	// BreakerThreshold consecutive dispatch failures trip a server's
+	// circuit breaker open for BreakerCooldownS of virtual time
+	// (defaults 3, 30); while open the router skips the server, then
+	// probes it half-open.
+	BreakerThreshold int
+	BreakerCooldownS float64
+	// DispatchFailProb injects transient dispatch failures on healthy
+	// servers, decided by a deterministic per-(job, server, attempt)
+	// hash — the chaos knob that exercises retry and breaker paths
+	// without killing anything.
+	DispatchFailProb float64
+	// DetectLatencyS is the failure-detection window (default 2): a
+	// dead server stays in the routing tables that long, so dispatches
+	// keep failing into it (and tripping its breaker) until detection
+	// reroutes its queue and in-flight job.
+	DetectLatencyS float64
+
+	// Virtual planning costs charged to a job at dispatch: a plan-cache
+	// hit, a full solve, and the greedy floor (defaults 0.02, 5,
+	// 0.005). Affinity routing exists to turn the middle one into the
+	// first.
+	PlanHitLatencyS    float64
+	PlanSolveLatencyS  float64
+	PlanGreedyLatencyS float64
+
+	// Faults is the fleet fault scenario. ServerFails clauses are
+	// consumed here (whole servers dropping); the per-server clauses
+	// that survive WithoutCluster (stragglers, unbounded link
+	// degradation, transients, memory pressure) hold on every step of
+	// every server. Permanent GPU/link failures and corruptions are
+	// the single-server elastic/integrity domain and are rejected.
+	Faults *fault.Spec
+
+	// Prewarm plans every class's shape on every server at t=0, so
+	// first dispatches — and re-landings after a server loss — are
+	// cache hits: the zero-solve recovery path.
+	Prewarm bool
+
+	// Paranoid audits the job-conservation identity against every
+	// job's actual state after every event, not just at the end.
+	Paranoid bool
+
+	// Cache shares step-time pricing across runs (optional); the chaos
+	// matrix reuses one so a thousand scenarios price each distinct
+	// (plan, checkpoint, degradation) combination once.
+	Cache *StepCache
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Servers <= 0 {
+		return c, fmt.Errorf("cluster: servers must be positive (got %d)", c.Servers)
+	}
+	if c.Topology == nil {
+		c.Topology = hw.Commodity(hw.RTX3090Ti, 2, 2)
+	}
+	if len(c.Classes) == 0 {
+		return c, fmt.Errorf("cluster: at least one class is required")
+	}
+	cls := make([]Class, len(c.Classes))
+	for i := range c.Classes {
+		cc, err := c.Classes[i].withDefaults(i)
+		if err != nil {
+			return c, err
+		}
+		cls[i] = cc
+	}
+	c.Classes = cls
+	if c.HorizonS <= 0 {
+		return c, fmt.Errorf("cluster: horizon must be positive (got %g)", c.HorizonS)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 8
+	}
+	if c.DispatchTimeoutS <= 0 {
+		c.DispatchTimeoutS = 0.05
+	}
+	if c.DispatchAttempts <= 0 {
+		c.DispatchAttempts = 4
+	}
+	if c.BackoffBaseS <= 0 {
+		c.BackoffBaseS = 0.025
+	}
+	if c.BackoffMaxS <= 0 {
+		c.BackoffMaxS = 2
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldownS <= 0 {
+		c.BreakerCooldownS = 30
+	}
+	if c.DispatchFailProb < 0 || c.DispatchFailProb >= 1 {
+		return c, fmt.Errorf("cluster: dispatch failure probability %g out of range [0, 1)", c.DispatchFailProb)
+	}
+	if c.DetectLatencyS <= 0 {
+		c.DetectLatencyS = 2
+	}
+	if c.PlanHitLatencyS <= 0 {
+		c.PlanHitLatencyS = 0.02
+	}
+	if c.PlanSolveLatencyS <= 0 {
+		c.PlanSolveLatencyS = 5
+	}
+	if c.PlanGreedyLatencyS <= 0 {
+		c.PlanGreedyLatencyS = 0.005
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return c, err
+		}
+		if len(c.Faults.GPUFails) > 0 || len(c.Faults.LinkFails) > 0 {
+			return c, fmt.Errorf("cluster: permanent GPU/link failures are the single-server elastic domain; a fleet scenario uses server_fails")
+		}
+		if len(c.Faults.Corruptions) > 0 {
+			return c, fmt.Errorf("cluster: corruption clauses are the single-server integrity domain")
+		}
+		for i, l := range c.Faults.Links {
+			if l.Start > 0 || l.End > 0 {
+				return c, fmt.Errorf("cluster: links[%d] (%s): windowed link faults use single-step time; use an unbounded window", i, l.Link)
+			}
+		}
+		for _, sf := range c.Faults.ServerFails {
+			if sf.Server >= c.Servers {
+				return c, fmt.Errorf("cluster: server_fails names server %d of a %d-server fleet", sf.Server, c.Servers)
+			}
+			if sf.At >= c.HorizonS {
+				return c, fmt.Errorf("cluster: server %d fails at %gs, past the %gs horizon", sf.Server, sf.At, c.HorizonS)
+			}
+		}
+	}
+	if c.Cache == nil {
+		c.Cache = NewStepCache()
+	}
+	return c, nil
+}
+
+// Event kinds, in the order they tie-break at equal virtual time (the
+// seq counter decides; kinds are only for dispatch).
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evRetry
+	evComplete
+	evServerFail
+	evDetect
+)
+
+type event struct {
+	at   float64
+	seq  uint64
+	kind eventKind
+	job  *job
+	srv  int
+	gen  uint64
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// run is the mutable state of one fleet simulation.
+type run struct {
+	cfg      Config
+	now      float64
+	seq      uint64
+	events   eventHeap
+	servers  []*server
+	buckets  []bucket
+	jobs     []*job
+	stats    []ClassStats
+	stepSpec *fault.Spec
+	rep      *Report
+	nEvents  int
+}
+
+func (r *run) push(e *event) {
+	e.seq = r.seq
+	r.seq++
+	heap.Push(&r.events, e)
+}
+
+// Run executes the fleet scenario and returns its report. The returned
+// error is a configuration or simulation-infrastructure failure; job
+// outcomes — including every job of a fully dead fleet failing — are
+// the report's to tell.
+func Run(cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &run{cfg: cfg, stepSpec: cfg.Faults.WithoutCluster()}
+	r.rep = &Report{Servers: cfg.Servers, HorizonS: cfg.HorizonS, Seed: cfg.Seed}
+
+	for i := 0; i < cfg.Servers; i++ {
+		r.servers = append(r.servers, newServer(i, cfg))
+	}
+	for ci, cl := range cfg.Classes {
+		r.buckets = append(r.buckets, newBucket(cl))
+		r.stats = append(r.stats, ClassStats{Name: cl.Name, SLO: cl.SLO})
+		_ = ci
+	}
+	if cfg.Prewarm {
+		if err := r.prewarm(); err != nil {
+			return nil, err
+		}
+	}
+
+	r.jobs = generateJobs(cfg)
+	for _, j := range r.jobs {
+		r.push(&event{at: j.arrival, kind: evArrival, job: j})
+	}
+	if cfg.Faults != nil {
+		for _, sf := range cfg.Faults.ServerFailures() {
+			r.push(&event{at: sf.At, kind: evServerFail, srv: sf.Server})
+		}
+	}
+
+	for r.events.Len() > 0 {
+		e := heap.Pop(&r.events).(*event)
+		r.now = e.at
+		r.nEvents++
+		if err := r.handle(e); err != nil {
+			return nil, err
+		}
+		if cfg.Paranoid {
+			if err := r.audit(); err != nil {
+				return nil, fmt.Errorf("cluster: paranoid audit after event %d (t=%.6f): %w", r.nEvents, r.now, err)
+			}
+		}
+	}
+	r.finish()
+	return r.rep, nil
+}
+
+func (r *run) handle(e *event) error {
+	switch e.kind {
+	case evArrival:
+		return r.arrive(e.job)
+	case evRetry:
+		return r.route(e.job)
+	case evComplete:
+		r.complete(r.servers[e.srv], e.gen)
+		return nil
+	case evServerFail:
+		r.serverFail(r.servers[e.srv])
+		return nil
+	case evDetect:
+		return r.detect(r.servers[e.srv])
+	}
+	return fmt.Errorf("cluster: unknown event kind %d", e.kind)
+}
+
+// arrive runs the admission gate and routes the job into the fleet.
+func (r *run) arrive(j *job) error {
+	st := &r.stats[j.class]
+	st.Submitted++
+	if !r.buckets[j.class].take(r.now) {
+		st.RejectedAdmission++
+		j.state = jsRejected
+		return nil
+	}
+	st.Admitted++
+	return r.route(j)
+}
+
+func (r *run) allDead() bool {
+	for _, s := range r.servers {
+		if !s.dead {
+			return false
+		}
+	}
+	return true
+}
+
+// route places a job on a server: plan-cache affinity first, then
+// least load, skipping known-dead and breaker-open servers and (for
+// fresh jobs) full queues. A routed dispatch can still fail — into a
+// dead-but-undetected server, or by injected transient failure — which
+// burns the timeout, backs off, and feeds the server's breaker.
+func (r *run) route(j *job) error {
+	best, bestAff, bestLoad := -1, false, 0
+	for _, s := range r.servers {
+		if s.detected || !s.br.routable(r.now) {
+			continue
+		}
+		if !j.reland && s.load() >= r.cfg.QueueCap {
+			continue
+		}
+		aff := s.svc.Has(j.key)
+		load := s.load()
+		switch {
+		case best == -1, aff && !bestAff:
+		case aff == bestAff && load < bestLoad:
+		default:
+			continue
+		}
+		best, bestAff, bestLoad = s.id, aff, load
+	}
+	if best == -1 {
+		if r.allDead() {
+			r.fail(j)
+			return nil
+		}
+		if !j.reland {
+			// Backpressure: every routable queue is full.
+			r.stats[j.class].RejectedBackpressure++
+			j.state = jsRejected
+			return nil
+		}
+		// A re-landing job with nowhere to go right now (breakers open,
+		// detection pending): retry after a backoff.
+		return r.retryOrFail(j)
+	}
+
+	s := r.servers[best]
+	s.br.allow(r.now)
+	if s.dead || r.transientFail(j, s) {
+		r.rep.DispatchFailures++
+		if s.br.failure(r.now) {
+			r.rep.BreakerTrips++
+		}
+		return r.retryOrFail(j)
+	}
+	s.br.success()
+	j.attempts = 0
+	j.enqueuedAt = r.now
+	j.state = jsQueued
+	s.queue = append(s.queue, j)
+	return r.kick(s)
+}
+
+func (r *run) retryOrFail(j *job) error {
+	j.attempts++
+	if j.attempts >= r.cfg.DispatchAttempts {
+		r.fail(j)
+		return nil
+	}
+	r.rep.DispatchRetries++
+	j.state = jsRetry
+	r.push(&event{at: r.now + r.cfg.DispatchTimeoutS + r.backoff(j), kind: evRetry, job: j})
+	return nil
+}
+
+// backoff is exponential in the attempt with a deterministic jitter in
+// [1, 1.5) derived from (seed, job, attempt).
+func (r *run) backoff(j *job) float64 {
+	d := r.cfg.BackoffBaseS
+	for a := 1; a < j.attempts; a++ {
+		d *= 2
+		if d >= r.cfg.BackoffMaxS {
+			d = r.cfg.BackoffMaxS
+			break
+		}
+	}
+	frac := hash01(r.cfg.Seed, saltBackoff, uint64(j.id), uint64(j.attempts))
+	return d * (1 + 0.5*frac)
+}
+
+// transientFail decides the injected dispatch failure for this attempt.
+func (r *run) transientFail(j *job, s *server) bool {
+	p := r.cfg.DispatchFailProb
+	return p > 0 && hash01(r.cfg.Seed, saltDispatch, uint64(j.id), uint64(s.id), uint64(j.attempts)) < p
+}
+
+func (r *run) fail(j *job) {
+	r.stats[j.class].Failed++
+	j.state = jsFailed
+}
+
+// kick starts the server's next job when it is idle: dequeue best
+// (SLO, then FIFO), shed past-deadline work, degrade past-patience
+// work to the greedy floor, price the service timeline and schedule
+// completion.
+func (r *run) kick(s *server) error {
+	for s.inflight == nil && !s.dead && len(s.queue) > 0 {
+		j := s.popBest(r.cfg.Classes)
+		cl := r.cfg.Classes[j.class]
+		st := &r.stats[j.class]
+		waited := r.now - j.enqueuedAt
+		if cl.DeadlineS > 0 && waited > cl.DeadlineS {
+			st.Shed++
+			j.state = jsShed
+			continue
+		}
+		degraded := cl.DegradeAfterS > 0 && waited > cl.DegradeAfterS
+		if degraded && !j.degraded {
+			j.degraded = true
+			st.Degraded++
+		}
+		st.waitSamples = append(st.waitSamples, waited)
+
+		planLat, err := s.planLatency(r.cfg, j)
+		if err != nil {
+			return err
+		}
+		times, err := r.cfg.Cache.StepTimes(s.svc, j.opts, cl.CheckpointEvery, j.degraded, r.stepSpec)
+		if err != nil {
+			return err
+		}
+		mig := 0.0
+		if j.reland && j.resumeStep > 0 {
+			if mig, err = r.cfg.Cache.Migration(r.cfg.Topology, r.stepSpec, cl.Model.ModelStatesBytes()); err != nil {
+				return err
+			}
+			st.MigrationS += mig
+		}
+		j.times, j.every = times, cl.CheckpointEvery
+		j.execStart = r.now + planLat + mig
+		j.server = s.id
+		if j.startedAt < 0 {
+			j.startedAt = r.now
+		}
+		j.state = jsRunning
+		s.inflight = j
+		end := j.execStart + execSeconds(j)
+		r.push(&event{at: end, kind: evComplete, srv: s.id, gen: s.gen})
+		j.endAt = end
+	}
+	return nil
+}
+
+// execSeconds prices the remaining steps: resumeStep+1..steps, with
+// the checkpointed step time on every every-th step.
+func execSeconds(j *job) float64 {
+	n := j.steps - j.resumeStep
+	total := float64(n) * j.times.Plain
+	if j.every > 0 {
+		ck := j.steps/j.every - j.resumeStep/j.every
+		total += float64(ck) * (j.times.Ckpt - j.times.Plain)
+	}
+	return total
+}
+
+func (r *run) complete(s *server, gen uint64) {
+	if s.gen != gen || s.inflight == nil {
+		return // stale: the server died after this was scheduled
+	}
+	j := s.inflight
+	s.inflight = nil
+	j.state = jsCompleted
+	j.endAt = r.now
+	r.stats[j.class].Completed++
+	// Ignoring the error: the queue was already priced when its jobs
+	// were enqueued, so kick can only repeat earlier pricing.
+	_ = r.kick(s)
+}
+
+// serverFail drops a server: its generation bumps (stale completions),
+// the in-flight job is rewound to its last checkpoint, and everything
+// it held parks until the detection window elapses.
+func (r *run) serverFail(s *server) {
+	s.dead = true
+	s.gen++
+	r.rep.ServerFailures++
+	if j := s.inflight; j != nil {
+		s.inflight = nil
+		j.resumeStep = checkpointReached(j, r.now)
+		j.reland = true
+		j.state = jsParked
+		r.stats[j.class].Relands++
+		s.parked = append(s.parked, j)
+	}
+	for _, j := range s.queue {
+		j.state = jsParked
+		s.parked = append(s.parked, j)
+	}
+	s.queue = s.queue[:0]
+	r.push(&event{at: r.now + r.cfg.DetectLatencyS, kind: evDetect, srv: s.id})
+}
+
+// checkpointReached walks the in-flight timeline up to the failure
+// onset and returns the last checkpointed step — the resume point.
+// Work since that checkpoint (and any un-checkpointed run) is lost.
+func checkpointReached(j *job, at float64) int {
+	if j.every <= 0 || at <= j.execStart {
+		return j.resumeStep
+	}
+	done, t := j.resumeStep, j.execStart
+	for i := j.resumeStep + 1; i <= j.steps; i++ {
+		d := j.times.Plain
+		if i%j.every == 0 {
+			d = j.times.Ckpt
+		}
+		if t+d > at {
+			break
+		}
+		done, t = i, t+d
+	}
+	return (done / j.every) * j.every
+}
+
+// detect marks the server down for the router and re-routes everything
+// it was holding, in deterministic park order.
+func (r *run) detect(s *server) error {
+	s.detected = true
+	parked := s.parked
+	s.parked = nil
+	for _, j := range parked {
+		j.attempts = 0
+		if err := r.route(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prewarm plans every class shape on every server so first dispatches
+// and post-loss re-landings are plan-cache hits.
+func (r *run) prewarm() error {
+	for _, s := range r.servers {
+		for ci := range r.cfg.Classes {
+			opts := classOptions(r.cfg, ci)
+			if err := s.warm(opts); err != nil {
+				return fmt.Errorf("cluster: prewarm server %d class %q: %w", s.id, r.cfg.Classes[ci].Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// audit recounts every job's state and checks the counters against
+// them — the paranoid form of the conservation identity.
+func (r *run) audit() error {
+	type acc struct{ sub, rej, shed, failed, done, live int }
+	per := make([]acc, len(r.stats))
+	for _, j := range r.jobs {
+		a := &per[j.class]
+		switch j.state {
+		case jsPending:
+			continue
+		case jsRejected:
+			a.rej++
+		case jsShed:
+			a.shed++
+		case jsFailed:
+			a.failed++
+		case jsCompleted:
+			a.done++
+		case jsQueued, jsRunning, jsParked, jsRetry:
+			a.live++
+		}
+		a.sub++
+	}
+	for ci := range r.stats {
+		st, a := &r.stats[ci], per[ci]
+		if st.Submitted != a.sub || st.Rejected() != a.rej || st.Shed != a.shed ||
+			st.Failed != a.failed || st.Completed != a.done ||
+			st.Submitted != a.rej+a.shed+a.failed+a.done+a.live {
+			return fmt.Errorf("class %q: counters {sub %d rej %d shed %d failed %d done %d} vs states {%d %d %d %d %d live %d}",
+				st.Name, st.Submitted, st.Rejected(), st.Shed, st.Failed, st.Completed,
+				a.sub, a.rej, a.shed, a.failed, a.done, a.live)
+		}
+	}
+	return nil
+}
+
+// Salts separating the cluster's hash-decision domains.
+const (
+	saltDispatch = 0xd15b47c8
+	saltBackoff  = 0xbac0ff
+)
+
+// hash01 maps (seed, vals...) to a uniform [0, 1) float via splitmix64,
+// mirroring internal/fault's decision streams.
+func hash01(seed int64, vals ...uint64) float64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range vals {
+		x += v + 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return float64(x>>11) / (1 << 53)
+}

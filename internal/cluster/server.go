@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+
+	"mobius/internal/core"
+	"mobius/internal/plansvc"
+)
+
+// server is one Mobius box of the fleet: a bounded queue, one job in
+// flight at a time (the whole machine trains one model), its own plan
+// cache (a plansvc.Service — affinity routing asks it svc.Has), and a
+// dispatch circuit breaker.
+type server struct {
+	id  int
+	svc *plansvc.Service
+
+	queue    []*job
+	inflight *job
+	parked   []*job // held between failure and detection
+
+	// gen invalidates completion events scheduled before a failure.
+	gen      uint64
+	dead     bool
+	detected bool
+
+	br breaker
+}
+
+func newServer(id int, cfg Config) *server {
+	return &server{
+		id:  id,
+		svc: plansvc.New(plansvc.Config{}),
+		br: breaker{
+			threshold: cfg.BreakerThreshold,
+			cooldownS: cfg.BreakerCooldownS,
+		},
+	}
+}
+
+// load is the routing pressure metric: queued plus in-flight.
+func (s *server) load() int {
+	n := len(s.queue)
+	if s.inflight != nil {
+		n++
+	}
+	return n
+}
+
+// popBest removes and returns the next job to run: lowest SLO number
+// first, then FIFO by enqueue time, then id.
+func (s *server) popBest(classes []Class) *job {
+	best := 0
+	for i := 1; i < len(s.queue); i++ {
+		a, b := s.queue[i], s.queue[best]
+		sa, sb := classes[a.class].SLO, classes[b.class].SLO
+		if sa < sb || (sa == sb && (a.enqueuedAt < b.enqueuedAt ||
+			(a.enqueuedAt == b.enqueuedAt && a.id < b.id))) {
+			best = i
+		}
+	}
+	j := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return j
+}
+
+// planLatency charges the virtual planning cost of dispatching j here
+// and makes the server's plan cache warm for its key: a greedy-floor
+// job pays the greedy latency; a cached plan pays a lookup; anything
+// else pays a full solve (and is then cached, so the next job of this
+// shape — or this job re-landing — hits).
+func (s *server) planLatency(cfg Config, j *job) (float64, error) {
+	if j.degraded {
+		return cfg.PlanGreedyLatencyS, nil
+	}
+	if s.svc.Has(j.key) {
+		return cfg.PlanHitLatencyS, nil
+	}
+	if err := s.warm(j.opts); err != nil {
+		return 0, err
+	}
+	return cfg.PlanSolveLatencyS, nil
+}
+
+// warm plans opts into this server's cache.
+func (s *server) warm(opts core.Options) error {
+	_, err := s.svc.PlanMobius(context.Background(), opts)
+	return err
+}
+
+// breaker is the dispatch circuit breaker in virtual float seconds —
+// the same closed/open/half-open machine as plansvc's planning breaker,
+// driven by the fleet clock instead of time.Time.
+type breaker struct {
+	threshold int
+	cooldownS float64
+
+	state    breakerState
+	fails    int
+	openedAt float64
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// routable is the router's non-mutating view: closed, or open past its
+// cooldown (choosing it would probe). Half-open means a probe is
+// already out.
+func (b *breaker) routable(now float64) bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return now-b.openedAt >= b.cooldownS
+	default:
+		return false
+	}
+}
+
+// allow consumes the routing decision: an open breaker past cooldown
+// transitions to half-open (the dispatch is its probe).
+func (b *breaker) allow(now float64) {
+	if b.state == breakerOpen && now-b.openedAt >= b.cooldownS {
+		b.state = breakerHalfOpen
+	}
+}
+
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+func (b *breaker) failure(now float64) (tripped bool) {
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	b.fails++
+	if b.state == breakerClosed && b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.fails = 0
+		return true
+	}
+	return false
+}

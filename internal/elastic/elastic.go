@@ -407,7 +407,7 @@ func Run(cfg Config) (*RecoveryReport, error) {
 	// excludes.
 	if cfg.Policy != PolicyRestart {
 		rep.MigrationBytes = ckBytes
-		rep.MigrationSeconds, err = simulateMigration(surv, survSpec, ckBytes, cfg.CheckpointDest)
+		rep.MigrationSeconds, err = MigrationSeconds(surv, survSpec, ckBytes, cfg.CheckpointDest)
 		if err != nil {
 			return nil, err
 		}
@@ -551,10 +551,14 @@ func runFailingStep(cfg Config, topo *hw.Topology, plan *core.Plan, mb int, spec
 	return res.Lost, res.StepTime, nil
 }
 
-// simulateMigration prices restoring the snapshot over the real topology:
-// one bulk transfer from the checkpoint tier into DRAM on the surviving
-// machine, under the conditions that still hold there.
-func simulateMigration(surv *hw.Topology, spec *fault.Spec, bytes float64, dest Dest) (float64, error) {
+// MigrationSeconds prices restoring a checkpoint snapshot over the real
+// topology: one bulk transfer from the checkpoint tier into DRAM on the
+// machine the work lands on, under the fault conditions that hold there
+// (nil spec means nominal hardware). Elastic recovery uses it for the
+// surviving topology after a GPU or link loss; the cluster layer
+// (internal/cluster) uses it to price re-landing a drained job's state
+// on another server of the fleet.
+func MigrationSeconds(surv *hw.Topology, spec *fault.Spec, bytes float64, dest Dest) (float64, error) {
 	srv, err := hw.Build(surv)
 	if err != nil {
 		return 0, err

@@ -49,7 +49,7 @@ func finishRollback(cfg Config, rep *RecoveryReport, topo *hw.Topology, base *fa
 		// restart policy prices the same way).
 		rep.MigrationBytes = rep.CheckpointBytes
 		var err error
-		rep.RollbackRestoreSeconds, err = simulateMigration(topo, base, rep.CheckpointBytes, cfg.CheckpointDest)
+		rep.RollbackRestoreSeconds, err = MigrationSeconds(topo, base, rep.CheckpointBytes, cfg.CheckpointDest)
 		if err != nil {
 			return err
 		}

@@ -220,6 +220,7 @@ func All() map[string]func() (*Table, error) {
 		"resilience":             Resilience,
 		"recovery":               Recovery,
 		"integrity":              Integrity,
+		"overload":               Overload,
 	}
 }
 
@@ -231,6 +232,6 @@ func Order() []string {
 		"figure13", "figure14", "figure15", "figure16",
 		"ablation-prefetch", "ablation-priority", "ablation-microbatches",
 		"related-work", "convergence-async", "ablation-checkpointing",
-		"resilience", "recovery", "integrity",
+		"resilience", "recovery", "integrity", "overload",
 	}
 }

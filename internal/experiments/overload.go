@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobius/internal/cluster"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+)
+
+// The overload sweep drives a fixed two-server fleet through rising
+// offered load, with and without admission control, and reads off the
+// robustness claim: token-bucket admission keeps the queueing delay of
+// accepted jobs bounded as load grows, and the deadline shedder only
+// ever sheds the best-effort class — the paid SLO classes lose work to
+// explicit admission rejections (cheap, immediate) rather than to
+// queue rot (expensive, late).
+//
+// Workload: three tenant classes on the 2+2 commodity box.
+//
+//   - gold (SLO 0): token budget at its base rate, no deadline;
+//   - silver (SLO 1): token budget, degrades to the greedy floor when
+//     its queue patience runs out;
+//   - best-effort (SLO 2): no budget, tight deadline — the shock
+//     absorber.
+//
+// The multiplier scales every class's arrival rate; token budgets stay
+// fixed at the 1x rates, which is what makes them admission *control*
+// rather than accounting.
+
+// OverloadPoint is one cell of the sweep: a full fleet report at one
+// (multiplier, admission) setting.
+type OverloadPoint struct {
+	Multiplier float64
+	Admission  bool
+	Report     *cluster.Report
+}
+
+// overloadConfig builds the fleet for one sweep point.
+func overloadConfig(cache *cluster.StepCache, mult float64, admission bool) cluster.Config {
+	const (
+		baseGold = 0.030 // jobs/s at 1x, per class
+		baseSilv = 0.030
+		baseBE   = 0.040
+	)
+	mk := func(name string, slo int, rate float64) cluster.Class {
+		return cluster.Class{
+			Name:           name,
+			SLO:            slo,
+			RatePerS:       rate * mult,
+			Model:          model.GPT3B,
+			PartitionAlgo:  partition.AlgoBalanced,
+			BalancedStages: 4,
+			StepsMin:       2,
+			StepsMax:       3,
+		}
+	}
+	gold := mk("gold", 0, baseGold)
+	silver := mk("silver", 1, baseSilv)
+	be := mk("best-effort", 2, baseBE)
+	if admission {
+		// Budgets are pinned to the 1x rates (with a little headroom),
+		// independent of the multiplier: past 1x the buckets clip.
+		gold.TokenRatePerS, gold.TokenBurst = baseGold*1.2, 3
+		silver.TokenRatePerS, silver.TokenBurst = baseSilv*1.2, 3
+	}
+	silver.DegradeAfterS = 45
+	be.DeadlineS = 40
+	return cluster.Config{
+		Servers:  2,
+		Topology: hw.Commodity(hw.RTX3090Ti, 2, 2),
+		Classes:  []cluster.Class{gold, silver, be},
+		HorizonS: 600,
+		Seed:     42,
+		QueueCap: 6,
+		Prewarm:  true,
+		Cache:    cache,
+	}
+}
+
+// OverloadSweep runs the sweep and returns every point; the test layer
+// asserts the shape claims on the raw reports.
+func OverloadSweep(cache *cluster.StepCache) ([]OverloadPoint, error) {
+	if cache == nil {
+		cache = cluster.NewStepCache()
+	}
+	var points []OverloadPoint
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		for _, admission := range []bool{true, false} {
+			rep, err := cluster.Run(overloadConfig(cache, mult, admission))
+			if err != nil {
+				return nil, fmt.Errorf("overload sweep %gx (admission=%v): %w", mult, admission, err)
+			}
+			if err := rep.Conservation(); err != nil {
+				return nil, fmt.Errorf("overload sweep %gx (admission=%v): %w", mult, admission, err)
+			}
+			points = append(points, OverloadPoint{Multiplier: mult, Admission: admission, Report: rep})
+		}
+	}
+	return points, nil
+}
+
+// Overload renders the sweep as an experiment table.
+func Overload() (*Table, error) {
+	points, err := OverloadSweep(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Overload sweep: 2 servers, 3 SLO classes, rising offered load",
+		Header: []string{"load", "admission", "offered", "done", "rejected", "shed",
+			"gold p99 (s)", "silver p99 (s)", "BE p99 (s)", "Jain"},
+	}
+	for _, p := range points {
+		r := p.Report
+		adm := "off"
+		if p.Admission {
+			adm = "on"
+		}
+		byName := map[string]cluster.ClassStats{}
+		for _, c := range r.Classes {
+			byName[c.Name] = c
+		}
+		t.Add(fmt.Sprintf("%.1fx", p.Multiplier), adm,
+			fmt.Sprintf("%d", r.Submitted), fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%d", r.Rejected), fmt.Sprintf("%d", r.Shed),
+			secs(byName["gold"].WaitP99), secs(byName["silver"].WaitP99),
+			secs(byName["best-effort"].WaitP99), fmt.Sprintf("%.3f", r.Jain))
+	}
+	t.Note("token budgets stay at the 1x rates: past 1x, admission clips paid classes immediately")
+	t.Note("only best-effort carries a deadline, so sheds land exclusively on the lowest SLO class")
+	t.Note("with admission off, paid classes keep their queue-jump (SLO-ordered dequeue) but queue delay grows with load")
+	return t, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+
+	"mobius/internal/cluster"
+)
+
+// TestOverloadSweepShape asserts the robustness claims of the overload
+// experiment on the raw sweep reports:
+//
+//  1. every point conserves jobs (checked inside OverloadSweep);
+//  2. shedding lands exclusively on the best-effort class, at every
+//     load and with admission on or off;
+//  3. with admission on, the p99 queueing delay of accepted jobs stays
+//     bounded as load quadruples — no class's p99 wait exceeds the
+//     best-effort deadline by more than the patience windows allow;
+//  4. admission converts overload into rejections rather than delay:
+//     at the top multiplier the admission-on fleet rejects more of the
+//     paid classes up front and its worst-class p99 wait is no worse
+//     than the admission-off fleet's.
+func TestOverloadSweepShape(t *testing.T) {
+	points, err := OverloadSweep(cluster.NewStepCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := func(r *cluster.Report, name string) cluster.ClassStats {
+		for _, c := range r.Classes {
+			if c.Name == name {
+				return c
+			}
+		}
+		t.Fatalf("class %q missing from report", name)
+		return cluster.ClassStats{}
+	}
+	worstP99 := func(r *cluster.Report) float64 {
+		w := 0.0
+		for _, c := range r.Classes {
+			if c.WaitP99 > w {
+				w = c.WaitP99
+			}
+		}
+		return w
+	}
+
+	var topOn, topOff *cluster.Report
+	for _, p := range points {
+		r := p.Report
+		// (2) sheds only ever hit the lowest SLO class.
+		if g, s := byName(r, "gold"), byName(r, "silver"); g.Shed != 0 || s.Shed != 0 {
+			t.Errorf("%gx admission=%v: paid classes shed (gold %d, silver %d)",
+				p.Multiplier, p.Admission, g.Shed, s.Shed)
+		}
+		if p.Multiplier == 4 {
+			if p.Admission {
+				topOn = r
+			} else {
+				topOff = r
+			}
+		}
+		// (3) bounded accepted-job delay under admission: even at 4x the
+		// longest per-class p99 wait stays under the structural bound of
+		// a clipped queue — QueueCap jobs of at most ~10s of execution
+		// each — instead of growing with the offered load.
+		if p.Admission {
+			if w := worstP99(r); w > 60 {
+				t.Errorf("%gx admission=on: worst per-class p99 wait %.1fs, want bounded by the clipped queue depth (~60s)",
+					p.Multiplier, w)
+			}
+		}
+	}
+	if topOn == nil || topOff == nil {
+		t.Fatal("sweep missing the 4x points")
+	}
+	// (4) overload shows up as early rejection, not queue rot.
+	onRej := byName(topOn, "gold").RejectedAdmission + byName(topOn, "silver").RejectedAdmission
+	if onRej == 0 {
+		t.Error("4x admission=on: token buckets admitted everything; budgets are not binding")
+	}
+	if offAdm := topOff.Classes[0].RejectedAdmission; offAdm != 0 {
+		t.Errorf("4x admission=off: %d admission rejections with no budgets configured", offAdm)
+	}
+	if worstP99(topOn) > worstP99(topOff) {
+		t.Errorf("4x: admission-on worst p99 %.1fs exceeds admission-off %.1fs; admission failed to bound delay",
+			worstP99(topOn), worstP99(topOff))
+	}
+	if topOn.Jain < topOff.Jain {
+		t.Errorf("4x: admission-on Jain %.3f below admission-off %.3f; budgets should protect per-class goodput",
+			topOn.Jain, topOff.Jain)
+	}
+	// The shock absorber absorbs: best-effort sheds under overload.
+	if be := byName(topOn, "best-effort"); be.Shed == 0 {
+		t.Error("4x admission=on: best-effort shed nothing; the sweep is not overloaded")
+	}
+}
+
+func TestOverloadTableRenders(t *testing.T) {
+	tab := mustTable(t, Overload)
+	if got, want := len(tab.Rows), 8; got != want {
+		t.Errorf("overload table rows: %d, want %d (4 loads x 2 admission settings)", got, want)
+	}
+}

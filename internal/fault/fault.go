@@ -51,6 +51,12 @@ type Spec struct {
 	// the run halts at the onset with a structured sim.ResourceLostError.
 	GPUFails  []GPUFailFault  `json:"gpu_fails,omitempty"`
 	LinkFails []LinkFailFault `json:"link_fails,omitempty"`
+
+	// ServerFails are fleet-level failure domains (see server.go): whole
+	// servers dropping out of a cluster run. The per-server Apply ignores
+	// them, like the Planner clauses — they are consumed by
+	// internal/cluster.
+	ServerFails []ServerFailFault `json:"server_fails,omitempty"`
 }
 
 // LinkFault degrades one bandwidth resource to a fraction of its nominal
@@ -245,6 +251,9 @@ func (s *Spec) Validate() error {
 	if err := s.validateCorruptions(); err != nil {
 		return err
 	}
+	if err := s.validateServers(); err != nil {
+		return err
+	}
 	return s.validatePermanent()
 }
 
@@ -259,7 +268,7 @@ func endLabel(end float64) string {
 func (s *Spec) Empty() bool {
 	return s == nil || (len(s.Links) == 0 && len(s.Stragglers) == 0 && len(s.Transient) == 0 &&
 		len(s.MemPressure) == 0 && len(s.Corruptions) == 0 && len(s.Planner) == 0 &&
-		len(s.GPUFails) == 0 && len(s.LinkFails) == 0)
+		len(s.GPUFails) == 0 && len(s.LinkFails) == 0 && len(s.ServerFails) == 0)
 }
 
 // Injection is the record of a spec bound to one server: what was applied

@@ -29,8 +29,8 @@ func TestElasticRecoveryIsZeroSolveWithPrewarm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Survivors != 2 {
-		t.Fatalf("prewarm: %+v, want 2 survivor plans on the symmetric box", rep)
+	if rep.Survivors != 3 {
+		t.Fatalf("prewarm: %+v, want 3 survivor plans on the symmetric box (two GPU-loss shapes + the rc-loss pair)", rep)
 	}
 
 	// Nominal step (planned through the service: a cache hit) to place

@@ -1,0 +1,166 @@
+package plansvc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mobius/internal/core"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+)
+
+// evictMenu returns n cheap, key-distinct planning requests.
+func evictMenu(t *testing.T, n int) []core.Options {
+	t.Helper()
+	var menu []core.Options
+	for _, m := range []model.Config{model.GPT3B, model.GPT8B} {
+		for _, stages := range []int{4, 8, 2} {
+			menu = append(menu, core.Options{
+				Model: m, Topology: topo22(),
+				PartitionAlgo: partition.AlgoBalanced, BalancedStages: stages,
+			})
+		}
+	}
+	if n > len(menu) {
+		t.Fatalf("menu holds %d requests, need %d", len(menu), n)
+	}
+	return menu[:n]
+}
+
+// TestCacheTTLEviction: an entry past its TTL is evicted on lookup and
+// the request recomputes.
+func TestCacheTTLEviction(t *testing.T) {
+	vt := newVirtualTime()
+	svc := New(Config{CacheTTL: time.Minute, Now: vt.Now, Sleep: vt.Sleep})
+	opts := balancedOpts(model.GPT3B)
+	ctx := context.Background()
+
+	if _, err := svc.PlanMobius(ctx, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.PlanMobius(ctx, opts); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if m.Solves != 1 || m.Hits != 1 {
+		t.Fatalf("warmup: solves=%d hits=%d, want 1/1", m.Solves, m.Hits)
+	}
+
+	key, err := KeyOf(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Has(key) {
+		t.Fatal("fresh entry should be present")
+	}
+	vt.Advance(2 * time.Minute)
+	if svc.Has(key) {
+		t.Fatal("expired entry still reported by Has")
+	}
+	if _, err := svc.PlanMobius(ctx, opts); err != nil {
+		t.Fatal(err)
+	}
+	m = svc.Metrics()
+	if m.EvictionsTTL != 1 {
+		t.Errorf("EvictionsTTL = %d, want 1", m.EvictionsTTL)
+	}
+	if m.Solves != 2 {
+		t.Errorf("Solves = %d, want 2 (expiry forces a recompute)", m.Solves)
+	}
+	if m.CacheEntries != 1 {
+		t.Errorf("CacheEntries = %d, want 1", m.CacheEntries)
+	}
+	checkConservation(t, m)
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheLRUEviction: inserting past CacheMaxEntries evicts the least
+// recently used entry; a hit refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	svc := New(Config{CacheMaxEntries: 2})
+	menu := evictMenu(t, 4)
+	a, b, c, d := menu[0], menu[1], menu[2], menu[3]
+	ctx := context.Background()
+
+	keys := make([]Key, 4)
+	for i, o := range []core.Options{a, b, c, d} {
+		var err error
+		if keys[i], err = KeyOf(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, o := range []core.Options{a, b, c} {
+		if _, err := svc.PlanMobius(ctx, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := svc.Metrics()
+	if m.EvictionsLRU != 1 || m.CacheEntries != 2 {
+		t.Fatalf("after a,b,c: EvictionsLRU=%d entries=%d, want 1/2", m.EvictionsLRU, m.CacheEntries)
+	}
+	if svc.Has(keys[0]) {
+		t.Error("a should be the LRU victim")
+	}
+	if !svc.Has(keys[1]) || !svc.Has(keys[2]) {
+		t.Error("b and c should survive")
+	}
+
+	// Touch b, then insert d: c is now the least recently used.
+	if _, err := svc.PlanMobius(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.PlanMobius(ctx, d); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Has(keys[2]) {
+		t.Error("c should be evicted after b was refreshed")
+	}
+	if !svc.Has(keys[1]) || !svc.Has(keys[3]) {
+		t.Error("b and d should be cached")
+	}
+	m = svc.Metrics()
+	if m.EvictionsLRU != 2 {
+		t.Errorf("EvictionsLRU = %d, want 2", m.EvictionsLRU)
+	}
+	checkConservation(t, m)
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCapacitySweepPrefersExpired: when the cache is over capacity,
+// expired entries are evicted before any live entry is sacrificed.
+func TestCapacitySweepPrefersExpired(t *testing.T) {
+	vt := newVirtualTime()
+	svc := New(Config{CacheMaxEntries: 2, CacheTTL: time.Minute, Now: vt.Now, Sleep: vt.Sleep})
+	menu := evictMenu(t, 3)
+	ctx := context.Background()
+
+	if _, err := svc.PlanMobius(ctx, menu[0]); err != nil {
+		t.Fatal(err)
+	}
+	vt.Advance(2 * time.Minute) // menu[0] expires
+	if _, err := svc.PlanMobius(ctx, menu[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.PlanMobius(ctx, menu[2]); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if m.EvictionsTTL != 1 || m.EvictionsLRU != 0 {
+		t.Errorf("EvictionsTTL=%d EvictionsLRU=%d, want 1/0 (sweep takes the expired entry)",
+			m.EvictionsTTL, m.EvictionsLRU)
+	}
+	k1, _ := KeyOf(menu[1])
+	k2, _ := KeyOf(menu[2])
+	if !svc.Has(k1) || !svc.Has(k2) {
+		t.Error("live entries evicted while an expired one existed")
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

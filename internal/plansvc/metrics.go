@@ -30,6 +30,12 @@ type Metrics struct {
 	// ValidateDrops counts cached entries dropped because Plan.Validate
 	// failed on a hit (corrupt or stale entry degraded to a recompute).
 	ValidateDrops uint64
+	// EvictionsTTL counts entries evicted past Config.CacheTTL (on
+	// lookup or by the capacity sweep); EvictionsLRU counts live entries
+	// evicted by the Config.CacheMaxEntries capacity bound, least
+	// recently used first.
+	EvictionsTTL uint64
+	EvictionsLRU uint64
 
 	// Solves counts inner planner invocations (full MIP + mapping).
 	Solves uint64

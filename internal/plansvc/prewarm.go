@@ -14,29 +14,39 @@ type PrewarmReport struct {
 	// Full is the key of the intact-topology plan.
 	Full Key
 	// Survivors counts distinct surviving topologies planned (after
-	// key deduplication).
+	// key deduplication), across GPU-loss and link-loss scenarios.
 	Survivors int
-	// Deduped counts single-GPU-loss scenarios whose surviving machine
-	// keyed to an already-planned entry (symmetric losses collapse).
+	// GPULosses and LinkLosses count the loss scenarios enumerated:
+	// every single GPU, and every PCIe/NVLink/root-complex bandwidth
+	// resource whose death strands at least its own GPU.
+	GPULosses  int
+	LinkLosses int
+	// Deduped counts loss scenarios whose surviving machine keyed to an
+	// already-planned entry (symmetric losses collapse, and a gpuN.link
+	// loss strands the same machine as losing gpuN outright).
 	Deduped int
-	// Unsurvivable counts GPU losses that leave no usable machine.
+	// Unsurvivable counts losses that leave no usable machine.
 	Unsurvivable int
 }
 
 func (r *PrewarmReport) String() string {
-	return fmt.Sprintf("prewarm: full plan + %d survivor plan(s) (%d deduplicated, %d unsurvivable)",
-		r.Survivors, r.Deduped, r.Unsurvivable)
+	return fmt.Sprintf("prewarm: full plan + %d survivor plan(s) over %d GPU-loss and %d link-loss scenarios (%d deduplicated, %d unsurvivable)",
+		r.Survivors, r.GPULosses, r.LinkLosses, r.Deduped, r.Unsurvivable)
 }
 
 // Prewarm speculatively plans the request and every topology that
-// survives the loss of a single GPU, so a later elastic recovery's
-// re-plan is a cache lookup instead of a MIP solve. Survivor scenarios
-// are deduplicated by content key — on a symmetric machine, losing any
-// of the four GPUs leaves the same surviving topology, which is planned
-// once. Survivor plans keep the full request's microbatch count,
-// matching elastic recovery semantics (the global batch size is
-// preserved across a recovery). Each survivor solve is warm-started
-// from the already-cached full plan via the nearest-incumbent index.
+// survives the loss of a single GPU or of a single interconnect
+// resource (a GPU's PCIe or NVLink port, a whole root complex), so a
+// later elastic recovery's re-plan is a cache lookup instead of a MIP
+// solve whichever way the hardware fails. Survivor scenarios are
+// deduplicated by content key — on a symmetric machine, losing any of
+// the four GPUs leaves the same surviving topology, and losing gpu2's
+// PCIe port strands the same machine as losing gpu2 — so the distinct
+// plans are far fewer than the scenarios. Survivor plans keep the full
+// request's microbatch count, matching elastic recovery semantics (the
+// global batch size is preserved across a recovery). Each survivor
+// solve is warm-started from the already-cached full plan via the
+// nearest-incumbent index.
 func (s *Service) Prewarm(ctx context.Context, opts core.Options) (*PrewarmReport, error) {
 	req, err := NewRequest(opts)
 	if err != nil {
@@ -48,29 +58,58 @@ func (s *Service) Prewarm(ctx context.Context, opts core.Options) (*PrewarmRepor
 	}
 	seen := map[Key]bool{req.Key: true}
 	topo := req.Opts.Topology
+
 	for g := 0; g < topo.NumGPUs(); g++ {
+		rep.GPULosses++
 		spec := &fault.Spec{GPUFails: []fault.GPUFailFault{{GPU: g}}}
-		surv, _, err := elastic.SurvivingTopology(topo, spec)
-		if err != nil {
-			rep.Unsurvivable++
-			continue
+		if err := s.prewarmSurvivor(ctx, req, spec, rep, seen, fmt.Sprintf("lost gpu %d", g)); err != nil {
+			return rep, err
 		}
-		sopts := req.Opts
-		sopts.Topology = surv
-		sreq, err := NewRequest(sopts)
-		if err != nil {
-			return rep, fmt.Errorf("plansvc: prewarm survivor (lost gpu %d): %w", g, err)
+	}
+
+	var links []string
+	for g := 0; g < topo.NumGPUs(); g++ {
+		links = append(links, fmt.Sprintf("gpu%d.link", g))
+		if topo.NVLinkBW > 0 {
+			links = append(links, fmt.Sprintf("gpu%d.nvlink", g))
 		}
-		if seen[sreq.Key] {
-			rep.Deduped++
-			continue
+	}
+	for rc := range topo.RootComplexBW {
+		links = append(links, fmt.Sprintf("rc%d", rc))
+	}
+	for _, link := range links {
+		rep.LinkLosses++
+		spec := &fault.Spec{LinkFails: []fault.LinkFailFault{{Link: link}}}
+		if err := s.prewarmSurvivor(ctx, req, spec, rep, seen, fmt.Sprintf("lost link %s", link)); err != nil {
+			return rep, err
 		}
-		seen[sreq.Key] = true
-		if _, err := s.plan(ctx, sreq); err != nil {
-			return rep, fmt.Errorf("plansvc: prewarm survivor (lost gpu %d): %w", g, err)
-		}
-		rep.Survivors++
-		s.count(func(m *Metrics) { m.PrewarmPlans++ })
 	}
 	return rep, nil
+}
+
+// prewarmSurvivor derives the surviving topology of one loss scenario
+// and plans it unless an identically-keyed survivor was already planned.
+func (s *Service) prewarmSurvivor(ctx context.Context, req *Request, spec *fault.Spec, rep *PrewarmReport, seen map[Key]bool, label string) error {
+	surv, _, err := elastic.SurvivingTopology(req.Opts.Topology, spec)
+	if err != nil {
+		rep.Unsurvivable++
+		return nil
+	}
+	sopts := req.Opts
+	sopts.Topology = surv
+	sreq, err := NewRequest(sopts)
+	if err != nil {
+		return fmt.Errorf("plansvc: prewarm survivor (%s): %w", label, err)
+	}
+	if seen[sreq.Key] {
+		rep.Deduped++
+		return nil
+	}
+	seen[sreq.Key] = true
+	if _, err := s.plan(ctx, sreq); err != nil {
+		return fmt.Errorf("plansvc: prewarm survivor (%s): %w", label, err)
+	}
+	rep.Survivors++
+	s.count(func(m *Metrics) { m.PrewarmPlans++ })
+	return nil
 }

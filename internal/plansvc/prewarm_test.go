@@ -4,12 +4,17 @@ import (
 	"context"
 	"testing"
 
+	"mobius/internal/elastic"
+	"mobius/internal/fault"
 	"mobius/internal/model"
 )
 
 // TestPrewarmDeduplicatesSymmetricSurvivors: on the symmetric 2+2 box,
 // losing either GPU of a root complex leaves the same surviving
-// machine, so four loss scenarios cost two survivor plans.
+// machine, every gpuN.link loss strands the machine its GPU loss
+// strands, and the two root-complex losses mirror each other — so
+// 4 GPU-loss and 6 link-loss scenarios cost three survivor plans
+// (1+2, 2+1, and the single-complex pair left by an rc loss).
 func TestPrewarmDeduplicatesSymmetricSurvivors(t *testing.T) {
 	svc := New(Config{})
 	opts := balancedOpts(model.GPT3B)
@@ -18,16 +23,19 @@ func TestPrewarmDeduplicatesSymmetricSurvivors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Survivors != 2 || rep.Deduped != 2 || rep.Unsurvivable != 0 {
-		t.Errorf("report %+v, want 2 survivors / 2 deduped / 0 unsurvivable", rep)
+	if rep.GPULosses != 4 || rep.LinkLosses != 6 {
+		t.Errorf("enumerated %d GPU losses and %d link losses, want 4 and 6", rep.GPULosses, rep.LinkLosses)
+	}
+	if rep.Survivors != 3 || rep.Deduped != 7 || rep.Unsurvivable != 0 {
+		t.Errorf("report %+v, want 3 survivors / 7 deduped / 0 unsurvivable", rep)
 	}
 	m := svc.Metrics()
 	checkConservation(t, m)
-	if m.CacheEntries != 3 { // full + two distinct survivors
-		t.Errorf("CacheEntries = %d, want 3", m.CacheEntries)
+	if m.CacheEntries != 4 { // full + three distinct survivors
+		t.Errorf("CacheEntries = %d, want 4", m.CacheEntries)
 	}
-	if m.PrewarmPlans != 2 {
-		t.Errorf("PrewarmPlans = %d, want 2", m.PrewarmPlans)
+	if m.PrewarmPlans != 3 {
+		t.Errorf("PrewarmPlans = %d, want 3", m.PrewarmPlans)
 	}
 
 	// A repeated prewarm is all cache hits: zero extra solves.
@@ -37,5 +45,50 @@ func TestPrewarmDeduplicatesSymmetricSurvivors(t *testing.T) {
 	}
 	if after := svc.Metrics().Solves; after != before {
 		t.Errorf("repeat prewarm solved %d more times", after-before)
+	}
+}
+
+// TestPrewarmCoversLinkLossSurvivors: after a Prewarm, the re-plan for
+// any single link-loss survivor topology — including a whole root
+// complex — is a cache hit, no solver involved.
+func TestPrewarmCoversLinkLossSurvivors(t *testing.T) {
+	svc := New(Config{})
+	opts := balancedOpts(model.GPT8B)
+	if _, err := svc.Prewarm(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Metrics().Solves
+
+	for _, link := range []string{"gpu0.link", "gpu3.link", "rc0", "rc1"} {
+		spec := &fault.Spec{LinkFails: []fault.LinkFailFault{{Link: link}}}
+		surv, _, err := elastic.SurvivingTopology(opts.Topology, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", link, err)
+		}
+		sopts := opts
+		sopts.Topology = surv
+		// Survivor plans keep the full machine's microbatch count
+		// (elastic recovery preserves the global batch size).
+		sopts.Microbatches = opts.Topology.NumGPUs()
+		key, err := KeyOf(sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !svc.Has(key) {
+			t.Errorf("%s: survivor plan not prewarmed", link)
+		}
+		if _, err := svc.PlanMobius(context.Background(), sopts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := svc.Metrics().Solves; after != before {
+		t.Errorf("link-loss re-plans performed %d solve(s); want 0 (all cache hits)", after-before)
+	}
+	// An unsurvivable loss is not in the cache and not an error here:
+	// drambus death has no survivor topology at all.
+	if _, _, err := elastic.SurvivingTopology(opts.Topology, &fault.Spec{
+		LinkFails: []fault.LinkFailFault{{Link: "drambus"}},
+	}); err == nil {
+		t.Error("drambus loss should be unsurvivable")
 	}
 }

@@ -39,6 +39,16 @@ type Config struct {
 	// cached incumbent (the solve outcome is identical either way; only
 	// effort changes).
 	DisableWarm bool
+	// CacheTTL bounds a cached plan's lifetime: an entry older than the
+	// TTL is evicted on its next lookup (and by the capacity sweep) and
+	// the request recomputes. Zero means entries never expire. Plans are
+	// pure functions of their inputs, so a TTL is about bounding memory
+	// in long-lived fleets, not staleness of content.
+	CacheTTL time.Duration
+	// CacheMaxEntries caps the plan cache size; inserting past the cap
+	// evicts expired entries first, then the least-recently-used live
+	// entry. Zero means unbounded.
+	CacheMaxEntries int
 	// Now and Sleep are the service's clock; tests and the chaos
 	// harness substitute a virtual clock to drive backoff and breaker
 	// cooldowns deterministically. Sleep must return early when ctx
@@ -98,6 +108,7 @@ type Service struct {
 
 	mu      sync.Mutex
 	cache   map[Key]*entry
+	useSeq  uint64 // logical recency clock; bumped on every cache use
 	flights map[Key]*flight
 	breaker breaker
 	m       Metrics
