@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-perf check-plansvc check-cluster bench bench-json bench-plan-json bench-cluster-json
+.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-perf check-plansvc check-cluster check-store bench bench-json bench-plan-json bench-cluster-json bench-store-json
 
 build:
 	$(GO) build ./...
@@ -83,13 +83,29 @@ check-cluster:
 	$(GO) test -race -run 'TestClusterChaos' -count=1 ./internal/chaos/
 	$(GO) test -race -run 'TestOverload' -count=1 ./internal/experiments/
 
+# check-store is the persistence gate: the crash-safe plan store's full
+# suite (record grammar, truncate-at-every-byte and bit-flip-at-every-
+# byte properties, quarantine semantics, write-behind queue bounds), the
+# warm-restart recovery suite in plansvc (zero-solve restart, eviction
+# coherence, capacity-capped adoption), the fleet restart suite, and the
+# seed-derived store chaos matrix with its decision mirror — all under
+# the race detector — then a short native-fuzz smoke of the record
+# loader and the store chaos invariants.
+check-store:
+	$(GO) test -race -count=1 ./internal/planstore/
+	$(GO) test -race -run 'TestWarmRestart|TestWarmStart|TestEviction|TestTTLEviction|TestCorruptStore|TestMetricsEndpoint|TestPrewarmDepth' -count=1 ./internal/plansvc/
+	$(GO) test -race -run 'TestClusterRestart|TestClusterWarmRestart|TestClusterColdRestart' -count=1 ./internal/cluster/
+	$(GO) test -race -run 'TestStoreChaos' -count=1 ./internal/chaos/
+	$(GO) test -run xxx -fuzz 'FuzzStoreLoad' -fuzztime 10s ./internal/planstore/
+	$(GO) test -run xxx -fuzz 'FuzzStoreChaosInvariants' -fuzztime 10s ./internal/chaos/
+
 # check is the tier-1 gate: everything must compile, vet clean, pass the
 # test suite under the race detector (the planning pipeline is
 # concurrent, so plain `go test` alone is not enough), and survive the
 # fault matrix, the recovery matrix, the chaos matrix, the sharded
 # scheduler's race-clean differential suite, the performance smoke gate,
 # and the multi-tenant fleet gate.
-check: build vet race check-faults check-recovery check-chaos check-sharded check-perf check-plansvc check-cluster
+check: build vet race check-faults check-recovery check-chaos check-sharded check-perf check-plansvc check-cluster check-store
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/
@@ -102,10 +118,17 @@ bench-json:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/ | $(GO) run ./cmd/bench2json -o BENCH_sim.json
 
 # bench-plan-json regenerates BENCH_plan.json: the planning-service
-# latency benchmarks (cache hit, key derivation, greedy floor) in the
-# same diffable JSON format as BENCH_sim.json.
+# latency benchmarks (cache hit, key derivation, greedy floor) plus the
+# plan-store persistence benchmarks (write-behind round trip, warm-
+# restart directory replay) in the same diffable JSON format as
+# BENCH_sim.json.
 bench-plan-json:
-	$(GO) test -run xxx -bench . -benchmem ./internal/plansvc/ | $(GO) run ./cmd/bench2json -o BENCH_plan.json
+	$(GO) test -run xxx -bench . -benchmem ./internal/plansvc/ ./internal/planstore/ | $(GO) run ./cmd/bench2json -o BENCH_plan.json
+
+# bench-store-json is bench-plan-json restricted to the plan-store
+# persistence benchmarks — quick to re-run when only the store changed.
+bench-store-json:
+	$(GO) test -run xxx -bench . -benchmem ./internal/planstore/ | $(GO) run ./cmd/bench2json -o BENCH_store.json
 
 # bench-cluster-json regenerates BENCH_cluster.json: fleet-simulation
 # throughput (jobs/s at a fixed 3-server fleet with a warm step cache)

@@ -10,6 +10,9 @@
 //	mobius-cluster -servers 4 -horizon 900
 //	mobius-cluster -load 4                        # 4x offered load, budgets fixed
 //	mobius-cluster -fail 1@300 -fail 2@450        # server losses (id@seconds)
+//	mobius-cluster -restart 0@200                 # server bounce: down, then warm rejoin
+//	mobius-cluster -restart 0@200 -restart-cold   # rejoin with a cold plan cache
+//	mobius-cluster -cache-dir /tmp/fleet-plans    # per-server persistent plan stores
 //	mobius-cluster -dispatch-fail-prob 0.2        # transient dispatch failures
 //	mobius-cluster -no-admission                  # drop the token budgets
 //	mobius-cluster -jobs                          # append the per-job audit trail
@@ -54,6 +57,21 @@ func (f *failList) Set(v string) error {
 	return nil
 }
 
+// restartList collects repeated -restart server@seconds flags.
+type restartList []fault.ServerRestartFault
+
+func (f *restartList) String() string { return fmt.Sprintf("%v", []fault.ServerRestartFault(*f)) }
+
+func (f *restartList) Set(v string) error {
+	var srv int
+	var at float64
+	if _, err := fmt.Sscanf(v, "%d@%f", &srv, &at); err != nil {
+		return fmt.Errorf("want server@seconds (e.g. 0@200), got %q", v)
+	}
+	*f = append(*f, fault.ServerRestartFault{Server: srv, At: at})
+	return nil
+}
+
 func main() {
 	servers := flag.Int("servers", 2, "number of Mobius servers in the fleet")
 	topoSpec := flag.String("topo", "2+2", "per-server topology: GPUs per root complex (e.g. 4, 2+2)")
@@ -66,8 +84,13 @@ func main() {
 	dispatchFailProb := flag.Float64("dispatch-fail-prob", 0, "transient dispatch failure probability [0,1)")
 	prewarm := flag.Bool("prewarm", true, "prewarm every server's plan cache before arrivals")
 	jobs := flag.Bool("jobs", false, "append the per-job audit trail")
+	cacheDir := flag.String("cache-dir", "", "root directory for per-server persistent plan stores (warm restarts reload from disk)")
+	restartCold := flag.Bool("restart-cold", false, "restarted servers rejoin with a cold plan cache")
+	restartLatency := flag.Float64("restart-latency", 0, "default downtime of a -restart bounce in seconds (0 = built-in default)")
 	var fails failList
 	flag.Var(&fails, "fail", "server loss as server@seconds (repeatable)")
+	var restarts restartList
+	flag.Var(&restarts, "restart", "server bounce as server@seconds (repeatable); the server rejoins after -restart-latency")
 	flag.Parse()
 
 	var m model.Config
@@ -122,9 +145,16 @@ func main() {
 		QueueCap:         *queueCap,
 		DispatchFailProb: *dispatchFailProb,
 		Prewarm:          *prewarm,
+		StoreRoot:        *cacheDir,
+		RestartLatencyS:  *restartLatency,
 	}
-	if len(fails) > 0 {
-		cfg.Faults = &fault.Spec{ServerFails: fails}
+	if len(fails) > 0 || len(restarts) > 0 {
+		if *restartCold {
+			for i := range restarts {
+				restarts[i].Cold = true
+			}
+		}
+		cfg.Faults = &fault.Spec{ServerFails: fails, ServerRestarts: restarts}
 	}
 
 	rep, err := cluster.Run(cfg)

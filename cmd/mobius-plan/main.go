@@ -6,12 +6,17 @@
 //	mobius-plan -model 15B -topo 2+2
 //	mobius-plan -model 51B -topo 4+4 -algo min-stage -mapping sequential
 //	mobius-plan -model 15B -topo 2+2 -prewarm -cache-stats
+//	mobius-plan -model 15B -topo 2+2 -cache-dir /var/lib/mobius/plans
 //
 // Planning goes through the hardened plan service (internal/plansvc):
 // cached, single-flighted, and degrading to the greedy floor rather
 // than failing when a -deadline expires. -prewarm additionally plans
 // every single-GPU-loss survivor topology so a subsequent elastic
-// re-plan is a cache lookup.
+// re-plan is a cache lookup; -prewarm-depth 2 extends that to every
+// GPU-pair loss. -cache-dir persists the cache across invocations
+// (crash-safe, checksummed records; damaged records quarantine and the
+// plan re-solves): a second run on the same directory serves from disk
+// without a solve.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"mobius/internal/mapping"
 	"mobius/internal/model"
 	"mobius/internal/partition"
+	"mobius/internal/planstore"
 	"mobius/internal/plansvc"
 )
 
@@ -60,7 +66,9 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the plan as JSON instead of text")
 	deadline := flag.Duration("deadline", 0, "planning deadline; on expiry the plan degrades to the greedy fallback (0 = none)")
 	prewarm := flag.Bool("prewarm", false, "also pre-plan every single-GPU-loss survivor topology (elastic recovery becomes a cache lookup)")
+	prewarmDepth := flag.Int("prewarm-depth", 1, "survivor enumeration depth for -prewarm: 1 = single losses, 2 = also GPU-pair losses")
 	cacheStats := flag.Bool("cache-stats", false, "print plan service counters after planning")
+	cacheDir := flag.String("cache-dir", "", "persist the plan cache in this directory (warm-started on launch)")
 	flag.Parse()
 
 	m := parseModel(*modelName)
@@ -81,7 +89,18 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
-	svc := plansvc.New(plansvc.Config{})
+	var svcCfg plansvc.Config
+	var store *planstore.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = planstore.Open(planstore.Config{Dir: *cacheDir})
+		if err != nil {
+			fail("cache dir: %v", err)
+		}
+		defer store.Close() // drain the write-behind queue before exit
+		svcCfg.Store = store
+	}
+	svc := plansvc.New(svcCfg)
 	plan, err := svc.PlanMobius(ctx, opts)
 	if err != nil {
 		fail("planning failed: %v", err)
@@ -95,16 +114,31 @@ func main() {
 
 	// Side reports go to stderr so -json keeps stdout machine-readable.
 	if *prewarm {
-		rep, err := svc.Prewarm(ctx, opts)
+		rep, err := svc.PrewarmDepth(ctx, opts, *prewarmDepth)
 		if err != nil {
 			fail("prewarm: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "%s\n", rep)
 	}
 	if *cacheStats {
+		if store != nil {
+			store.Flush() // settle the write-behind queue so the counters are final
+		}
 		ms := svc.Metrics()
 		fmt.Fprintf(os.Stderr, "plansvc:   %d requests, %d hits, %d solves, %d warm starts, %d cached plans, breaker %s\n",
 			ms.Requests, ms.Hits, ms.Solves, ms.WarmStarts, ms.CacheEntries, svc.BreakerState())
+		if sm := svc.StoreMetrics(); sm != nil {
+			fmt.Fprintf(os.Stderr, "planstore: %d adopted at start (%d hits served warm), %d persisted, %d deleted, %d queued",
+				ms.WarmStartEntries, ms.WarmHits, sm.Persisted, sm.Deletes, sm.QueueDepth)
+			if sm.QuarantinedRecords > 0 {
+				fmt.Fprintf(os.Stderr, ", %d quarantined (%d stale, %d invalid)",
+					sm.QuarantinedRecords, sm.StaleRecords, sm.InvalidRecords)
+			}
+			if sm.WriteDrops > 0 || sm.IOErrors > 0 {
+				fmt.Fprintf(os.Stderr, ", %d dropped writes, %d I/O errors", sm.WriteDrops, sm.IOErrors)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 
 	if *asJSON {

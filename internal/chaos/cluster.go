@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 
 	"mobius/internal/cluster"
@@ -39,6 +40,14 @@ type ClusterHarness struct {
 	// is pure, so sharing is invisible to results (asserted by the
 	// replay check, which mixes cold and warm executions).
 	Cache *cluster.StepCache
+
+	// StoreScratch, when set, backs restart scenarios with real
+	// on-disk plan stores: every other restart seed runs with a fresh
+	// store root under this directory (one per execution, removed
+	// afterwards), so the warm-rejoin path exercises persist, close,
+	// reopen and directory replay instead of the in-memory shortcut.
+	// Empty keeps every scenario memory-only.
+	StoreScratch string
 
 	menu []cluster.Class
 	topo *hw.Topology
@@ -103,15 +112,34 @@ func (h *ClusterHarness) ClusterScenario(seed int64) cluster.Config {
 		}
 		cfg.Classes = append(cfg.Classes, cl)
 	}
+	spec := &fault.Spec{Seed: seed}
+	order := rng.Perm(cfg.Servers)
 	if n := rng.Intn(3); n > 0 && n < cfg.Servers {
-		spec := &fault.Spec{Seed: seed}
-		order := rng.Perm(cfg.Servers)
 		for i := 0; i < n; i++ {
 			spec.ServerFails = append(spec.ServerFails, fault.ServerFailFault{
 				Server: order[i],
 				At:     cfg.HorizonS * (0.1 + 0.6*rng.Float64()),
 			})
 		}
+		order = order[n:]
+	}
+	// Optional bounces on servers that do not fail permanently. A
+	// prewarmed fleet only bounces warm, preserving the exact zero-solve
+	// invariant through the restart; a cold fleet may bounce cold too.
+	if len(order) > 0 && rng.Intn(2) == 0 {
+		for i, n := 0, 1+rng.Intn(2); i < n && i < len(order); i++ {
+			rf := fault.ServerRestartFault{
+				Server:          order[i],
+				At:              cfg.HorizonS * (0.1 + 0.6*rng.Float64()),
+				RestartLatencyS: 1 + 7*rng.Float64(),
+			}
+			if !cfg.Prewarm && rng.Intn(2) == 0 {
+				rf.Cold = true
+			}
+			spec.ServerRestarts = append(spec.ServerRestarts, rf)
+		}
+	}
+	if !spec.Empty() {
 		cfg.Faults = spec
 	}
 	return cfg
@@ -138,14 +166,31 @@ func (h *ClusterHarness) RunCluster(seed int64) (*ClusterReport, error) {
 			return nil, fmt.Errorf("chaos: seed %d generated an invalid fleet spec: %w", seed, err)
 		}
 	}
-	first, err := cluster.Run(cfg)
+	// Every other restart scenario runs over real on-disk stores; each
+	// execution gets its own fresh root, so the replay's bitwise match
+	// also proves disk persistence is invisible to the simulation.
+	useDisk := h.StoreScratch != "" && cfg.Faults.HasServerRestarts() && seed%2 == 0
+	runOnce := func() (*cluster.Report, error) {
+		if !useDisk {
+			return cluster.Run(cfg)
+		}
+		root, err := os.MkdirTemp(h.StoreScratch, "cluster-store-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(root)
+		c := cfg
+		c.StoreRoot = root
+		return cluster.Run(c)
+	}
+	first, err := runOnce()
 	if err != nil {
 		return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
 	}
 	if err := h.checkClusterInvariants(cfg, first); err != nil {
 		return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
 	}
-	replay, err := cluster.Run(cfg)
+	replay, err := runOnce()
 	if err != nil {
 		return nil, fmt.Errorf("chaos: seed %d replay: %w", seed, err)
 	}
@@ -170,21 +215,28 @@ func (h *ClusterHarness) checkClusterInvariants(cfg cluster.Config, rep *cluster
 	if n > 0 && (rep.Jain < 1/float64(n)-1e-9 || rep.Jain > 1+1e-9) {
 		return fmt.Errorf("Jain index %g outside [1/%d, 1]", rep.Jain, n)
 	}
-	wantFails := 0
+	wantFails, wantRestarts := 0, 0
 	if cfg.Faults != nil {
 		wantFails = len(cfg.Faults.ServerFails)
+		wantRestarts = len(cfg.Faults.ServerRestarts)
 	}
 	if rep.ServerFailures != wantFails {
 		return fmt.Errorf("ServerFailures %d, scenario declared %d", rep.ServerFailures, wantFails)
+	}
+	if rep.ServerRestarts != wantRestarts {
+		return fmt.Errorf("ServerRestarts %d, scenario declared %d", rep.ServerRestarts, wantRestarts)
 	}
 	relands := 0
 	for _, c := range rep.Classes {
 		relands += c.Relands
 	}
-	if wantFails == 0 && relands != 0 {
+	if wantFails == 0 && wantRestarts == 0 && relands != 0 {
 		return fmt.Errorf("loss-free scenario re-landed %d job(s)", relands)
 	}
 	if cfg.Prewarm {
+		// Restart scenarios on a prewarmed fleet are warm-only by
+		// construction, so the zero-solve identity holds through every
+		// bounce: re-admission never re-solves.
 		if want := uint64(cfg.Servers) * uint64(h.distinctShapes(cfg)); rep.PlanSolves != want {
 			return fmt.Errorf("prewarmed fleet performed %d solves, want exactly %d (servers x distinct shapes)",
 				rep.PlanSolves, want)

@@ -12,8 +12,10 @@ import (
 // failure-accounting invariants, and replays it bitwise.
 func TestClusterChaosMatrix(t *testing.T) {
 	h := NewClusterHarness()
+	h.StoreScratch = t.TempDir()
 	sawFaults, sawRelands, sawRejections := false, false, false
-	for seed := int64(1); seed <= 16; seed++ {
+	sawRestarts, sawWarmRestart := false, false
+	for seed := int64(1); seed <= 24; seed++ {
 		rep, err := h.RunCluster(seed)
 		if err != nil {
 			t.Fatal(err)
@@ -21,6 +23,12 @@ func TestClusterChaosMatrix(t *testing.T) {
 		t.Log(rep)
 		if rep.Report.ServerFailures > 0 {
 			sawFaults = true
+		}
+		if rep.Report.ServerRestarts > 0 {
+			sawRestarts = true
+			if h.ClusterScenario(seed).Prewarm {
+				sawWarmRestart = true
+			}
 		}
 		if rep.Report.Rejected > 0 {
 			sawRejections = true
@@ -41,6 +49,12 @@ func TestClusterChaosMatrix(t *testing.T) {
 	}
 	if !sawRejections {
 		t.Error("no seed rejected a job; widen the scenario space")
+	}
+	if !sawRestarts {
+		t.Error("no seed bounced a server; widen the scenario space")
+	}
+	if !sawWarmRestart {
+		t.Error("no seed bounced a prewarmed server, so the fleet zero-solve-through-restart identity went untested")
 	}
 }
 

@@ -198,12 +198,28 @@ type Config struct {
 	PlanGreedyLatencyS float64
 
 	// Faults is the fleet fault scenario. ServerFails clauses are
-	// consumed here (whole servers dropping); the per-server clauses
-	// that survive WithoutCluster (stragglers, unbounded link
-	// degradation, transients, memory pressure) hold on every step of
-	// every server. Permanent GPU/link failures and corruptions are
-	// the single-server elastic/integrity domain and are rejected.
+	// consumed here (whole servers dropping), as are ServerRestarts
+	// (servers bouncing: crash, then rejoin after RestartLatencyS);
+	// the per-server clauses that survive WithoutCluster (stragglers,
+	// unbounded link degradation, transients, memory pressure) hold on
+	// every step of every server. Permanent GPU/link failures and
+	// corruptions are the single-server elastic/integrity domain and
+	// are rejected.
 	Faults *fault.Spec
+
+	// StoreRoot, when set, backs every server's plan cache with a real
+	// on-disk planstore under StoreRoot/serverN: prewarmed and solved
+	// plans persist write-behind, and a server_restarts bounce closes
+	// the dying store, reopens the directory and warm-starts the new
+	// service from it — the end-to-end crash/restart path. When empty
+	// the fleet simulates an always-intact store: a warm restart
+	// retains the cache contents (exactly what a faultless persisted
+	// store would reload) and a cold restart discards them.
+	StoreRoot string
+
+	// RestartLatencyS is the default downtime of a server_restarts
+	// bounce whose clause leaves RestartLatencyS 0 (default 5).
+	RestartLatencyS float64
 
 	// Prewarm plans every class's shape on every server at t=0, so
 	// first dispatches — and re-landings after a server loss — are
@@ -301,6 +317,17 @@ func (c Config) withDefaults() (Config, error) {
 				return c, fmt.Errorf("cluster: server %d fails at %gs, past the %gs horizon", sf.Server, sf.At, c.HorizonS)
 			}
 		}
+		for _, rf := range c.Faults.ServerRestarts {
+			if rf.Server >= c.Servers {
+				return c, fmt.Errorf("cluster: server_restarts names server %d of a %d-server fleet", rf.Server, c.Servers)
+			}
+			if rf.At >= c.HorizonS {
+				return c, fmt.Errorf("cluster: server %d restarts at %gs, past the %gs horizon", rf.Server, rf.At, c.HorizonS)
+			}
+		}
+	}
+	if c.RestartLatencyS <= 0 {
+		c.RestartLatencyS = 5
 	}
 	if c.Cache == nil {
 		c.Cache = NewStepCache()
@@ -318,6 +345,8 @@ const (
 	evComplete
 	evServerFail
 	evDetect
+	evRestartDown
+	evRestartUp
 )
 
 type event struct {
@@ -360,6 +389,7 @@ type run struct {
 	jobs     []*job
 	stats    []ClassStats
 	stepSpec *fault.Spec
+	restarts map[int]fault.ServerRestartFault
 	rep      *Report
 	nEvents  int
 }
@@ -379,12 +409,21 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &run{cfg: cfg, stepSpec: cfg.Faults.WithoutCluster()}
+	r := &run{cfg: cfg, stepSpec: cfg.Faults.WithoutCluster(), restarts: map[int]fault.ServerRestartFault{}}
 	r.rep = &Report{Servers: cfg.Servers, HorizonS: cfg.HorizonS, Seed: cfg.Seed}
 
 	for i := 0; i < cfg.Servers; i++ {
-		r.servers = append(r.servers, newServer(i, cfg))
+		s, err := newServer(i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.servers = append(r.servers, s)
 	}
+	defer func() {
+		for _, s := range r.servers {
+			s.closeStore()
+		}
+	}()
 	for ci, cl := range cfg.Classes {
 		r.buckets = append(r.buckets, newBucket(cl))
 		r.stats = append(r.stats, ClassStats{Name: cl.Name, SLO: cl.SLO})
@@ -403,6 +442,10 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Faults != nil {
 		for _, sf := range cfg.Faults.ServerFailures() {
 			r.push(&event{at: sf.At, kind: evServerFail, srv: sf.Server})
+		}
+		for _, rf := range cfg.Faults.RestartSchedule() {
+			r.restarts[rf.Server] = rf
+			r.push(&event{at: rf.At, kind: evRestartDown, srv: rf.Server})
 		}
 	}
 
@@ -436,7 +479,12 @@ func (r *run) handle(e *event) error {
 		r.serverFail(r.servers[e.srv])
 		return nil
 	case evDetect:
-		return r.detect(r.servers[e.srv])
+		return r.detect(r.servers[e.srv], e.gen)
+	case evRestartDown:
+		r.restartDown(r.servers[e.srv])
+		return nil
+	case evRestartUp:
+		return r.restartUp(r.servers[e.srv])
 	}
 	return fmt.Errorf("cluster: unknown event kind %d", e.kind)
 }
@@ -636,13 +684,31 @@ func (r *run) complete(s *server, gen uint64) {
 	_ = r.kick(s)
 }
 
-// serverFail drops a server: its generation bumps (stale completions),
-// the in-flight job is rewound to its last checkpoint, and everything
-// it held parks until the detection window elapses.
+// serverFail drops a server permanently; restartDown is the same
+// takedown for a bouncing server (the crash is indistinguishable until
+// the process comes back).
 func (r *run) serverFail(s *server) {
+	r.rep.ServerFailures++
+	r.takeDown(s)
+}
+
+func (r *run) restartDown(s *server) {
+	r.takeDown(s)
+	rf := r.restarts[s.id]
+	lat := rf.RestartLatencyS
+	if lat <= 0 {
+		lat = r.cfg.RestartLatencyS
+	}
+	r.push(&event{at: r.now + lat, kind: evRestartUp, srv: s.id})
+}
+
+// takeDown crashes a server: its generation bumps (stale completions
+// and detections), the in-flight job is rewound to its last checkpoint,
+// and everything it held parks until detection — or an earlier restart
+// — re-routes it.
+func (r *run) takeDown(s *server) {
 	s.dead = true
 	s.gen++
-	r.rep.ServerFailures++
 	if j := s.inflight; j != nil {
 		s.inflight = nil
 		j.resumeStep = checkpointReached(j, r.now)
@@ -656,7 +722,36 @@ func (r *run) serverFail(s *server) {
 		s.parked = append(s.parked, j)
 	}
 	s.queue = s.queue[:0]
-	r.push(&event{at: r.now + r.cfg.DetectLatencyS, kind: evDetect, srv: s.id})
+	r.push(&event{at: r.now + r.cfg.DetectLatencyS, kind: evDetect, srv: s.id, gen: s.gen})
+}
+
+// restartUp rejoins a bounced server: fresh process (fresh breaker,
+// bumped generation so the pending detection is stale), plan cache warm
+// from the persisted store or cold, and everything it parked re-routes
+// immediately — the fleet need not wait out the detection window for a
+// server that is already back.
+func (r *run) restartUp(s *server) error {
+	if !s.dead {
+		return nil
+	}
+	rf := r.restarts[s.id]
+	r.rep.ServerRestarts++
+	s.gen++
+	s.dead = false
+	s.detected = false
+	s.br = breaker{threshold: r.cfg.BreakerThreshold, cooldownS: r.cfg.BreakerCooldownS}
+	if err := s.reopen(r.cfg, rf.Cold); err != nil {
+		return err
+	}
+	parked := s.parked
+	s.parked = nil
+	for _, j := range parked {
+		j.attempts = 0
+		if err := r.route(j); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // checkpointReached walks the in-flight timeline up to the failure
@@ -681,8 +776,13 @@ func checkpointReached(j *job, at float64) int {
 }
 
 // detect marks the server down for the router and re-routes everything
-// it was holding, in deterministic park order.
-func (r *run) detect(s *server) error {
+// it was holding, in deterministic park order. A detection scheduled
+// before a restart completed is stale (the generation moved on): the
+// restart already re-routed the parked work and the server is healthy.
+func (r *run) detect(s *server, gen uint64) error {
+	if s.gen != gen || !s.dead {
+		return nil
+	}
 	s.detected = true
 	parked := s.parked
 	s.parked = nil

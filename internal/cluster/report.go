@@ -108,9 +108,15 @@ type Report struct {
 	DispatchRetries  int
 	BreakerTrips     int
 	ServerFailures   int
+	// ServerRestarts counts completed server bounces (server_restarts
+	// clauses whose rejoin fired).
+	ServerRestarts int
 
-	// PlanSolves/PlanHits aggregate the per-server plan caches; a
-	// prewarmed fleet re-lands jobs with zero incremental solves.
+	// PlanSolves/PlanHits aggregate the per-server plan caches across
+	// every incarnation of every server (a restart retires the old
+	// service's counters into the total); a prewarmed fleet re-lands
+	// jobs — and re-admits a warm-restarted server — with zero
+	// incremental solves.
 	PlanSolves uint64
 	PlanHits   uint64
 
@@ -137,8 +143,8 @@ func (r *run) finish() {
 	rep.Jain = jain(rep.Classes)
 	for _, s := range r.servers {
 		m := s.svc.Metrics()
-		rep.PlanSolves += m.Solves
-		rep.PlanHits += m.Hits
+		rep.PlanSolves += m.Solves + s.retiredSolves
+		rep.PlanHits += m.Hits + s.retiredHits
 	}
 	for _, j := range r.jobs {
 		rec := JobRecord{
@@ -248,8 +254,8 @@ func (r *Report) Fingerprint() string {
 	// runs that would otherwise hit the plan service, so the hit count
 	// reflects cache warmth, not fleet behavior. PlanSolves is warmth
 	// independent (dispatch warms the service before pricing does).
-	fmt.Fprintf(&b, "%d/%d/%d/%d|%d|", r.DispatchFailures, r.DispatchRetries, r.BreakerTrips, r.ServerFailures,
-		r.PlanSolves)
+	fmt.Fprintf(&b, "%d/%d/%d/%d/%d|%d|", r.DispatchFailures, r.DispatchRetries, r.BreakerTrips, r.ServerFailures,
+		r.ServerRestarts, r.PlanSolves)
 	for _, c := range r.Classes {
 		fmt.Fprintf(&b, "c:%s/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%x/%x/%x/%x|",
 			c.Name, c.SLO, c.Submitted, c.Admitted, c.RejectedAdmission, c.RejectedBackpressure,
@@ -273,8 +279,8 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  jobs: %d submitted = %d completed + %d rejected + %d shed + %d failed (+%d in flight)\n",
 		r.Submitted, r.Completed, r.Rejected, r.Shed, r.Failed, r.InFlight)
 	fmt.Fprintf(&b, "  fairness (Jain over goodput): %.4f; drained at %.1fs after %d events\n", r.Jain, r.DrainedAt, r.Events)
-	fmt.Fprintf(&b, "  dispatch: %d failures, %d retries, %d breaker trips; %d server failure(s)\n",
-		r.DispatchFailures, r.DispatchRetries, r.BreakerTrips, r.ServerFailures)
+	fmt.Fprintf(&b, "  dispatch: %d failures, %d retries, %d breaker trips; %d server failure(s), %d restart(s)\n",
+		r.DispatchFailures, r.DispatchRetries, r.BreakerTrips, r.ServerFailures, r.ServerRestarts)
 	fmt.Fprintf(&b, "  planning: %d solves, %d cache hits across the fleet\n", r.PlanSolves, r.PlanHits)
 	for _, c := range r.Classes {
 		fmt.Fprintf(&b, "  %-12s SLO %d: %4d sub %4d done %4d rej (%d adm, %d bp) %3d shed %3d failed",

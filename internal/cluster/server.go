@@ -2,8 +2,12 @@ package cluster
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 
 	"mobius/internal/core"
+	"mobius/internal/planstore"
 	"mobius/internal/plansvc"
 )
 
@@ -15,11 +19,23 @@ type server struct {
 	id  int
 	svc *plansvc.Service
 
+	// store/storeDir back the plan cache on disk when Config.StoreRoot
+	// is set; a restart closes the store and reopens the directory.
+	store    *planstore.Store
+	storeDir string
+
+	// retiredSolves/retiredHits accumulate the plan metrics of services
+	// discarded by restarts, so the fleet report's totals span every
+	// incarnation of the server.
+	retiredSolves uint64
+	retiredHits   uint64
+
 	queue    []*job
 	inflight *job
 	parked   []*job // held between failure and detection
 
-	// gen invalidates completion events scheduled before a failure.
+	// gen invalidates completion and detection events scheduled before
+	// a failure or restart.
 	gen      uint64
 	dead     bool
 	detected bool
@@ -27,14 +43,71 @@ type server struct {
 	br breaker
 }
 
-func newServer(id int, cfg Config) *server {
-	return &server{
-		id:  id,
-		svc: plansvc.New(plansvc.Config{}),
+func newServer(id int, cfg Config) (*server, error) {
+	s := &server{
+		id: id,
 		br: breaker{
 			threshold: cfg.BreakerThreshold,
 			cooldownS: cfg.BreakerCooldownS,
 		},
+	}
+	if cfg.StoreRoot == "" {
+		s.svc = plansvc.New(plansvc.Config{})
+		return s, nil
+	}
+	s.storeDir = filepath.Join(cfg.StoreRoot, fmt.Sprintf("server%d", id))
+	st, err := planstore.Open(planstore.Config{Dir: s.storeDir})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: server %d plan store: %w", id, err)
+	}
+	s.store = st
+	s.svc = plansvc.New(plansvc.Config{Store: st})
+	return s, nil
+}
+
+// retire folds the current service's plan counters into the retired
+// accumulators before the service is replaced.
+func (s *server) retire() {
+	m := s.svc.Metrics()
+	s.retiredSolves += m.Solves
+	s.retiredHits += m.Hits
+}
+
+// reopen rebuilds the server's planning service across a restart. With
+// a real store the dying store is drained and closed, the directory
+// wiped when the bounce is cold, and the new service warm-starts from
+// whatever the store replays. Without one, a warm restart retains the
+// cache (the contents an intact persisted store would reload) and a
+// cold restart starts a fresh service.
+func (s *server) reopen(cfg Config, cold bool) error {
+	if s.store == nil {
+		if cold {
+			s.retire()
+			s.svc = plansvc.New(plansvc.Config{})
+		}
+		return nil
+	}
+	s.retire()
+	s.store.Close()
+	if cold {
+		if err := os.RemoveAll(s.storeDir); err != nil {
+			return fmt.Errorf("cluster: server %d cold restart: %w", s.id, err)
+		}
+	}
+	st, err := planstore.Open(planstore.Config{Dir: s.storeDir})
+	if err != nil {
+		return fmt.Errorf("cluster: server %d restart: %w", s.id, err)
+	}
+	s.store = st
+	s.svc = plansvc.New(plansvc.Config{Store: st})
+	return nil
+}
+
+// closeStore drains and closes the backing store, if any.
+func (s *server) closeStore() {
+	if s.store != nil {
+		s.store.Close()
+		s.store = nil
 	}
 }
 

@@ -221,6 +221,7 @@ func All() map[string]func() (*Table, error) {
 		"recovery":               Recovery,
 		"integrity":              Integrity,
 		"overload":               Overload,
+		"restart":                Restart,
 	}
 }
 
@@ -232,6 +233,6 @@ func Order() []string {
 		"figure13", "figure14", "figure15", "figure16",
 		"ablation-prefetch", "ablation-priority", "ablation-microbatches",
 		"related-work", "convergence-async", "ablation-checkpointing",
-		"resilience", "recovery", "integrity", "overload",
+		"resilience", "recovery", "integrity", "overload", "restart",
 	}
 }

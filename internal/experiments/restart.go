@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobius/internal/cluster"
+	"mobius/internal/fault"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+)
+
+// The restart sweep reads off the warm-restart claim of the persistent
+// plan store: when a prewarmed server bounces and rejoins with its plan
+// cache intact (reloaded from the crash-safe store), the fleet performs
+// zero incremental MIP/partition solves — the entire run, bounce
+// included, costs exactly one solve per server. A cold rejoin discards
+// the cache and pays fresh solves for every shape the rejoined server
+// serves afterwards, on top of the same downtime. The sweep holds the
+// workload, seed and bounce schedule fixed and varies only the rejoin
+// mode and the downtime, so every difference between rows is the
+// recovery mode itself.
+
+// RestartPoint is one cell of the sweep: a full fleet report at one
+// (mode, downtime) setting.
+type RestartPoint struct {
+	// Mode is "none" (no bounce baseline), "warm" or "cold".
+	Mode string
+	// DowntimeS is the bounce's configured downtime (0 for the baseline).
+	DowntimeS float64
+	Report    *cluster.Report
+}
+
+// restartConfig builds the fleet for one sweep point.
+func restartConfig(cache *cluster.StepCache, mode string, downtime float64) cluster.Config {
+	mk := func(name string, slo int, rate float64) cluster.Class {
+		return cluster.Class{
+			Name:            name,
+			SLO:             slo,
+			RatePerS:        rate,
+			Model:           model.GPT3B,
+			PartitionAlgo:   partition.AlgoBalanced,
+			BalancedStages:  4,
+			StepsMin:        2,
+			StepsMax:        4,
+			CheckpointEvery: 2,
+		}
+	}
+	cfg := cluster.Config{
+		Servers:  2,
+		Topology: hw.Commodity(hw.RTX3090Ti, 2, 2),
+		Classes:  []cluster.Class{mk("gold", 0, 0.030), mk("best-effort", 1, 0.040)},
+		HorizonS: 600,
+		Seed:     42,
+		QueueCap: 6,
+		Prewarm:  true,
+		Cache:    cache,
+	}
+	if mode != "none" {
+		cfg.Faults = &fault.Spec{ServerRestarts: []fault.ServerRestartFault{{
+			Server:          0,
+			At:              300,
+			RestartLatencyS: downtime,
+			Cold:            mode == "cold",
+		}}}
+	}
+	return cfg
+}
+
+// RestartSweep runs the sweep and returns every point; the test layer
+// asserts the zero-solve claims on the raw reports.
+func RestartSweep(cache *cluster.StepCache) ([]RestartPoint, error) {
+	if cache == nil {
+		cache = cluster.NewStepCache()
+	}
+	points := []RestartPoint{{Mode: "none"}}
+	for _, downtime := range []float64{5, 20} {
+		for _, mode := range []string{"warm", "cold"} {
+			points = append(points, RestartPoint{Mode: mode, DowntimeS: downtime})
+		}
+	}
+	for i := range points {
+		p := &points[i]
+		rep, err := cluster.Run(restartConfig(cache, p.Mode, p.DowntimeS))
+		if err != nil {
+			return nil, fmt.Errorf("restart sweep %s/%gs: %w", p.Mode, p.DowntimeS, err)
+		}
+		if err := rep.Conservation(); err != nil {
+			return nil, fmt.Errorf("restart sweep %s/%gs: %w", p.Mode, p.DowntimeS, err)
+		}
+		p.Report = rep
+	}
+	return points, nil
+}
+
+// Restart renders the sweep as an experiment table.
+func Restart() (*Table, error) {
+	points, err := RestartSweep(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Warm vs cold restart: 2 prewarmed servers, one mid-run bounce",
+		Header: []string{"rejoin", "downtime (s)", "solves", "hits", "restarts",
+			"re-landed", "done", "failed"},
+	}
+	for _, p := range points {
+		r := p.Report
+		relands := 0
+		for _, c := range r.Classes {
+			relands += c.Relands
+		}
+		dt := "-"
+		if p.Mode != "none" {
+			dt = fmt.Sprintf("%.0f", p.DowntimeS)
+		}
+		t.Add(p.Mode, dt,
+			fmt.Sprintf("%d", r.PlanSolves), fmt.Sprintf("%d", r.PlanHits),
+			fmt.Sprintf("%d", r.ServerRestarts), fmt.Sprintf("%d", relands),
+			fmt.Sprintf("%d", r.Completed), fmt.Sprintf("%d", r.Failed))
+	}
+	t.Note("a warm rejoin reloads the persisted plan cache: solves stay at the prewarm's one per server")
+	t.Note("a cold rejoin discards it: every shape the bounced server serves afterwards re-solves")
+	t.Note("downtime only moves the re-landed and completion columns; the solve count depends on the rejoin mode alone")
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"mobius/internal/cluster"
+)
+
+// TestRestartSweepShape asserts the warm-restart claims on the raw
+// sweep reports:
+//
+//  1. every point conserves jobs (checked inside RestartSweep);
+//  2. the baseline and every warm point perform exactly one solve per
+//     server — the bounce itself costs zero incremental solves;
+//  3. every cold point solves strictly more than its warm counterpart;
+//  4. restart accounting matches the schedule: one completed bounce
+//     per bounced point, none in the baseline.
+func TestRestartSweepShape(t *testing.T) {
+	points, err := RestartSweep(cluster.NewStepCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSolves := map[float64]uint64{}
+	coldSolves := map[float64]uint64{}
+	for _, p := range points {
+		r := p.Report
+		wantRestarts := 1
+		if p.Mode == "none" {
+			wantRestarts = 0
+		}
+		if r.ServerRestarts != wantRestarts {
+			t.Errorf("%s/%gs: %d restarts, want %d", p.Mode, p.DowntimeS, r.ServerRestarts, wantRestarts)
+		}
+		switch p.Mode {
+		case "none", "warm":
+			if r.PlanSolves != uint64(r.Servers) {
+				t.Errorf("%s/%gs: %d solves, want exactly %d (prewarm only; a warm bounce re-solves nothing)",
+					p.Mode, p.DowntimeS, r.PlanSolves, r.Servers)
+			}
+			if p.Mode == "warm" {
+				warmSolves[p.DowntimeS] = r.PlanSolves
+			}
+		case "cold":
+			coldSolves[p.DowntimeS] = r.PlanSolves
+		}
+		if r.Completed == 0 {
+			t.Errorf("%s/%gs: nothing completed", p.Mode, p.DowntimeS)
+		}
+	}
+	for dt, cold := range coldSolves {
+		if warm, ok := warmSolves[dt]; !ok || cold <= warm {
+			t.Errorf("downtime %gs: cold bounce solved %d time(s), want more than warm's %d",
+				dt, cold, warmSolves[dt])
+		}
+	}
+}
+
+func TestRestartTableRenders(t *testing.T) {
+	tab := mustTable(t, Restart)
+	if got, want := len(tab.Rows), 5; got != want {
+		t.Errorf("restart table rows: %d, want %d (baseline + 2 downtimes x 2 modes)", got, want)
+	}
+}

@@ -57,6 +57,16 @@ type Spec struct {
 	// them, like the Planner clauses — they are consumed by
 	// internal/cluster.
 	ServerFails []ServerFailFault `json:"server_fails,omitempty"`
+
+	// StoreFaults inject I/O failures (clean write failures, torn
+	// writes, device latency) into the plan store's write-behind path
+	// (see store.go); they are consumed by internal/planstore.
+	StoreFaults []StoreFault `json:"store_faults,omitempty"`
+
+	// ServerRestarts bounce whole fleet servers: crash at At, rejoin
+	// warm or cold after RestartLatencyS (see store.go); consumed by
+	// internal/cluster.
+	ServerRestarts []ServerRestartFault `json:"server_restarts,omitempty"`
 }
 
 // LinkFault degrades one bandwidth resource to a fraction of its nominal
@@ -254,6 +264,12 @@ func (s *Spec) Validate() error {
 	if err := s.validateServers(); err != nil {
 		return err
 	}
+	if err := s.validateRestarts(); err != nil {
+		return err
+	}
+	if err := s.validateStore(); err != nil {
+		return err
+	}
 	return s.validatePermanent()
 }
 
@@ -268,7 +284,8 @@ func endLabel(end float64) string {
 func (s *Spec) Empty() bool {
 	return s == nil || (len(s.Links) == 0 && len(s.Stragglers) == 0 && len(s.Transient) == 0 &&
 		len(s.MemPressure) == 0 && len(s.Corruptions) == 0 && len(s.Planner) == 0 &&
-		len(s.GPUFails) == 0 && len(s.LinkFails) == 0 && len(s.ServerFails) == 0)
+		len(s.GPUFails) == 0 && len(s.LinkFails) == 0 && len(s.ServerFails) == 0 &&
+		len(s.StoreFaults) == 0 && len(s.ServerRestarts) == 0)
 }
 
 // Injection is the record of a spec bound to one server: what was applied

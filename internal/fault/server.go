@@ -67,8 +67,9 @@ func (s *Spec) ServerFailures() []ServerFailFault {
 }
 
 // WithoutCluster returns a copy of the spec with the fleet-level clauses
-// removed: server_fails (consumed by the cluster event loop) and planner
-// clauses (consumed by the planning service), plus the horizon that
+// removed: server_fails and server_restarts (consumed by the cluster
+// event loop), planner clauses (consumed by the planning service),
+// store_faults (consumed by the plan store), plus the horizon that
 // scopes them. What remains are the per-server conditions — degraded
 // links, stragglers, transient retries, memory pressure — that every
 // server of the fleet simulates its training steps under. Nil in, nil
@@ -79,7 +80,9 @@ func (s *Spec) WithoutCluster() *Spec {
 	}
 	c := *s
 	c.ServerFails = nil
+	c.ServerRestarts = nil
 	c.Planner = nil
+	c.StoreFaults = nil
 	c.HorizonS = 0
 	if c.Empty() {
 		return nil

@@ -1,0 +1,130 @@
+package fault
+
+import "testing"
+
+// TestStoreOpDeterministic: decisions are a pure function of
+// (seed, rule, key, seq) — replays agree bit for bit, and the decision
+// stream varies across seq so probabilities are per operation, not
+// per key.
+func TestStoreOpDeterministic(t *testing.T) {
+	spec := &Spec{Seed: 3, StoreFaults: []StoreFault{
+		{Op: "put", Mode: StoreModeTorn, Probability: 0.5, LatencyMS: 1},
+	}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	var first StoreDecision
+	for seq := uint64(0); seq < 64; seq++ {
+		a := spec.StoreOp(StoreOpPut, 0xabcdef, seq)
+		b := spec.StoreOp(StoreOpPut, 0xabcdef, seq)
+		if a != b {
+			t.Fatalf("seq %d: replay diverged: %+v vs %+v", seq, a, b)
+		}
+		if a.LatencyS != 1e-3 {
+			t.Fatalf("seq %d: latency %g, want 1ms", seq, a.LatencyS)
+		}
+		if a.Fail {
+			t.Fatalf("seq %d: torn rule produced a clean failure on a put", seq)
+		}
+		if seq == 0 {
+			first = a
+		} else if a.Torn != first.Torn {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("a 0.5-probability rule decided 64 operations identically")
+	}
+}
+
+// TestStoreOpMatching: op filters apply, the first matching rule wins,
+// and torn mode degrades to a clean failure for non-put operations
+// matched through the wildcard.
+func TestStoreOpMatching(t *testing.T) {
+	spec := &Spec{Seed: 1, StoreFaults: []StoreFault{
+		{Op: "delete", Mode: StoreModeFail, Probability: 1},
+		{Op: "*", Mode: StoreModeTorn, Probability: 1},
+	}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := spec.StoreOp(StoreOpDelete, 1, 0); !d.Fail || d.Torn {
+		t.Fatalf("delete hit the wrong rule: %+v", d)
+	}
+	if d := spec.StoreOp(StoreOpPut, 1, 0); !d.Torn || d.Fail {
+		t.Fatalf("put should tear via the wildcard rule: %+v", d)
+	}
+	// A wildcard torn rule cannot tear a delete; it fails cleanly.
+	spec2 := &Spec{Seed: 1, StoreFaults: []StoreFault{{Op: "*", Mode: StoreModeTorn, Probability: 1}}}
+	if d := spec2.StoreOp(StoreOpDelete, 1, 0); !d.Fail || d.Torn {
+		t.Fatalf("wildcard torn on delete: %+v, want a clean failure", d)
+	}
+	// Zero probability matches but never fires; a nil spec is inert.
+	spec3 := &Spec{StoreFaults: []StoreFault{{Op: "put", Probability: 0, LatencyMS: 5}}}
+	if d := spec3.StoreOp(StoreOpPut, 1, 0); d.Fail || d.Torn || d.LatencyS != 5e-3 {
+		t.Fatalf("zero-probability rule: %+v", d)
+	}
+	var nilSpec *Spec
+	if d := nilSpec.StoreOp(StoreOpPut, 1, 0); d != (StoreDecision{}) {
+		t.Fatalf("nil spec injected %+v", d)
+	}
+}
+
+// TestRestartSchedule: sorted by onset, stable for ties, nil-safe.
+func TestRestartSchedule(t *testing.T) {
+	spec := &Spec{ServerRestarts: []ServerRestartFault{
+		{Server: 2, At: 9},
+		{Server: 0, At: 3},
+		{Server: 1, At: 9, Cold: true},
+	}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !spec.HasServerRestarts() {
+		t.Fatal("HasServerRestarts = false")
+	}
+	sched := spec.RestartSchedule()
+	if len(sched) != 3 || sched[0].Server != 0 || sched[1].Server != 2 || sched[2].Server != 1 {
+		t.Fatalf("schedule order %+v", sched)
+	}
+	// The spec's own slice is untouched.
+	if spec.ServerRestarts[0].Server != 2 {
+		t.Fatal("RestartSchedule mutated the spec")
+	}
+	var nilSpec *Spec
+	if nilSpec.HasServerRestarts() || nilSpec.RestartSchedule() != nil {
+		t.Fatal("nil spec should have no restarts")
+	}
+}
+
+// TestWithoutClusterStripsStoreAndRestartClauses: the per-server spec a
+// fleet member consumes must not re-apply fleet-level clauses.
+func TestWithoutClusterStripsStoreAndRestartClauses(t *testing.T) {
+	spec := &Spec{
+		Seed:           9,
+		ServerFails:    []ServerFailFault{{Server: 0, At: 1}},
+		ServerRestarts: []ServerRestartFault{{Server: 1, At: 2}},
+		StoreFaults:    []StoreFault{{Op: "put", Probability: 1}},
+	}
+	// Only cluster-level clauses: the per-server residue is empty, nil.
+	if stripped := spec.WithoutCluster(); stripped != nil {
+		t.Fatalf("all-cluster spec should strip to nil, got %+v", stripped)
+	}
+	// With a per-server clause alongside, it survives — without the
+	// cluster-level ones.
+	spec.Stragglers = []StragglerFault{{GPU: 0, Throughput: 0.5}}
+	stripped := spec.WithoutCluster()
+	if stripped == nil {
+		t.Fatal("spec with per-server clauses should survive stripping")
+	}
+	if len(stripped.ServerFails) != 0 || len(stripped.ServerRestarts) != 0 || len(stripped.StoreFaults) != 0 {
+		t.Fatalf("cluster-level clauses leaked: %+v", stripped)
+	}
+	if len(stripped.Stragglers) != 1 {
+		t.Fatal("per-server clause lost in stripping")
+	}
+	if len(spec.ServerRestarts) != 1 || len(spec.StoreFaults) != 1 {
+		t.Fatal("WithoutCluster mutated the original")
+	}
+}

@@ -1,0 +1,49 @@
+package planstore
+
+import (
+	"fmt"
+	"testing"
+
+	"mobius/internal/model"
+)
+
+// BenchmarkStorePersist prices one entry's full write-behind round trip:
+// enqueue, encode, temp-file write, rename, fsync-free settle.
+func BenchmarkStorePersist(b *testing.B) {
+	e := testEntry(b, model.GPT3B, "bench-persist")
+	s := openStore(b, Config{Dir: b.TempDir()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Key[0], e.Key[1] = byte(i), byte(i>>8)
+		s.Put(e)
+		s.Flush()
+	}
+}
+
+// BenchmarkStoreLoad prices the warm-restart replay of a populated
+// directory (decode, checksum, re-validate) at a few store sizes.
+func BenchmarkStoreLoad(b *testing.B) {
+	for _, n := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			w := openStore(b, Config{Dir: dir})
+			e := testEntry(b, model.GPT3B, "bench-load")
+			for i := 0; i < n; i++ {
+				e.Key[0], e.Key[1] = byte(i), byte(i>>8)
+				w.Put(e)
+			}
+			w.Flush()
+			s := openStore(b, Config{Dir: dir})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				entries, rep, err := s.Load()
+				if err != nil || rep.Entries != n {
+					b.Fatalf("load: %v (%+v)", err, rep)
+				}
+				_ = entries
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package planstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobius/internal/model"
+)
+
+// FuzzStoreLoad throws arbitrary bytes at the directory replay as a
+// record file: Load must never panic, never abort the replay, and only
+// ever produce entries that carry the filename's key and pass plan
+// validation. Seeds are the real record grammar — an intact record, its
+// truncations, single-byte corruptions and version skews — plus the
+// checked-in corpus under testdata/fuzz/FuzzStoreLoad.
+func FuzzStoreLoad(f *testing.F) {
+	e := testEntry(f, model.GPT3B, "fuzz-seed")
+	rec, err := encodeRecord(e)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(rec)
+	f.Add(rec[:headerLen])
+	f.Add(rec[:len(rec)-1])
+	f.Add(rec[:len(rec)/2])
+	flipped := append([]byte(nil), rec...)
+	flipped[headerLen+10] ^= 0x40
+	f.Add(flipped)
+	skewed := append([]byte(nil), rec...)
+	skewed[11] = recordVersion + 1
+	f.Add(skewed)
+
+	key := e.Key
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxRecordBytes {
+			t.Skip()
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, key.String()+recordExt), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		entries, rep, err := s.Load()
+		if err != nil {
+			t.Fatalf("Load aborted on arbitrary input: %v", err)
+		}
+		if rep.Entries+rep.Quarantined != 1 {
+			t.Fatalf("one record in, %d entries + %d quarantined out", rep.Entries, rep.Quarantined)
+		}
+		for _, got := range entries {
+			if got.Key != key {
+				t.Fatalf("loaded entry carries key %s, filename says %s", got.Key, key)
+			}
+			if err := got.Plan.Validate(got.Topology); err != nil {
+				t.Fatalf("loaded entry fails validation: %v", err)
+			}
+		}
+	})
+}

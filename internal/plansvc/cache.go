@@ -7,6 +7,7 @@ import (
 	"mobius/internal/core"
 	"mobius/internal/hw"
 	"mobius/internal/partition"
+	"mobius/internal/planstore"
 )
 
 // entry is one cached plan. Cached plans are treated as immutable by
@@ -28,6 +29,9 @@ type entry struct {
 	// recency stamp (service useSeq) the LRU sweep orders by.
 	storedAt time.Time
 	lastUsed uint64
+	// fromStore marks an entry adopted from the persistent store at
+	// warm start; hits on it count as warm-start hits.
+	fromStore bool
 }
 
 // expired reports whether the entry has outlived the configured TTL at
@@ -48,16 +52,21 @@ func (s *Service) cacheGet(req *Request) (*core.Plan, bool) {
 	}
 	if s.expired(e, s.cfg.Now()) {
 		delete(s.cache, req.Key)
+		s.storeDelete(req.Key)
 		s.m.EvictionsTTL++
 		return nil, false
 	}
 	if err := e.plan.Validate(req.Opts.Topology); err != nil {
 		delete(s.cache, req.Key)
+		s.storeDelete(req.Key)
 		s.m.ValidateDrops++
 		return nil, false
 	}
 	s.useSeq++
 	e.lastUsed = s.useSeq
+	if e.fromStore {
+		s.m.WarmHits++
+	}
 	return e.plan, true
 }
 
@@ -76,7 +85,28 @@ func (s *Service) cachePut(req *Request, plan *core.Plan) {
 		storedAt: s.cfg.Now(),
 		lastUsed: s.useSeq,
 	}
+	if s.cfg.Store != nil {
+		// Write-behind: the record is queued here (under the service
+		// lock, so enqueue order follows cache order) and lands on disk
+		// asynchronously; a full queue drops the write, never the
+		// request.
+		s.cfg.Store.Put(planstore.Entry{
+			Key:      planstore.Key(req.Key),
+			ModelSig: req.ModelSig,
+			Plan:     plan,
+			Topology: req.Opts.Topology,
+		})
+	}
 	s.evictOverCap()
+}
+
+// storeDelete propagates an eviction to the persistent store, keeping
+// disk and memory coherent: an entry the ladder aged out must not be
+// resurrected by a restart. Caller holds s.mu.
+func (s *Service) storeDelete(k Key) {
+	if s.cfg.Store != nil {
+		s.cfg.Store.Delete(planstore.Key(k))
+	}
 }
 
 // evictOverCap shrinks the cache back under CacheMaxEntries. Caller
@@ -93,6 +123,7 @@ func (s *Service) evictOverCap() {
 		}
 		if s.expired(e, now) {
 			delete(s.cache, k)
+			s.storeDelete(k)
 			s.m.EvictionsTTL++
 		}
 	}
@@ -105,6 +136,7 @@ func (s *Service) evictOverCap() {
 			}
 		}
 		delete(s.cache, victim.key)
+		s.storeDelete(victim.key)
 		s.m.EvictionsLRU++
 	}
 }

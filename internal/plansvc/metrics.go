@@ -64,6 +64,13 @@ type Metrics struct {
 	PrewarmPlans uint64
 	// CacheEntries is the live entry count at snapshot time.
 	CacheEntries uint64
+
+	// WarmStartEntries counts cache entries adopted from the persistent
+	// store when the service started; WarmHits counts cache hits served
+	// by such an entry (a subset of Hits) — the restarts-for-free
+	// signal. Both are 0 without a configured store.
+	WarmStartEntries uint64
+	WarmHits         uint64
 }
 
 // ConservationError checks the request conservation identity on a

@@ -18,9 +18,12 @@ type PrewarmReport struct {
 	Survivors int
 	// GPULosses and LinkLosses count the loss scenarios enumerated:
 	// every single GPU, and every PCIe/NVLink/root-complex bandwidth
-	// resource whose death strands at least its own GPU.
-	GPULosses  int
-	LinkLosses int
+	// resource whose death strands at least its own GPU. GPUPairLosses
+	// counts the depth-2 scenarios — every unordered pair of GPU losses
+	// — enumerated by PrewarmDepth(..., 2).
+	GPULosses     int
+	LinkLosses    int
+	GPUPairLosses int
 	// Deduped counts loss scenarios whose surviving machine keyed to an
 	// already-planned entry (symmetric losses collapse, and a gpuN.link
 	// loss strands the same machine as losing gpuN outright).
@@ -30,8 +33,12 @@ type PrewarmReport struct {
 }
 
 func (r *PrewarmReport) String() string {
-	return fmt.Sprintf("prewarm: full plan + %d survivor plan(s) over %d GPU-loss and %d link-loss scenarios (%d deduplicated, %d unsurvivable)",
-		r.Survivors, r.GPULosses, r.LinkLosses, r.Deduped, r.Unsurvivable)
+	s := fmt.Sprintf("prewarm: full plan + %d survivor plan(s) over %d GPU-loss and %d link-loss scenarios",
+		r.Survivors, r.GPULosses, r.LinkLosses)
+	if r.GPUPairLosses > 0 {
+		s += fmt.Sprintf(" and %d GPU-pair losses", r.GPUPairLosses)
+	}
+	return s + fmt.Sprintf(" (%d deduplicated, %d unsurvivable)", r.Deduped, r.Unsurvivable)
 }
 
 // Prewarm speculatively plans the request and every topology that
@@ -48,6 +55,17 @@ func (r *PrewarmReport) String() string {
 // solve is warm-started from the already-cached full plan via the
 // nearest-incumbent index.
 func (s *Service) Prewarm(ctx context.Context, opts core.Options) (*PrewarmReport, error) {
+	return s.PrewarmDepth(ctx, opts, 1)
+}
+
+// PrewarmDepth is Prewarm with a fault-depth knob: depth 1 covers every
+// single GPU or interconnect loss; depth 2 additionally plans the
+// survivor of every unordered pair of GPU losses, so even a double
+// fault recovers with a cache lookup. Pair scenarios deduplicate
+// aggressively by canonical key — on a symmetric machine most pairs
+// strand the same surviving shape — so the marginal solve count stays
+// far below the O(n²) scenario count.
+func (s *Service) PrewarmDepth(ctx context.Context, opts core.Options, depth int) (*PrewarmReport, error) {
 	req, err := NewRequest(opts)
 	if err != nil {
 		return nil, err
@@ -82,6 +100,19 @@ func (s *Service) Prewarm(ctx context.Context, opts core.Options) (*PrewarmRepor
 		spec := &fault.Spec{LinkFails: []fault.LinkFailFault{{Link: link}}}
 		if err := s.prewarmSurvivor(ctx, req, spec, rep, seen, fmt.Sprintf("lost link %s", link)); err != nil {
 			return rep, err
+		}
+	}
+
+	if depth >= 2 {
+		n := topo.NumGPUs()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				rep.GPUPairLosses++
+				spec := &fault.Spec{GPUFails: []fault.GPUFailFault{{GPU: i}, {GPU: j}}}
+				if err := s.prewarmSurvivor(ctx, req, spec, rep, seen, fmt.Sprintf("lost gpus %d and %d", i, j)); err != nil {
+					return rep, err
+				}
+			}
 		}
 	}
 	return rep, nil

@@ -10,6 +10,7 @@ import (
 	"mobius/internal/core"
 	"mobius/internal/hw"
 	"mobius/internal/model"
+	"mobius/internal/planstore"
 )
 
 // PlanRequest is the wire form of a planning request. The model is
@@ -118,8 +119,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, struct {
 		Metrics
-		Breaker string `json:"breaker"`
-	}{s.Metrics(), s.BreakerState()})
+		Breaker string             `json:"breaker"`
+		Store   *planstore.Metrics `json:"store,omitempty"`
+	}{s.Metrics(), s.BreakerState(), s.StoreMetrics()})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -9,6 +9,7 @@ import (
 	"mobius/internal/core"
 	"mobius/internal/fault"
 	"mobius/internal/partition"
+	"mobius/internal/planstore"
 )
 
 // Config tunes a Service. The zero value is usable: direct planner,
@@ -49,6 +50,15 @@ type Config struct {
 	// evicts expired entries first, then the least-recently-used live
 	// entry. Zero means unbounded.
 	CacheMaxEntries int
+	// Store, when non-nil, persists the plan cache: New warm-starts
+	// from it (replaying, re-validating and adopting every intact
+	// record), cacheable plans are written behind it, and every
+	// eviction path deletes the on-disk record too, so a restart can
+	// never resurrect an entry the ladder aged out. A damaged or empty
+	// store degrades to a cold start — persistence never fails a
+	// request. The Service does not own the store; the caller closes it
+	// (after the Service is quiescent) to drain the write-behind queue.
+	Store *planstore.Store
 	// Now and Sleep are the service's clock; tests and the chaos
 	// harness substitute a virtual clock to drive backoff and breaker
 	// cooldowns deterministically. Sleep must return early when ctx
@@ -116,15 +126,62 @@ type Service struct {
 
 var _ core.Planner = (*Service)(nil)
 
-// New builds a Service.
+// New builds a Service. With a persistent store configured it starts
+// warm: the store directory is replayed and every intact, validated
+// record adopted into the cache before the first request.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		cache:   make(map[Key]*entry),
 		flights: make(map[Key]*flight),
 		breaker: breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown, now: cfg.Now},
 	}
+	s.warmStart()
+	return s
+}
+
+// warmStart replays the persistent store into the cache. Load failures
+// and quarantined records degrade toward a cold start entry by entry —
+// warm restart is an optimization, never a correctness dependency.
+func (s *Service) warmStart() {
+	if s.cfg.Store == nil {
+		return
+	}
+	entries, _, err := s.cfg.Store.Load()
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+	for _, e := range entries {
+		s.useSeq++
+		s.cache[Key(e.Key)] = &entry{
+			plan:      e.Plan,
+			topo:      e.Topology,
+			modelSig:  e.ModelSig,
+			numGPUs:   e.Topology.NumGPUs(),
+			key:       Key(e.Key),
+			storedAt:  now,
+			lastUsed:  s.useSeq,
+			fromStore: true,
+		}
+		s.m.WarmStartEntries++
+	}
+	// The capacity bound holds across restarts too; over-cap adoptees
+	// are evicted (and their records deleted) like any live entry.
+	s.evictOverCap()
+}
+
+// StoreMetrics snapshots the persistent store's counters; nil when the
+// service runs without persistence.
+func (s *Service) StoreMetrics() *planstore.Metrics {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	m := s.cfg.Store.Metrics()
+	return &m
 }
 
 // flight is one in-progress solve; waiters block on done. When handoff

@@ -1,0 +1,431 @@
+package plansvc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mobius/internal/core"
+	"mobius/internal/elastic"
+	"mobius/internal/fault"
+	"mobius/internal/hw"
+	"mobius/internal/model"
+	"mobius/internal/partition"
+	"mobius/internal/planstore"
+)
+
+// storeAt opens a planstore on dir and registers its drain on cleanup.
+func storeAt(t *testing.T, dir string) *planstore.Store {
+	t.Helper()
+	st, err := planstore.Open(planstore.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestWarmRestartZeroSolves is the headline restart contract: a service
+// restarted over its persisted store serves every previously-solved
+// shape from the warm cache — the incremental solve count is exactly
+// zero, asserted per request and in total.
+func TestWarmRestartZeroSolves(t *testing.T) {
+	dir := t.TempDir()
+	shapes := []core.Options{
+		balancedOpts(model.GPT3B),
+		balancedOpts(model.GPT8B),
+		{Model: model.GPT3B, Topology: hw.Commodity(hw.RTX3090Ti, 4),
+			PartitionAlgo: partition.AlgoBalanced, BalancedStages: 4},
+	}
+
+	st1 := storeAt(t, dir)
+	svc1 := New(Config{Store: st1})
+	for _, o := range shapes {
+		if _, err := svc1.PlanMobius(context.Background(), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := svc1.Metrics(); m.Solves != uint64(len(shapes)) {
+		t.Fatalf("first life solved %d, want %d", m.Solves, len(shapes))
+	}
+	if err := st1.Close(); err != nil { // drain the write-behind queue
+		t.Fatal(err)
+	}
+
+	st2 := storeAt(t, dir)
+	svc2 := New(Config{Store: st2})
+	m := svc2.Metrics()
+	if m.WarmStartEntries != uint64(len(shapes)) || m.CacheEntries != uint64(len(shapes)) {
+		t.Fatalf("restart adopted %d entries (%d live), want %d", m.WarmStartEntries, m.CacheEntries, len(shapes))
+	}
+	for _, o := range shapes {
+		key, err := KeyOf(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !svc2.Has(key) {
+			t.Fatalf("restarted service does not hold %s", key)
+		}
+		before := svc2.Metrics().Solves
+		p, err := svc2.PlanMobius(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(o.Topology); err != nil {
+			t.Fatalf("warm-served plan invalid: %v", err)
+		}
+		if after := svc2.Metrics().Solves; after != before {
+			t.Fatalf("warm restart re-solved a persisted shape (%d -> %d)", before, after)
+		}
+	}
+	m = svc2.Metrics()
+	if m.Solves != 0 {
+		t.Fatalf("restarted service solved %d time(s), want exactly 0", m.Solves)
+	}
+	if m.Hits != uint64(len(shapes)) || m.WarmHits != uint64(len(shapes)) {
+		t.Fatalf("Hits/WarmHits = %d/%d, want %d/%d", m.Hits, m.WarmHits, len(shapes), len(shapes))
+	}
+	checkConservation(t, m)
+	if err := svc2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmRestartCoversPrewarmedSurvivors: a depth-2 prewarm persisted
+// before the crash means the restarted service replans every single- and
+// double-GPU-loss survivor — and every link-loss survivor — with zero
+// solves. The paper's recovery-latency argument survives a process
+// restart.
+func TestWarmRestartCoversPrewarmedSurvivors(t *testing.T) {
+	dir := t.TempDir()
+	opts := balancedOpts(model.GPT3B)
+
+	st1 := storeAt(t, dir)
+	svc1 := New(Config{Store: st1})
+	rep, err := svc1.PrewarmDepth(context.Background(), opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GPUPairLosses != 6 { // C(4,2) on the 2+2 box
+		t.Fatalf("enumerated %d GPU-pair losses, want 6", rep.GPUPairLosses)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := storeAt(t, dir)
+	svc2 := New(Config{Store: st2})
+	if m := svc2.Metrics(); m.WarmStartEntries == 0 {
+		t.Fatal("restart adopted nothing")
+	}
+
+	var specs []*fault.Spec
+	n := opts.Topology.NumGPUs()
+	for g := 0; g < n; g++ {
+		specs = append(specs, &fault.Spec{GPUFails: []fault.GPUFailFault{{GPU: g}}})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			specs = append(specs, &fault.Spec{GPUFails: []fault.GPUFailFault{{GPU: i}, {GPU: j}}})
+		}
+	}
+	for _, link := range []string{"gpu0.link", "gpu3.link", "rc0", "rc1"} {
+		specs = append(specs, &fault.Spec{LinkFails: []fault.LinkFailFault{{Link: link}}})
+	}
+	for _, spec := range specs {
+		surv, _, err := elastic.SurvivingTopology(opts.Topology, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Fingerprint(), err)
+		}
+		sopts := opts
+		sopts.Topology = surv
+		sopts.Microbatches = opts.Topology.NumGPUs()
+		key, err := KeyOf(sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !svc2.Has(key) {
+			t.Fatalf("survivor %s not warm after restart", key)
+		}
+		if _, err := svc2.PlanMobius(context.Background(), sopts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := svc2.Metrics(); m.Solves != 0 {
+		t.Fatalf("restarted service solved %d time(s) for prewarmed survivors, want exactly 0", m.Solves)
+	}
+}
+
+// TestEvictionCoherence: entries aged out by the LRU capacity bound are
+// deleted from the disk store too — a restart serves exactly the
+// surviving cache, never a resurrected entry.
+func TestEvictionCoherence(t *testing.T) {
+	dir := t.TempDir()
+	st1 := storeAt(t, dir)
+	svc1 := New(Config{Store: st1, CacheMaxEntries: 2})
+	victim := balancedOpts(model.GPT3B)
+	keep1 := balancedOpts(model.GPT8B)
+	keep2 := core.Options{Model: model.GPT3B, Topology: hw.Commodity(hw.RTX3090Ti, 4),
+		PartitionAlgo: partition.AlgoBalanced, BalancedStages: 4}
+	for _, o := range []core.Options{victim, keep1, keep2} {
+		if _, err := svc1.PlanMobius(context.Background(), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := svc1.Metrics(); m.EvictionsLRU != 1 {
+		t.Fatalf("EvictionsLRU = %d, want 1", m.EvictionsLRU)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly two records on disk: the eviction's delete went through.
+	files, err := filepath.Glob(filepath.Join(dir, "*.plan"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("%d record(s) on disk, want 2 (%v)", len(files), err)
+	}
+
+	st2 := storeAt(t, dir)
+	svc2 := New(Config{Store: st2, CacheMaxEntries: 2})
+	if m := svc2.Metrics(); m.WarmStartEntries != 2 {
+		t.Fatalf("restart adopted %d entries, want 2", m.WarmStartEntries)
+	}
+	vkey, err := KeyOf(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc2.Has(vkey) {
+		t.Fatal("the LRU-evicted entry came back from the dead")
+	}
+	for _, o := range []core.Options{keep1, keep2} {
+		k, err := KeyOf(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !svc2.Has(k) {
+			t.Fatalf("survivor %s lost across restart", k)
+		}
+	}
+}
+
+// TestTTLEvictionCoherence: the TTL sweep's evictions propagate to disk
+// the same way — an expired entry does not outlive the restart.
+func TestTTLEvictionCoherence(t *testing.T) {
+	dir := t.TempDir()
+	vt := newVirtualTime()
+	st1 := storeAt(t, dir)
+	svc1 := New(Config{Store: st1, CacheTTL: time.Hour, CacheMaxEntries: 1, Now: vt.Now})
+	old := balancedOpts(model.GPT3B)
+	if _, err := svc1.PlanMobius(context.Background(), old); err != nil {
+		t.Fatal(err)
+	}
+	vt.Advance(2 * time.Hour)
+	fresh := balancedOpts(model.GPT8B)
+	// Inserting over the cap sweeps the expired entry out — and deletes
+	// its record.
+	if _, err := svc1.PlanMobius(context.Background(), fresh); err != nil {
+		t.Fatal(err)
+	}
+	if m := svc1.Metrics(); m.EvictionsTTL != 1 {
+		t.Fatalf("EvictionsTTL = %d, want 1", m.EvictionsTTL)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := storeAt(t, dir)
+	svc2 := New(Config{Store: st2})
+	oldKey, err := KeyOf(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshKey, err := KeyOf(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc2.Has(oldKey) {
+		t.Fatal("the TTL-expired entry survived the restart")
+	}
+	if !svc2.Has(freshKey) {
+		t.Fatal("the live entry was lost across the restart")
+	}
+}
+
+// TestWarmStartRespectsCapacity: adopting a store larger than the cache
+// cap evicts back down — and shrinks the store to match.
+func TestWarmStartRespectsCapacity(t *testing.T) {
+	dir := t.TempDir()
+	st1 := storeAt(t, dir)
+	svc1 := New(Config{Store: st1})
+	shapes := []core.Options{
+		balancedOpts(model.GPT3B),
+		balancedOpts(model.GPT8B),
+		{Model: model.GPT3B, Topology: hw.Commodity(hw.RTX3090Ti, 4),
+			PartitionAlgo: partition.AlgoBalanced, BalancedStages: 4},
+	}
+	for _, o := range shapes {
+		if _, err := svc1.PlanMobius(context.Background(), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := storeAt(t, dir)
+	svc2 := New(Config{Store: st2, CacheMaxEntries: 2})
+	m := svc2.Metrics()
+	if m.WarmStartEntries != 3 || m.CacheEntries != 2 {
+		t.Fatalf("adopted %d, holds %d: want 3 adopted, 2 after the cap", m.WarmStartEntries, m.CacheEntries)
+	}
+	if err := svc2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.plan"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("%d record(s) on disk after capped warm start, want 2 (%v)", len(files), err)
+	}
+}
+
+// TestCorruptStoreDegradesGracefully: damage in the directory costs only
+// the damaged records — the service starts, adopts the intact ones, and
+// reports the quarantine through its store metrics.
+func TestCorruptStoreDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	st1 := storeAt(t, dir)
+	svc1 := New(Config{Store: st1})
+	opts := balancedOpts(model.GPT3B)
+	if _, err := svc1.PlanMobius(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 64)
+	for i := range junk {
+		junk[i] = 'c'
+	}
+	if err := os.WriteFile(filepath.Join(dir, string(junk)+".plan"), []byte("not a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := storeAt(t, dir)
+	svc2 := New(Config{Store: st2})
+	m := svc2.Metrics()
+	if m.WarmStartEntries != 1 {
+		t.Fatalf("adopted %d entries, want the 1 intact record", m.WarmStartEntries)
+	}
+	sm := svc2.StoreMetrics()
+	if sm == nil || sm.QuarantinedRecords != 1 || sm.LoadedEntries != 1 {
+		t.Fatalf("store metrics %+v, want 1 loaded / 1 quarantined", sm)
+	}
+	key, err := KeyOf(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc2.Has(key) {
+		t.Fatal("intact entry not adopted")
+	}
+}
+
+// TestMetricsEndpointExposesStore: /v1/metrics carries the store health
+// block when persistence is configured, and omits it when not.
+func TestMetricsEndpointExposesStore(t *testing.T) {
+	dir := t.TempDir()
+	st := storeAt(t, dir)
+	svc := New(Config{Store: st})
+	if _, err := svc.PlanMobius(context.Background(), balancedOpts(model.GPT3B)); err != nil {
+		t.Fatal(err)
+	}
+	st.Flush()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Solves uint64 `json:"Solves"`
+		Store  *struct {
+			Persisted     uint64 `json:"persisted"`
+			QueueDepth    int    `json:"queue_depth"`
+			LoadedEntries uint64 `json:"loaded_entries"`
+		} `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Store == nil {
+		t.Fatal("metrics response has no store block")
+	}
+	if body.Store.Persisted != 1 {
+		t.Fatalf("store.persisted = %d, want 1", body.Store.Persisted)
+	}
+
+	// Without a store the block is omitted entirely.
+	srv2 := httptest.NewServer(New(Config{}).Handler())
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["store"]; ok {
+		t.Fatal("store block present without a configured store")
+	}
+}
+
+// TestPrewarmDepth2DoubleFaultZeroSolve is the in-memory double-fault
+// contract (no store involved): after a depth-2 prewarm, the re-plan for
+// any two simultaneous GPU losses is a cache hit.
+func TestPrewarmDepth2DoubleFaultZeroSolve(t *testing.T) {
+	svc := New(Config{})
+	opts := balancedOpts(model.GPT3B)
+	rep, err := svc.PrewarmDepth(context.Background(), opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GPUPairLosses != 6 {
+		t.Fatalf("enumerated %d pair losses, want 6", rep.GPUPairLosses)
+	}
+	before := svc.Metrics().Solves
+	n := opts.Topology.NumGPUs()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			spec := &fault.Spec{GPUFails: []fault.GPUFailFault{{GPU: i}, {GPU: j}}}
+			surv, _, err := elastic.SurvivingTopology(opts.Topology, spec)
+			if err != nil {
+				t.Fatalf("gpus %d+%d: %v", i, j, err)
+			}
+			sopts := opts
+			sopts.Topology = surv
+			sopts.Microbatches = opts.Topology.NumGPUs()
+			key, err := KeyOf(sopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !svc.Has(key) {
+				t.Errorf("pair (%d,%d) survivor not prewarmed", i, j)
+			}
+			if _, err := svc.PlanMobius(context.Background(), sopts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if after := svc.Metrics().Solves; after != before {
+		t.Fatalf("double-fault re-plans performed %d solve(s); want 0", after-before)
+	}
+	checkConservation(t, svc.Metrics())
+}
