@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-perf check-plansvc check-cluster check-store bench bench-json bench-plan-json bench-cluster-json bench-store-json
+.PHONY: build vet test race check check-faults check-recovery check-chaos check-sharded check-scale check-perf check-plansvc check-cluster check-store bench bench-json bench-plan-json bench-cluster-json bench-store-json
 
 build:
 	$(GO) build ./...
@@ -45,19 +45,29 @@ check-chaos:
 # check-sharded is the sharded-scheduler gate: the full simulator suite —
 # including the differential tests that hold the parallel scheduler
 # bitwise-identical to the serial incremental one and the oracle across
-# the chaos topologies at K ∈ {1,2,4,8} — uncached, under the race
+# the chaos topologies at K ∈ {1,2,3,4,8,16} — uncached, under the race
 # detector.
 check-sharded:
 	$(GO) test -race -count=1 ./internal/sim/
 
+# check-scale is the scale gate: the skewed differential suite (serial
+# vs work-stealing parallel at K ∈ {1,2,3,4,8,16}, stealing on and off),
+# the streaming-builder bitwise-equivalence test, the Reset slab-shrink
+# regression, and the 10k-flow smoke — all uncached under the race
+# detector, so steal interleavings are exercised, not just one schedule.
+check-scale:
+	$(GO) test -race -run 'TestDifferentialParallelSkewed|TestScaleSmoke|TestBuilderMatchesNaive|TestSyntheticShape|TestResetShrinksRetainedSlabs' -count=1 ./internal/sim/
+
 # check-perf is the performance smoke gate: short in-process comparisons
 # asserting the incremental flow scheduler still beats the retained
-# global-recompute oracle, and the sharded scheduler still beats the
-# serial incremental one at 1024 flows with allocation-free steady state
-# (relative checks, so they hold on any machine; see
-# internal/sim/perf_test.go).
+# global-recompute oracle, the sharded scheduler still beats the serial
+# incremental one at 1024 flows with allocation-free steady state, work
+# stealing is never slower than static shard assignment on a skewed
+# partition, and streaming construction stays ≥5x leaner than the
+# pre-streaming builder (relative checks, so they hold on any machine;
+# see internal/sim/perf_test.go).
 check-perf:
-	MOBIUS_CHECK_PERF=1 $(GO) test -run 'TestIncrementalBeatsOracle|TestParallelBeatsSerial' -count=1 -v ./internal/sim/
+	MOBIUS_CHECK_PERF=1 $(GO) test -run 'TestIncrementalBeatsOracle|TestParallelBeatsSerial|TestStealBeatsNoStealOnSkew|TestStreamConstructLean' -count=1 -timeout 30m -v ./internal/sim/
 
 # check-plansvc is the planning-service gate: the deterministic
 # concurrency suite (cache keys, single-flight coalescing and
@@ -103,9 +113,9 @@ check-store:
 # test suite under the race detector (the planning pipeline is
 # concurrent, so plain `go test` alone is not enough), and survive the
 # fault matrix, the recovery matrix, the chaos matrix, the sharded
-# scheduler's race-clean differential suite, the performance smoke gate,
-# and the multi-tenant fleet gate.
-check: build vet race check-faults check-recovery check-chaos check-sharded check-perf check-plansvc check-cluster check-store
+# scheduler's race-clean differential suite, the scale gate, the
+# performance smoke gate, and the multi-tenant fleet gate.
+check: build vet race check-faults check-recovery check-chaos check-sharded check-scale check-perf check-plansvc check-cluster check-store
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/mapping/ ./internal/partition/

@@ -13,6 +13,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,6 +40,26 @@ type Speedup struct {
 	Ratio    float64 `json:"ratio"`    // baseline ns/op divided by mode ns/op
 }
 
+// ScalePoint is one size sample of a scaling series: the parsed
+// parameter value and the per-op costs measured at it.
+type ScalePoint struct {
+	N           int64   `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Scaling is a derived how-does-it-grow series: all sub-benchmarks of
+// one family and mode that differ only in a size parameter
+// (`BenchmarkSimScale/flows=10000/construct` and its 50k/100k siblings),
+// with points sorted by size. Reading whether construction stays linear
+// at 100k flows then takes a glance at the JSON, not a calculator.
+type Scaling struct {
+	Name   string       `json:"name"`  // family + mode, e.g. "BenchmarkSimScale/construct"
+	Param  string       `json:"param"` // size-parameter name, e.g. "flows"
+	Points []ScalePoint `json:"points"`
+}
+
 // Document is the emitted JSON shape.
 type Document struct {
 	Goos       string    `json:"goos,omitempty"`
@@ -46,6 +67,7 @@ type Document struct {
 	CPU        string    `json:"cpu,omitempty"`
 	Benchmarks []Result  `json:"benchmarks"`
 	Speedups   []Speedup `json:"speedups,omitempty"`
+	Scaling    []Scaling `json:"scaling,omitempty"`
 }
 
 // speedupBaseline is the sub-benchmark name every family is compared
@@ -87,6 +109,59 @@ func deriveSpeedups(benchmarks []Result) []Speedup {
 	return out
 }
 
+// scaleName matches a three-part benchmark name whose middle component
+// is a size parameter: root/param=N/mode.
+var scaleName = regexp.MustCompile(`^(Benchmark[^/]+)/([A-Za-z]+)=(\d+)/([^/]+)$`)
+
+// deriveScaling groups size-parameterized sub-benchmarks into series —
+// one per (root, param, mode) triple with at least two distinct sizes —
+// with points sorted ascending by size. Series order follows first
+// appearance in the input; a duplicated size keeps the first sample.
+func deriveScaling(benchmarks []Result) []Scaling {
+	type key struct{ root, param, mode string }
+	idx := make(map[key]int)
+	var out []Scaling
+	for _, b := range benchmarks {
+		m := scaleName.FindStringSubmatch(b.Name)
+		if m == nil || b.NsPerOp <= 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			continue
+		}
+		k := key{m[1], m[2], m[4]}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, Scaling{Name: k.root + "/" + k.mode, Param: k.param})
+		}
+		dup := false
+		for _, p := range out[i].Points {
+			if p.N == n {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out[i].Points = append(out[i].Points, ScalePoint{
+			N: n, NsPerOp: b.NsPerOp, BytesPerOp: b.BytesPerOp, AllocsPerOp: b.AllocsPerOp,
+		})
+	}
+	kept := out[:0]
+	for _, s := range out {
+		if len(s.Points) < 2 {
+			continue
+		}
+		sort.Slice(s.Points, func(a, b int) bool { return s.Points[a].N < s.Points[b].N })
+		kept = append(kept, s)
+	}
+	return kept
+}
+
 // benchLine matches e.g.
 //
 //	BenchmarkSimContention/flows=256/incremental-8  472  2541625 ns/op  701360 B/op  7603 allocs/op
@@ -126,6 +201,7 @@ func parse(r io.Reader) (Document, error) {
 		doc.Benchmarks = append(doc.Benchmarks, res)
 	}
 	doc.Speedups = deriveSpeedups(doc.Benchmarks)
+	doc.Scaling = deriveScaling(doc.Benchmarks)
 	return doc, sc.Err()
 }
 

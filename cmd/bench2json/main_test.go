@@ -71,6 +71,65 @@ func TestDeriveSpeedups(t *testing.T) {
 	}
 }
 
+const scaleOutput = `goos: linux
+goarch: amd64
+pkg: mobius/internal/sim
+BenchmarkSimScale/flows=100000/construct-8 	      24	  46700000 ns/op	 8000000 B/op	   13481 allocs/op
+BenchmarkSimScale/flows=10000/construct-8  	     270	   4350000 ns/op	 4600000 B/op	    1402 allocs/op
+BenchmarkSimScale/flows=10000/run-8        	      80	  13600000 ns/op	 5000000 B/op	    1500 allocs/op
+BenchmarkSimScale/flows=100000/run-8       	       8	 148000000 ns/op	50000000 B/op	   48201 allocs/op
+BenchmarkSimContention/flows=1024/incremental-8 	100	  10000000 ns/op
+PASS
+`
+
+func TestDeriveScaling(t *testing.T) {
+	doc, err := parse(strings.NewReader(scaleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scaling) != 2 {
+		t.Fatalf("got %d scaling series (%+v), want 2", len(doc.Scaling), doc.Scaling)
+	}
+	construct := doc.Scaling[0]
+	if construct.Name != "BenchmarkSimScale/construct" || construct.Param != "flows" {
+		t.Errorf("series 0 = %q param %q", construct.Name, construct.Param)
+	}
+	if len(construct.Points) != 2 || construct.Points[0].N != 10000 || construct.Points[1].N != 100000 {
+		t.Fatalf("construct points not sorted ascending by n: %+v", construct.Points)
+	}
+	if p := construct.Points[0]; p.NsPerOp != 4350000 || p.AllocsPerOp != 1402 || p.BytesPerOp != 4600000 {
+		t.Errorf("construct point at n=10000 parsed as %+v", p)
+	}
+	if run := doc.Scaling[1]; run.Name != "BenchmarkSimScale/run" || len(run.Points) != 2 {
+		t.Errorf("series 1 = %+v", run)
+	}
+}
+
+func TestDeriveScalingSkipsSingletons(t *testing.T) {
+	sps := deriveScaling([]Result{
+		{Name: "BenchmarkSimScale/flows=1024/parallel", NsPerOp: 10},
+		{Name: "BenchmarkFlat", NsPerOp: 20},
+		{Name: "BenchmarkX/notasize/steady", NsPerOp: 30},
+	})
+	if len(sps) != 0 {
+		t.Fatalf("singleton or unparameterized series must be dropped: %+v", sps)
+	}
+}
+
+func TestDeriveScalingDedupes(t *testing.T) {
+	sps := deriveScaling([]Result{
+		{Name: "BenchmarkSimScale/flows=10/run", NsPerOp: 10},
+		{Name: "BenchmarkSimScale/flows=10/run", NsPerOp: 99},
+		{Name: "BenchmarkSimScale/flows=20/run", NsPerOp: 25},
+	})
+	if len(sps) != 1 || len(sps[0].Points) != 2 {
+		t.Fatalf("duplicate sizes must keep the first sample: %+v", sps)
+	}
+	if sps[0].Points[0].NsPerOp != 10 {
+		t.Errorf("first sample not kept: %+v", sps[0].Points[0])
+	}
+}
+
 func TestDeriveSpeedupsNoBaseline(t *testing.T) {
 	sps := deriveSpeedups([]Result{
 		{Name: "BenchmarkX/steady", NsPerOp: 10},

@@ -138,16 +138,11 @@ func BuildMobius(topo *hw.Topology, cfg MobiusConfig) (*MobiusStep, error) {
 		return prioUploadBase + cfg.Mapping.UploadPriority(j)
 	}
 
-	s := srv.Sim
-	F := make([][]*sim.Task, S)
-	B := make([][]*sim.Task, S)
-	offload := make([][]*sim.Task, S)
-	freeF := make([]*sim.Task, S)
-	for j := range F {
-		F[j] = make([]*sim.Task, M)
-		B[j] = make([]*sim.Task, M)
-		offload[j] = make([]*sim.Task, M)
-	}
+	// The DAG streams out through a StreamBuilder: dependencies are staged
+	// one at a time (same order the old variadic calls listed them, so the
+	// emitted schedule is bitwise-identical), stage×microbatch handles
+	// live in flat arrays, and names format through a reused buffer.
+	sb := NewStreamBuilder(srv.Sim, S, M)
 
 	tag := func(kind trace.Kind, gpu, peer, stage, mb int) trace.Tag {
 		return trace.Tag{Kind: kind, GPU: gpu, PeerGPU: peer, Stage: stage, Microbatch: mb}
@@ -167,8 +162,9 @@ func BuildMobius(topo *hw.Topology, cfg MobiusConfig) (*MobiusStep, error) {
 		var ready *sim.Task
 		if j < N {
 			// First-round stages upload at step start.
-			alloc := s.Alloc(fmt.Sprintf("allocF%d", j), mem, stg[j].MemFwd())
-			xfer := s.Transfer(fmt.Sprintf("C%d", j), up, dramToGPU, stg[j].UploadFwd(), uploadPrio(j), alloc)
+			alloc := sb.Alloc(sb.NameJ("allocF", j, ""), mem, stg[j].MemFwd())
+			sb.Dep(alloc)
+			xfer := sb.Transfer(sb.NameJ("C", j, ""), up, dramToGPU, stg[j].UploadFwd(), uploadPrio(j))
 			xfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
 			ready = xfer
 		} else {
@@ -183,56 +179,62 @@ func BuildMobius(topo *hw.Topology, cfg MobiusConfig) (*MobiusStep, error) {
 			pf := stg[j].UploadFwd() * resv / stg[j].MemFwd()
 			// Prefetch starts once the previous stage has begun computing
 			// (its first microbatch forward is the observable trigger).
-			preAlloc := s.Alloc(fmt.Sprintf("allocPreF%d", j), mem, resv, F[j-N][0])
-			preXfer := s.Transfer(fmt.Sprintf("C%d.pre", j), up, dramToGPU, pf, uploadPrio(j), preAlloc)
+			sb.Dep(sb.F(j-N, 0))
+			preAlloc := sb.Alloc(sb.NameJ("allocPreF", j, ""), mem, resv)
+			sb.Dep(preAlloc)
+			preXfer := sb.Transfer(sb.NameJ("C", j, ".pre"), up, dramToGPU, pf, uploadPrio(j))
 			preXfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
-			restAlloc := s.Alloc(fmt.Sprintf("allocRestF%d", j), mem, stg[j].MemFwd()-resv, freeF[j-N])
-			restXfer := s.Transfer(fmt.Sprintf("C%d.rest", j), up, dramToGPU, stg[j].UploadFwd()-pf, uploadPrio(j), restAlloc, preXfer)
+			sb.Dep(sb.FreeF(j - N))
+			restAlloc := sb.Alloc(sb.NameJ("allocRestF", j, ""), mem, stg[j].MemFwd()-resv)
+			sb.Dep(restAlloc).Dep(preXfer)
+			restXfer := sb.Transfer(sb.NameJ("C", j, ".rest"), up, dramToGPU, stg[j].UploadFwd()-pf, uploadPrio(j))
 			restXfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
-			ready = s.After(fmt.Sprintf("readyF%d", j), preXfer, restXfer)
+			sb.Dep(preXfer).Dep(restXfer)
+			ready = sb.After(sb.NameJ("readyF", j, ""))
 		}
 
 		for m := 0; m < M; m++ {
-			deps := []*sim.Task{ready}
-			if m > 0 {
-				deps = append(deps, F[j][m-1])
-			}
+			var act *sim.Task
 			if j > 0 {
 				// Boundary activation from the upstream stage, staged
 				// through DRAM on commodity servers.
 				src := gpuOf(j - 1)
-				act := s.Transfer(fmt.Sprintf("A%d.%d", j, m), srv.DownloadEngine[src],
-					srv.Route(hw.GPUEnd(src), hw.GPUEnd(g)), stg[j].ActInBytes, prioActivation, F[j-1][m])
+				sb.Dep(sb.F(j-1, m))
+				act = sb.Transfer(sb.NameJM("A", j, m), srv.DownloadEngine[src],
+					srv.Route(hw.GPUEnd(src), hw.GPUEnd(g)), stg[j].ActInBytes, prioActivation)
 				act.Tag = tag(trace.KindActTransfer, src, g, j, m)
-				deps = append(deps, act)
 			}
-			F[j][m] = s.Compute(fmt.Sprintf("F%d.%d", j, m), srv.ComputeEngines[g], stg[j].FwdTime, deps...)
-			F[j][m].Tag = tag(trace.KindCompute, g, -1, j, m)
+			sb.Dep(ready)
+			if m > 0 {
+				sb.Dep(sb.F(j, m-1))
+			}
+			sb.Dep(act)
+			f := sb.Compute(sb.NameJM("F", j, m), srv.ComputeEngines[g], stg[j].FwdTime)
+			f.Tag = tag(trace.KindCompute, g, -1, j, m)
+			sb.SetF(j, m, f)
 
 			// Offload the boundary checkpoint for the backward pass.
 			if stg[j].ActOutBytes > 0 {
-				off := s.Transfer(fmt.Sprintf("O%d.%d", j, m), srv.DownloadEngine[g],
-					srv.Route(hw.GPUEnd(g), hw.DRAMEnd), stg[j].ActOutBytes, prioGradFlush, F[j][m])
+				sb.Dep(f)
+				off := sb.Transfer(sb.NameJM("O", j, m), srv.DownloadEngine[g],
+					srv.Route(hw.GPUEnd(g), hw.DRAMEnd), stg[j].ActOutBytes, prioGradFlush)
 				off.Tag = tag(trace.KindActOffload, g, -1, j, m)
-				offload[j][m] = off
+				sb.SetOff(j, m, off)
 			}
 		}
 
 		// Free the stage after its last microbatch (and its offloads) —
 		// except the final round, which stays resident for backward.
 		if j < S-N {
-			deps := []*sim.Task{F[j][M-1]}
+			sb.Dep(sb.F(j, M-1))
 			for m := 0; m < M; m++ {
-				if offload[j][m] != nil {
-					deps = append(deps, offload[j][m])
-				}
+				sb.Dep(sb.Off(j, m))
 			}
-			freeF[j] = s.Free(fmt.Sprintf("freeF%d", j), mem, stg[j].MemFwd(), deps...)
+			sb.SetFreeF(j, sb.Free(sb.NameJ("freeF", j, ""), mem, stg[j].MemFwd()))
 		}
 	}
 
 	// ---- Backward pass ----
-	freeB := make([]*sim.Task, S)
 	for j := S - 1; j >= 0; j-- {
 		g := gpuOf(j)
 		up := srv.UploadEngines[g]
@@ -244,7 +246,8 @@ func BuildMobius(topo *hw.Topology, cfg MobiusConfig) (*MobiusStep, error) {
 		if j >= S-N {
 			// Still resident from forward; grow to the backward footprint.
 			extra := stg[j].MemBwd() - stg[j].MemFwd()
-			ready = s.Alloc(fmt.Sprintf("gradAllocB%d", j), mem, maxf(0, extra), F[j][M-1])
+			sb.Dep(sb.F(j, M-1))
+			ready = sb.Alloc(sb.NameJ("gradAllocB", j, ""), mem, maxf(0, extra))
 		} else {
 			nxt := stg[j+N] // executes before this stage in backward order
 			resv := minf(stg[j].MemBwd(), maxf(0, gpuMem(j)-nxt.MemBwd()))
@@ -254,47 +257,60 @@ func BuildMobius(topo *hw.Topology, cfg MobiusConfig) (*MobiusStep, error) {
 			// The pre/rest pair carries the parameters; checkpointed
 			// activations are re-uploaded per microbatch below.
 			pb := stg[j].ParamBytes * resv / stg[j].MemBwd()
-			preAlloc := s.Alloc(fmt.Sprintf("allocPreB%d", j), mem, resv, B[j+N][0])
-			preXfer := s.Transfer(fmt.Sprintf("CB%d.pre", j), up, dramToGPU, pb, uploadPrio(j), preAlloc)
+			sb.Dep(sb.B(j+N, 0))
+			preAlloc := sb.Alloc(sb.NameJ("allocPreB", j, ""), mem, resv)
+			sb.Dep(preAlloc)
+			preXfer := sb.Transfer(sb.NameJ("CB", j, ".pre"), up, dramToGPU, pb, uploadPrio(j))
 			preXfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
-			restAlloc := s.Alloc(fmt.Sprintf("allocRestB%d", j), mem, stg[j].MemBwd()-resv, freeB[j+N])
-			restXfer := s.Transfer(fmt.Sprintf("CB%d.rest", j), up, dramToGPU, stg[j].ParamBytes-pb, uploadPrio(j), restAlloc, preXfer)
+			sb.Dep(sb.FreeB(j + N))
+			restAlloc := sb.Alloc(sb.NameJ("allocRestB", j, ""), mem, stg[j].MemBwd()-resv)
+			sb.Dep(restAlloc).Dep(preXfer)
+			restXfer := sb.Transfer(sb.NameJ("CB", j, ".rest"), up, dramToGPU, stg[j].ParamBytes-pb, uploadPrio(j))
 			restXfer.Tag = tag(trace.KindParamUpload, g, -1, j, -1)
-			ready = s.After(fmt.Sprintf("readyB%d", j), preXfer, restXfer)
+			sb.Dep(preXfer).Dep(restXfer)
+			ready = sb.After(sb.NameJ("readyB", j, ""))
 		}
 
 		for m := 0; m < M; m++ {
-			deps := []*sim.Task{ready}
+			var gr, actUp *sim.Task
+			if j < S-1 {
+				// Activation gradient from the downstream stage.
+				src := gpuOf(j + 1)
+				sb.Dep(sb.B(j+1, m))
+				gr = sb.Transfer(sb.NameJM("G", j, m), srv.DownloadEngine[src],
+					srv.Route(hw.GPUEnd(src), hw.GPUEnd(g)), stg[j].ActOutBytes, prioActivation)
+				gr.Tag = tag(trace.KindActTransfer, src, g, j, m)
+			}
+			// Re-upload the input checkpoint for recomputation.
+			if j > 0 && stg[j].ActInBytes > 0 && sb.Off(j-1, m) != nil {
+				sb.Dep(sb.Off(j-1, m)).Dep(ready)
+				actUp = sb.Transfer(sb.NameJM("AU", j, m), up, dramToGPU, stg[j].ActInBytes, prioActivation)
+				actUp.Tag = tag(trace.KindActUpload, g, -1, j, m)
+			}
+			sb.Dep(ready)
 			if m > 0 {
-				deps = append(deps, B[j][m-1])
+				sb.Dep(sb.B(j, m-1))
 			}
 			if j == S-1 {
 				// Constraint (11): backward starts after forward drains.
-				deps = append(deps, F[S-1][M-1])
+				sb.Dep(sb.F(S-1, M-1))
 			} else {
-				// Activation gradient from the downstream stage.
-				src := gpuOf(j + 1)
-				gr := s.Transfer(fmt.Sprintf("G%d.%d", j, m), srv.DownloadEngine[src],
-					srv.Route(hw.GPUEnd(src), hw.GPUEnd(g)), stg[j].ActOutBytes, prioActivation, B[j+1][m])
-				gr.Tag = tag(trace.KindActTransfer, src, g, j, m)
-				deps = append(deps, gr)
+				sb.Dep(gr)
 			}
-			// Re-upload the input checkpoint for recomputation.
-			if j > 0 && stg[j].ActInBytes > 0 && offload[j-1][m] != nil {
-				actUp := s.Transfer(fmt.Sprintf("AU%d.%d", j, m), up, dramToGPU, stg[j].ActInBytes, prioActivation, offload[j-1][m], ready)
-				actUp.Tag = tag(trace.KindActUpload, g, -1, j, m)
-				deps = append(deps, actUp)
-			}
-			B[j][m] = s.Compute(fmt.Sprintf("B%d.%d", j, m), srv.ComputeEngines[g], stg[j].BwdTime, deps...)
-			B[j][m].Tag = tag(trace.KindCompute, g, -1, j, m)
+			sb.Dep(actUp)
+			bt := sb.Compute(sb.NameJM("B", j, m), srv.ComputeEngines[g], stg[j].BwdTime)
+			bt.Tag = tag(trace.KindCompute, g, -1, j, m)
+			sb.SetB(j, m, bt)
 		}
 
 		// Flush accumulated gradients to DRAM for the CPU optimizer, then
 		// free the stage.
-		flush := s.Transfer(fmt.Sprintf("GF%d", j), down, srv.Route(hw.GPUEnd(g), hw.DRAMEnd),
-			stg[j].GradBytes, prioGradFlush, B[j][M-1])
+		sb.Dep(sb.B(j, M-1))
+		flush := sb.Transfer(sb.NameJ("GF", j, ""), down, srv.Route(hw.GPUEnd(g), hw.DRAMEnd),
+			stg[j].GradBytes, prioGradFlush)
 		flush.Tag = tag(trace.KindGradFlush, g, -1, j, -1)
-		freeB[j] = s.Free(fmt.Sprintf("freeB%d", j), mem, stg[j].MemBwd(), flush)
+		sb.Dep(flush)
+		sb.SetFreeB(j, sb.Free(sb.NameJ("freeB", j, ""), mem, stg[j].MemBwd()))
 
 		// Snapshot the stage's share of the training state once its
 		// gradients have landed in DRAM (the CPU optimizer updates the
@@ -309,7 +325,8 @@ func BuildMobius(topo *hw.Topology, cfg MobiusConfig) (*MobiusStep, error) {
 			if totalParam > 0 {
 				share = cfg.Checkpoint.Bytes * stg[j].ParamBytes / totalParam
 			}
-			ck := s.Transfer(fmt.Sprintf("CK%d", j), nil, srv.Route(hw.DRAMEnd, dst), share, prioGradFlush, flush)
+			sb.Dep(flush)
+			ck := sb.Transfer(sb.NameJ("CK", j, ""), nil, srv.Route(hw.DRAMEnd, dst), share, prioGradFlush)
 			ck.Tag = tag(trace.KindCheckpoint, -1, -1, j, -1)
 		}
 	}

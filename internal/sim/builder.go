@@ -1,0 +1,87 @@
+package sim
+
+// Builder is the streaming DAG-construction API. The variadic
+// constructors on Sim materialize a []*Task per call — at 100k tasks
+// those throwaway slices dominate construction allocations. A Builder
+// instead stages dependencies one at a time through Dep into a single
+// reusable buffer and emits each task straight into the simulator's slab
+// allocators (task arena, successor-edge slab, interned paths), so large
+// topologies build with a handful of allocations per thousand tasks.
+//
+// Usage:
+//
+//	b := s.NewBuilder()
+//	b.Dep(up)
+//	b.Dep(left)
+//	t := b.Compute("fwd", eng, 0.3) // consumes the staged deps
+//
+// Each emitted task consumes the staged dependency set (in staging
+// order, identical to the equivalent variadic call). A Builder is not
+// safe for concurrent use; construction is single-threaded by design.
+type Builder struct {
+	s    *Sim
+	deps []*Task
+}
+
+// NewBuilder returns a streaming builder emitting into s.
+func (s *Sim) NewBuilder() *Builder {
+	return &Builder{s: s, deps: make([]*Task, 0, 8)}
+}
+
+// Dep stages a dependency for the next emitted task. Nil is ignored, so
+// optional predecessors ("previous microbatch, if any") stage cleanly.
+// Returns the builder for chaining.
+func (b *Builder) Dep(t *Task) *Builder {
+	if t != nil {
+		b.deps = append(b.deps, t)
+	}
+	return b
+}
+
+// emit creates the task over the staged dependencies and clears the
+// staging buffer for the next one.
+func (b *Builder) emit(name string, kind TaskKind) *Task {
+	t := b.s.newTask(name, kind, b.deps)
+	clear(b.deps)
+	b.deps = b.deps[:0]
+	return t
+}
+
+// Compute emits a compute task over the staged deps; see Sim.Compute.
+func (b *Builder) Compute(name string, e *Engine, d Time) *Task {
+	t := b.emit(name, KindCompute)
+	t.engine = e
+	t.duration = d
+	return t
+}
+
+// Transfer emits a transfer task over the staged deps; see Sim.Transfer.
+func (b *Builder) Transfer(name string, engine *Engine, path []PathElem, bytes float64, priority int) *Task {
+	t := b.emit(name, KindTransfer)
+	t.engine = engine
+	t.path = path
+	t.bytes = bytes
+	t.priority = priority
+	return t
+}
+
+// Alloc emits a pool-reservation task over the staged deps; see Sim.Alloc.
+func (b *Builder) Alloc(name string, pool *MemPool, amount float64) *Task {
+	t := b.emit(name, KindAlloc)
+	t.pool = pool
+	t.amount = amount
+	return t
+}
+
+// Free emits a pool-release task over the staged deps; see Sim.Free.
+func (b *Builder) Free(name string, pool *MemPool, amount float64) *Task {
+	t := b.emit(name, KindFree)
+	t.pool = pool
+	t.amount = amount
+	return t
+}
+
+// After emits a zero-duration join node over the staged deps.
+func (b *Builder) After(name string) *Task {
+	return b.emit(name, KindVirtual)
+}

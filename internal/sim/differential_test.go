@@ -277,6 +277,95 @@ func diffScenarioIsolated(r *rand.Rand, s *Sim) {
 	}
 }
 
+// diffScenarioSkewed builds an adversarially skewed isolated topology:
+// one giant group carrying most of the tasks plus a swarm of tiny
+// single-stream groups. The partition becomes one huge shard and many
+// small ones — the shape that serializes a static shard assignment and
+// that chunked work-stealing exists to spread. Groups share nothing, so
+// determinism must hold for every steal interleaving.
+func diffScenarioSkewed(r *rand.Rand, s *Sim) {
+	if r.Intn(3) == 0 {
+		s.TransferLatency = Time(r.Float64() * 5e-4)
+	}
+	if r.Intn(3) == 0 {
+		seed := r.Int63()
+		s.RetryPolicy = func(t *Task) (int, Time) {
+			h := uint64(seed) ^ uint64(t.ID())*0x9e3779b97f4a7c15
+			h ^= h >> 33
+			if h%7 == 0 {
+				return 1 + int(h%2), Time(1e-4)
+			}
+			return 0, 0
+		}
+	}
+	if r.Intn(3) == 0 {
+		seed := r.Int63()
+		s.CorruptionPolicy = func(t *Task, attempt int) bool {
+			h := uint64(seed) ^ uint64(t.ID())*0xbf58476d1ce4e5b9 ^ uint64(attempt)<<32
+			h ^= h >> 29
+			return h%11 == 0
+		}
+		if r.Intn(2) == 0 {
+			s.Checksums = ChecksumConfig{Enabled: true}
+		}
+	}
+
+	var allRes []*Resource
+	emitGroup := func(g, nStreams, maxChain int) {
+		rc := s.NewResource(fmt.Sprintf("rc%d", g), 1e9*(4+12*r.Float64()))
+		allRes = append(allRes, rc)
+		var links []*Resource
+		for l := 0; l < 1+r.Intn(3); l++ {
+			lr := s.NewResource(fmt.Sprintf("g%d.link%d", g, l), 1e9*(8+24*r.Float64()))
+			links = append(links, lr)
+			allRes = append(allRes, lr)
+		}
+		eng := s.NewEngine(fmt.Sprintf("eng%d", g))
+		pool := s.NewMemPool(fmt.Sprintf("mem%d", g), 256)
+		for st := 0; st < nStreams; st++ {
+			var prev *Task
+			chain := 1 + r.Intn(maxChain)
+			for k := 0; k < chain; k++ {
+				var deps []*Task
+				if prev != nil {
+					deps = append(deps, prev)
+				}
+				switch r.Intn(10) {
+				case 0:
+					prev = s.Compute("c", eng, r.Float64()*0.2, deps...)
+				case 1:
+					amt := 1 + r.Float64()*50
+					a := s.Alloc("a", pool, amt, deps...)
+					prev = s.Free("f", pool, amt, a)
+				case 2:
+					prev = s.Transfer("z", nil, Path(rc), 0, r.Intn(4), deps...)
+				default:
+					link := links[r.Intn(len(links))]
+					path := Path(link, rc)
+					bytes := (0.1 + r.Float64()*2) * 1e9
+					prev = s.Transfer("t", nil, path, bytes, r.Intn(4), deps...)
+				}
+			}
+		}
+	}
+
+	// One giant group, then a swarm of tiny ones.
+	emitGroup(0, 8+r.Intn(8), 8)
+	nTiny := 10 + r.Intn(10)
+	for g := 1; g <= nTiny; g++ {
+		emitGroup(g, 1, 3)
+	}
+
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		res := allRes[r.Intn(len(allRes))]
+		at := r.Float64() * 0.5
+		s.ScheduleCapacity(res, at, res.Capacity()*(0.25+0.5*r.Float64()))
+		if r.Intn(2) == 0 {
+			s.ScheduleCapacity(res, at+r.Float64()*0.5, res.Capacity())
+		}
+	}
+}
+
 // captureRecord snapshots everything observable about a finished run.
 func captureRecord(s *Sim, obs *timelineObserver, makespan Time, err error) runRecord {
 	rec := runRecord{
@@ -392,8 +481,9 @@ func TestDifferentialReplayDeterminism(t *testing.T) {
 
 // TestDifferentialParallelVsSerial is the sharded-scheduler gate: over 64
 // isolated chaos topologies (one shard per group), parallel execution at
-// K ∈ {1,2,4,8} workers must be bitwise-identical to the serial
-// incremental scheduler, which in turn must match the oracle.
+// K ∈ {1,2,3,4,8,16} workers — non-power-of-two and oversubscribed
+// included — must be bitwise-identical to the serial incremental
+// scheduler, which in turn must match the oracle.
 func TestDifferentialParallelVsSerial(t *testing.T) {
 	for seed := int64(1); seed <= 64; seed++ {
 		serial := runScenarioMode(seed, false, 0, diffScenarioIsolated)
@@ -402,11 +492,44 @@ func TestDifferentialParallelVsSerial(t *testing.T) {
 		if t.Failed() {
 			t.Fatalf("seed %d: serial vs oracle divergence (stopping)", seed)
 		}
-		for _, k := range []int{1, 2, 4, 8} {
+		for _, k := range []int{1, 2, 3, 4, 8, 16} {
 			par := runScenarioMode(seed, false, k, diffScenarioIsolated)
 			diffRecords(t, seed, serial, par)
 			if t.Failed() {
 				t.Fatalf("seed %d: parallel K=%d vs serial divergence (stopping)", seed, k)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelSkewed pins stealing determinism on the
+// partition shape built to break it: one giant shard plus a swarm of tiny
+// ones. Every worker count — including K=3 (chunks wrap unevenly) and
+// K=16 (more workers than meaningful shards on small seeds) — and both
+// steal settings must reproduce the serial schedule bit for bit, which
+// must itself match the oracle.
+func TestDifferentialParallelSkewed(t *testing.T) {
+	for seed := int64(1); seed <= 64; seed++ {
+		serial := runScenarioMode(seed, false, 0, diffScenarioSkewed)
+		oracle := runScenarioMode(seed, true, 0, diffScenarioSkewed)
+		diffRecords(t, seed, serial, oracle)
+		if t.Failed() {
+			t.Fatalf("seed %d: serial vs oracle divergence (stopping)", seed)
+		}
+		for _, k := range []int{1, 2, 3, 4, 8, 16} {
+			for _, noSteal := range []bool{false, true} {
+				build := diffScenarioSkewed
+				if noSteal {
+					build = func(r *rand.Rand, s *Sim) {
+						s.NoSteal = true
+						diffScenarioSkewed(r, s)
+					}
+				}
+				par := runScenarioMode(seed, false, k, build)
+				diffRecords(t, seed, serial, par)
+				if t.Failed() {
+					t.Fatalf("seed %d: skewed parallel K=%d noSteal=%v divergence (stopping)", seed, k, noSteal)
+				}
 			}
 		}
 	}

@@ -17,7 +17,20 @@ import (
 // capacity events whose shard-local clock stopped early, and the
 // canonical observer dispatch (sim.go). The differential suite asserts
 // the composition is bitwise-identical to the serial scheduler at
-// K ∈ {1,2,4,8}.
+// K ∈ {1,2,3,4,8,16}.
+//
+// Shard dispatch uses deterministic work stealing. The partition caches a
+// size-descending shard schedule (stealOrder); runParallel slices it into
+// fixed-size chunks dealt round-robin onto per-worker deques. Each worker
+// pops chunks from the front of its own deque and, once empty, steals
+// whole chunks from the back of other workers' deques (round-robin victim
+// scan). Skewed partitions — one giant shard plus many tiny ones — thus
+// stop serializing behind whichever worker drew the giant: everyone else
+// drains the tail concurrently. Determinism is free: every shard runs
+// exactly once, shards share no state, and the merge below is
+// order-canonical, so ANY assignment of shards to workers and ANY steal
+// interleaving produces bit-identical results. Stealing only moves
+// wall-clock time around.
 //
 // Runs that need global event order — scheduled permanent failures
 // (victim collection spans shards), oracle mode, continuations of an
@@ -130,6 +143,23 @@ func (s *Sim) partition() {
 		sh := s.shards[t.shardIdx]
 		sh.tasks = append(sh.tasks, t)
 	}
+
+	// Cache the dispatch schedule with the partition: shard indices in
+	// descending task count (ties by index). Big shards dispatch first so
+	// a giant component starts immediately and the tail remains available
+	// to steal.
+	order := s.stealOrder[:0]
+	for i := 0; i < count; i++ {
+		order = append(order, int32(i))
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := len(s.shards[order[a]].tasks), len(s.shards[order[b]].tasks)
+		if na != nb {
+			return na > nb
+		}
+		return order[a] < order[b]
+	})
+	s.stealOrder = order
 	s.shardsValid = true
 }
 
@@ -156,27 +186,13 @@ func (s *Sim) runParallel() bool {
 	if workers > len(shards) {
 		workers = len(shards)
 	}
+	s.steals = 0
 	if workers <= 1 {
-		for _, sh := range shards {
-			sh.run()
+		for _, i := range s.stealOrder {
+			shards[i].run()
 		}
 	} else {
-		var next atomic.Int32
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(shards) {
-						return
-					}
-					shards[i].run()
-				}
-			}()
-		}
-		wg.Wait()
+		s.runStealing(shards, workers)
 	}
 
 	now, pending, failed := Time(0), 0, false
@@ -203,6 +219,122 @@ func (s *Sim) runParallel() bool {
 	s.sweepLeftoverCaps(shards)
 	s.active = append(s.active[:0], shards...)
 	return true
+}
+
+// stealChunk is a half-open [lo, hi) slice of the cached stealOrder
+// schedule: the unit of work distribution and of stealing.
+type stealChunk struct {
+	lo, hi int32
+}
+
+// stealDeque is one worker's chunk queue. The owner pops from the front,
+// thieves take from the back; a plain mutex per operation is cheap at
+// chunk granularity (a chunk amortizes many shard event loops).
+type stealDeque struct {
+	mu     sync.Mutex
+	chunks []stealChunk
+	head   int
+}
+
+func (d *stealDeque) popFront() (stealChunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.chunks) {
+		return stealChunk{}, false
+	}
+	c := d.chunks[d.head]
+	d.head++
+	return c, true
+}
+
+func (d *stealDeque) stealBack() (stealChunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.chunks)
+	if d.head >= n {
+		return stealChunk{}, false
+	}
+	c := d.chunks[n-1]
+	d.chunks = d.chunks[:n-1]
+	return c, true
+}
+
+// stealChunkLen picks the fixed chunk length for a schedule of n shards:
+// small enough that every worker holds several chunks (so there is
+// something left to steal), clamped so tiny-shard storms don't pay a
+// lock per shard and giant-shard schedules still split.
+func stealChunkLen(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 32 {
+		c = 32
+	}
+	return c
+}
+
+// runStealing executes the prepared shards on a worker pool with
+// chunk-granular work stealing. Chunks of the size-descending schedule
+// are dealt round-robin onto per-worker deques; owners pop from the
+// front, idle workers steal from the back of the other deques. With
+// NoSteal set, each worker drains only its own deque (the static
+// assignment the ablation gate compares against).
+func (s *Sim) runStealing(shards []*shard, workers int) {
+	order := s.stealOrder
+	for len(s.stealDeques) < workers {
+		s.stealDeques = append(s.stealDeques, &stealDeque{})
+	}
+	deques := s.stealDeques[:workers]
+	for _, d := range deques {
+		d.chunks = d.chunks[:0]
+		d.head = 0
+	}
+	chunk := stealChunkLen(len(order), workers)
+	w := 0
+	for lo := 0; lo < len(order); lo += chunk {
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		d := deques[w]
+		d.chunks = append(d.chunks, stealChunk{int32(lo), int32(hi)})
+		w = (w + 1) % workers
+	}
+
+	var steals atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(self int) {
+			defer wg.Done()
+			d := deques[self]
+			for {
+				c, ok := d.popFront()
+				if !ok {
+					if s.NoSteal {
+						return
+					}
+					// Chunks are only ever removed, so a full scan that
+					// finds every deque empty is terminal.
+					for off := 1; off < workers; off++ {
+						if c, ok = deques[(self+off)%workers].stealBack(); ok {
+							steals.Add(1)
+							break
+						}
+					}
+					if !ok {
+						return
+					}
+				}
+				for i := c.lo; i < c.hi; i++ {
+					shards[order[i]].run()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.steals = int(steals.Load())
 }
 
 // routeCapEvents distributes the (sorted) capacity events to the shards

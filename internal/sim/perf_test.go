@@ -104,3 +104,98 @@ func TestParallelBeatsSerial(t *testing.T) {
 			par.AllocsPerOp(), ser.AllocsPerOp())
 	}
 }
+
+// TestStealBeatsNoStealOnSkew is the work-stealing gate in `make
+// check-perf`: on the adversarially skewed partition (one giant shard,
+// a swarm of tiny ones), stealing must never be slower than the static
+// chunk assignment it replaced — the same 10% grace as the serial gate.
+// On this single-core box both do identical total work, so the gate pins
+// "stealing costs nothing"; on a multi-core machine it additionally pins
+// the latency win (the tail drains while the giant runs).
+func TestStealBeatsNoStealOnSkew(t *testing.T) {
+	if os.Getenv("MOBIUS_CHECK_PERF") == "" {
+		t.Skip("set MOBIUS_CHECK_PERF=1 (or run `make check-perf`) to run the performance smoke gate")
+	}
+	run := func(noSteal bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s := New()
+			s.Parallelism = 4
+			s.NoSteal = noSteal
+			BuildSynthetic(s, SyntheticSpec{Flows: 4096, SkewFrac: 0.5})
+			if _, err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reset()
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Min of three trials per side: the box is single-core, so one
+	// unlucky GC or page-fault burst lands entirely on whichever side is
+	// running; the minimum is the honest cost.
+	best := func(noSteal bool) int64 {
+		ns := run(noSteal).NsPerOp()
+		for i := 0; i < 2; i++ {
+			if n := run(noSteal).NsPerOp(); n < ns {
+				ns = n
+			}
+		}
+		return ns
+	}
+	steal := best(false)
+	noSteal := best(true)
+	t.Logf("steal:    %d ns/op", steal)
+	t.Logf("no-steal: %d ns/op", noSteal)
+
+	if steal*10 > noSteal*11 {
+		t.Errorf("work stealing slower than static chunk assignment on skewed shards: %d ns/op vs %d ns/op",
+			steal, noSteal)
+	}
+}
+
+// prePRConstructAllocs is the measured allocation cost of building the
+// 10k-flow synthetic topology with the pre-streaming construction path
+// (seed-commit code: per-call Path slices, append-grown successor lists;
+// measured in a worktree at that commit). Allocation counts are
+// deterministic, so the constant is portable across machines; it anchors
+// the ≥5x reduction the streaming builder must preserve.
+const prePRConstructAllocs = 22924
+
+// TestStreamConstructLean is the construction gate in `make check-perf`:
+// building the 10k-flow synthetic topology through the streaming Builder
+// must allocate at least 5x less than the pre-PR construction path did,
+// and must stay under an absolute ceiling so the slab allocators cannot
+// quietly erode. (The in-tree variadic constructors now share the slab
+// and interning wins — buildSyntheticNaive exists for the bitwise
+// equivalence test, not as the baseline here.)
+func TestStreamConstructLean(t *testing.T) {
+	if os.Getenv("MOBIUS_CHECK_PERF") == "" {
+		t.Skip("set MOBIUS_CHECK_PERF=1 (or run `make check-perf`) to run the performance smoke gate")
+	}
+	spec := SyntheticSpec{Flows: 10000}
+	stream := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := New()
+			BuildSynthetic(s, spec)
+		}
+	})
+	t.Logf("stream builder: %d ns/op, %d allocs/op, %d B/op (pre-PR: %d allocs/op)",
+		stream.NsPerOp(), stream.AllocsPerOp(), stream.AllocedBytesPerOp(), int64(prePRConstructAllocs))
+
+	if stream.AllocsPerOp()*5 > prePRConstructAllocs {
+		t.Errorf("streaming construction no longer ≥5x leaner than the pre-PR builder: %d vs %d allocs/op",
+			stream.AllocsPerOp(), int64(prePRConstructAllocs))
+	}
+	// Absolute ceiling at 10k flows: ~0.14 allocs/flow of slab chunks,
+	// path interning, and registry growth (measured ~1.4k; EXPERIMENTS.md).
+	if stream.AllocsPerOp() > 2000 {
+		t.Errorf("streaming construction allocates beyond the 10k-flow ceiling: %d allocs/op > 2000",
+			stream.AllocsPerOp())
+	}
+}

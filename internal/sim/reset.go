@@ -76,6 +76,12 @@ func (s *Sim) rewind() {
 // corruption policies, checksum configuration, engine throughput
 // overrides, and pool resizes. Observers stay registered; a run after
 // Reset replays the fault-free schedule bitwise.
+//
+// Reset also shrinks (not just truncates) pooled run buffers that grew
+// past the high-water mark observed since the previous Reset, so one
+// 100k-flow run does not pin its peak memory for every later small run
+// in a grid. Buffers the last run actually filled keep their capacity —
+// steady-state Reset+Run loops stay allocation-free.
 func (s *Sim) Reset() {
 	s.rewind()
 	s.capEvents = s.capEvents[:0]
@@ -90,4 +96,51 @@ func (s *Sim) Reset() {
 	for _, p := range s.pools {
 		p.capacity = p.baseCapacity
 	}
+	s.shrinkRetained()
+}
+
+// shrinkMinCap is the retained capacity below which Reset never shrinks:
+// small buffers are noise, and reclaiming them would just cause regrow
+// churn in steady-state loops.
+const shrinkMinCap = 4096
+
+// shrinkSlice reclaims buf's backing array when its capacity dwarfs the
+// high-water mark of the last runs (and is big enough to matter),
+// returning an empty slice sized to the mark. Otherwise it returns
+// buf[:0] with capacity intact.
+func shrinkSlice[T any](buf []T, hwm int) []T {
+	if cap(buf) <= shrinkMinCap || cap(buf) <= 2*hwm {
+		return buf[:0]
+	}
+	if hwm == 0 {
+		return nil
+	}
+	return make([]T, 0, hwm)
+}
+
+// shrinkRetained releases oversized pooled buffers on every shard and the
+// observer merge scratch, then rearms the high-water marks for the next
+// Reset window.
+func (s *Sim) shrinkRetained() {
+	shrink := func(sh *shard) {
+		sh.events = shrinkSlice(sh.events, sh.eventsHWM)
+		sh.ready = shrinkSlice(sh.ready, sh.readyHWM)
+		if n := len(sh.flowPool); n > shrinkMinCap && n > 2*sh.flowsHWM {
+			// The pool is a stack of recycled flow structs (len == available);
+			// drop the excess so the GC can take the slab chunks behind them.
+			keep := sh.flowsHWM
+			np := make([]*flow, keep)
+			copy(np, sh.flowPool[:keep])
+			sh.flowPool = np
+		}
+		sh.eventsHWM, sh.flowsHWM, sh.readyHWM = 0, 0, 0
+	}
+	if s.serial != nil {
+		shrink(s.serial)
+	}
+	for _, sh := range s.shards[:s.nShards] {
+		shrink(sh)
+	}
+	s.eventScratch = shrinkSlice(s.eventScratch, s.eventScratchHWM)
+	s.eventScratchHWM = 0
 }

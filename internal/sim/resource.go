@@ -91,19 +91,36 @@ type pathKey struct {
 // does) construct each distinct path once instead of once per transfer.
 // Paths longer than five merged hops are passed through uninterned.
 func (s *Sim) Path(resources ...*Resource) []PathElem {
-	p := Path(resources...)
-	if len(p) > 5 {
-		return p
-	}
+	// Build the interning key straight from the arguments — the merged
+	// slice is materialized only on a cache miss, so the hot hit path
+	// (every transfer after the first on a route) allocates nothing.
 	var k pathKey
-	k.n = len(p)
-	for i, pe := range p {
-		k.hops[i].res = int32(pe.Res.id)
-		k.hops[i].weight = pe.Weight
+	for _, r := range resources {
+		if r == nil {
+			continue
+		}
+		merged := false
+		for i := 0; i < k.n; i++ {
+			if k.hops[i].res == int32(r.id) {
+				k.hops[i].weight++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			if k.n == 5 {
+				// More than five merged hops: pass through uninterned.
+				return Path(resources...)
+			}
+			k.hops[k.n].res = int32(r.id)
+			k.hops[k.n].weight = 1
+			k.n++
+		}
 	}
 	if q, ok := s.pathCache[k]; ok {
 		return q
 	}
+	p := Path(resources...)
 	if s.pathCache == nil {
 		s.pathCache = make(map[pathKey][]PathElem)
 	}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Scale coverage for the synthetic topology generator, the streaming
+// Builder, work-stealing dispatch at 10k+ flows, and Reset's
+// high-water-mark shrink. BenchmarkSimScale is the family BENCH_sim.json
+// records and the acceptance target (100k-flow construct+run in
+// single-digit seconds) is measured against.
+
+// buildSyntheticNaive is the pre-Builder twin of BuildSynthetic: the same
+// DAG emitted through the variadic public constructors. It exists so the
+// construct-allocation gate (perf_test.go) and the bitwise-equivalence
+// test below compare the streaming path against exactly what it replaced.
+func buildSyntheticNaive(s *Sim, spec SyntheticSpec) int {
+	sp := spec.withDefaults()
+	var linkScratch []*Resource
+	total, island := 0, 0
+	emitIsland := func(streams, flowsCap int) int {
+		rc := s.NewResource("rc", 13.1e9)
+		links := linkScratch[:0]
+		for i := 0; i < sp.Links; i++ {
+			links = append(links, s.NewResource("ln", 26.2e9))
+		}
+		linkScratch = links
+		eng := s.NewEngine("eng")
+		emitted := 0
+		for st := 0; st < streams && emitted < flowsCap; st++ {
+			prev := s.Compute("hd", eng, synthDur(island, st))
+			for k := 0; k < sp.Chain && emitted < flowsCap; k++ {
+				prev = s.Transfer("fl", nil, s.Path(links[st%len(links)], rc), synthBytes(island, st, k), st%4, prev)
+				emitted++
+			}
+		}
+		island++
+		return emitted
+	}
+	if sp.SkewFrac > 0 && sp.Flows > 0 {
+		giant := int(float64(sp.Flows) * sp.SkewFrac)
+		if giant > 0 {
+			streams := (giant + sp.Chain - 1) / sp.Chain
+			total += emitIsland(streams, giant)
+		}
+	}
+	per := sp.Streams * sp.Chain
+	for total < sp.Flows {
+		n := sp.Flows - total
+		if n > per {
+			n = per
+		}
+		total += emitIsland(sp.Streams, n)
+	}
+	return total
+}
+
+// runSyntheticRecord builds a synthetic topology one way or the other and
+// runs it under the given scheduler settings, capturing every observable
+// bit.
+func runSyntheticRecord(spec SyntheticSpec, naive bool, parallelism int, noSteal bool) runRecord {
+	s := New()
+	s.Parallelism = parallelism
+	s.NoSteal = noSteal
+	obs := &timelineObserver{}
+	s.Observe(obs)
+	if naive {
+		buildSyntheticNaive(s, spec)
+	} else {
+		BuildSynthetic(s, spec)
+	}
+	makespan, err := s.Run()
+	return captureRecord(s, obs, makespan, err)
+}
+
+// TestBuilderMatchesNaive pins that the streaming Builder emits the
+// identical DAG to the variadic constructors: same task ids, same dep
+// order, same schedule, bit for bit.
+func TestBuilderMatchesNaive(t *testing.T) {
+	spec := SyntheticSpec{Flows: 2000, SkewFrac: 0.3}
+	naive := runSyntheticRecord(spec, true, 0, false)
+	stream := runSyntheticRecord(spec, false, 0, false)
+	diffRecords(t, 0, stream, naive)
+}
+
+// TestScaleSmoke is the 10k-flow smoke for `make check-scale`: a skewed
+// synthetic topology must produce bitwise-identical schedules across the
+// serial scheduler and work-stealing parallel runs at non-power-of-two
+// and oversubscribed worker counts, with stealing on and off.
+func TestScaleSmoke(t *testing.T) {
+	spec := SyntheticSpec{Flows: 10000, SkewFrac: 0.4}
+	serial := runSyntheticRecord(spec, false, 0, false)
+	for _, k := range []int{3, 8} {
+		for _, noSteal := range []bool{false, true} {
+			par := runSyntheticRecord(spec, false, k, noSteal)
+			diffRecords(t, int64(k), serial, par)
+			if t.Failed() {
+				t.Fatalf("K=%d noSteal=%v: scale smoke divergence (stopping)", k, noSteal)
+			}
+		}
+	}
+}
+
+// TestSyntheticShape sanity-checks the generator's contract: exact flow
+// count, one shard per island, and a giant-first partition under skew.
+func TestSyntheticShape(t *testing.T) {
+	s := New()
+	s.Parallelism = 2
+	flows := BuildSynthetic(s, SyntheticSpec{Flows: 1000, SkewFrac: 0.5})
+	if flows != 1000 {
+		t.Fatalf("BuildSynthetic emitted %d flows, want 1000", flows)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	n := s.ShardCount()
+	// 500 skewed flows in one island + 500 spread at 32 per island.
+	want := 1 + (500+31)/32
+	if n != want {
+		t.Fatalf("ShardCount = %d, want %d", n, want)
+	}
+	// The cached schedule leads with the giant shard.
+	giant := s.shards[s.stealOrder[0]]
+	for _, i := range s.stealOrder[1:] {
+		if len(s.shards[i].tasks) > len(giant.tasks) {
+			t.Fatalf("steal order not size-descending: shard %d (%d tasks) after head (%d tasks)",
+				i, len(s.shards[i].tasks), len(giant.tasks))
+		}
+	}
+}
+
+// TestResetShrinksRetainedSlabs is the regression gate for the Reset
+// shrink: after a large run, a Reset whose window only saw a tiny run
+// must release the oversized pooled buffers instead of pinning peak
+// memory forever — while a Reset straight after the large run (the
+// steady-state grid shape) keeps capacity intact.
+func TestResetShrinksRetainedSlabs(t *testing.T) {
+	s := New()
+	obs := &timelineObserver{}
+	s.Observe(obs)
+	// Wide topology: every stream is one flow, so peak concurrent flows
+	// and buffered events both clear the shrink floor by a wide margin.
+	BuildSynthetic(s, SyntheticSpec{Flows: 12000, Chain: 1, Streams: 64})
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sh := s.serial
+	if len(sh.flowPool) <= shrinkMinCap {
+		t.Fatalf("test setup: flow pool only %d entries, need > %d to exercise shrink", len(sh.flowPool), shrinkMinCap)
+	}
+	if cap(sh.events) <= shrinkMinCap {
+		t.Fatalf("test setup: events cap only %d, need > %d", cap(sh.events), shrinkMinCap)
+	}
+
+	// Reset right after the big run: the window's high-water marks equal
+	// the retained capacity, so nothing may shrink (steady-state reruns
+	// of the same DAG must stay allocation-free).
+	bigEvents, bigPool := cap(sh.events), len(sh.flowPool)
+	s.Reset()
+	if cap(sh.events) != bigEvents {
+		t.Fatalf("Reset after full run shrank events: cap %d -> %d", bigEvents, cap(sh.events))
+	}
+	if len(sh.flowPool) != bigPool {
+		t.Fatalf("Reset after full run shrank flow pool: %d -> %d", bigPool, len(sh.flowPool))
+	}
+
+	// A failure at t=0 halts the next run immediately: the window sees
+	// almost nothing, and the following Reset must release the capacity
+	// the big run left behind.
+	s.ScheduleFailure(0, "loss", []*Resource{s.resources[0]}, nil)
+	obs.events = obs.events[:0]
+	if _, err := s.Run(); err == nil {
+		t.Fatal("expected halted run to report an error")
+	}
+	s.Reset()
+	if c := cap(sh.events); c > shrinkMinCap {
+		t.Errorf("events capacity not shrunk: cap %d > %d", c, shrinkMinCap)
+	}
+	if n := len(sh.flowPool); n > shrinkMinCap {
+		t.Errorf("flow pool not shrunk: %d entries > %d", n, shrinkMinCap)
+	}
+	if c := cap(s.eventScratch); c > shrinkMinCap {
+		t.Errorf("event scratch not shrunk: cap %d > %d", c, shrinkMinCap)
+	}
+
+	// The shrunk simulator still replays the fault-free schedule.
+	obs.events = obs.events[:0]
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("run after shrink: %v", err)
+	}
+}
+
+// BenchmarkSimScale is the scale family BENCH_sim.json records: DAG
+// construction, serial execution, and work-stealing parallel execution
+// at 10k/50k/100k flows. Sub-benchmark names use plain integers so
+// bench2json's scaling derivation can parse the flow counts.
+func BenchmarkSimScale(b *testing.B) {
+	for _, flows := range []int{10000, 50000, 100000} {
+		spec := SyntheticSpec{Flows: flows}
+		b.Run(fmt.Sprintf("flows=%d/construct", flows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := New()
+				BuildSynthetic(s, spec)
+			}
+		})
+		b.Run(fmt.Sprintf("flows=%d/run", flows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := New()
+				BuildSynthetic(s, spec)
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("flows=%d/parallel", flows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := New()
+				s.Parallelism = 8
+				BuildSynthetic(s, spec)
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -86,6 +86,13 @@ type shard struct {
 	nextFail   int
 
 	events []obsEvent // buffered observer notifications
+
+	// High-water marks since the last public Reset. Reset uses them to
+	// shrink pooled buffers a larger earlier run left pinned (reset.go);
+	// they cost one comparison at each growth site.
+	eventsHWM int
+	flowsHWM  int
+	readyHWM  int
 }
 
 // prepare resets the shard's execution state for a fresh run over its
@@ -149,6 +156,9 @@ func (sh *shard) run() {
 		if t.state == statePending && t.waiting == 0 {
 			sh.ready = append(sh.ready, t)
 		}
+	}
+	if len(sh.ready) > sh.readyHWM {
+		sh.readyHWM = len(sh.ready)
 	}
 	sh.drain()
 
@@ -460,6 +470,9 @@ func (sh *shard) beginFlow(t *Task) {
 	// iteration order for rate computation lives in the component lists.
 	f.listIdx = len(sh.flows)
 	sh.flows = append(sh.flows, f)
+	if len(sh.flows) > sh.flowsHWM {
+		sh.flowsHWM = len(sh.flows)
+	}
 	sh.flowQueue.push(f)
 	sh.componentAdmit(f)
 }
@@ -510,6 +523,9 @@ func (sh *shard) complete(t *Task) {
 		succ.waiting--
 		if succ.waiting == 0 && succ.state == statePending {
 			sh.ready = append(sh.ready, succ)
+			if len(sh.ready) > sh.readyHWM {
+				sh.readyHWM = len(sh.ready)
+			}
 		}
 	}
 	if t.corruptExhausted {

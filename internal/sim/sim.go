@@ -126,10 +126,35 @@ type Sim struct {
 	// eventScratch merges the shards' buffered observer notifications.
 	eventScratch []obsEvent
 
-	// taskSlab is the arena Task structs are carved from; pathCache backs
-	// the Path interning method (resource.go).
+	// Work-stealing dispatch state (parallel.go). stealOrder is the
+	// size-descending shard schedule cached with the partition;
+	// stealDeques are the per-worker chunk deques reused across runs;
+	// steals counts the chunks stolen during the last parallel run.
+	stealOrder  []int32
+	stealDeques []*stealDeque
+	steals      int
+
+	// NoSteal disables chunk stealing between workers in parallel runs,
+	// leaving the static round-robin chunk assignment in place — an
+	// ablation knob for benchmarks and the perf gate. Results are
+	// bitwise-identical either way; only wall-clock under skew differs.
+	NoSteal bool
+
+	// Arenas DAG construction carves from: Task structs, successor-edge
+	// slices, and the hardware registry (resources, engines, pools) all
+	// come from chunked slabs instead of one allocation per object;
+	// pathCache backs the Path interning method (resource.go).
 	taskSlab  []Task
+	succSlab  []*Task
+	resSlab   []Resource
+	engSlab   []Engine
+	poolSlab  []MemPool
 	pathCache map[pathKey][]PathElem
+
+	// eventScratchHWM tracks the high-water mark of the observer merge
+	// buffer since the last Reset; Reset shrinks capacity that a larger
+	// earlier run left pinned (reset.go).
+	eventScratchHWM int
 }
 
 // New creates an empty simulator.
@@ -144,7 +169,12 @@ func (s *Sim) Observe(o Observer) { s.observers = append(s.observers, o) }
 // NewResource adds a bandwidth-shared resource with the given capacity in
 // bytes per second.
 func (s *Sim) NewResource(name string, capacity float64) *Resource {
-	r := &Resource{id: len(s.resources), name: name, capacity: capacity, baseCapacity: capacity}
+	if len(s.resSlab) == 0 {
+		s.resSlab = make([]Resource, 64)
+	}
+	r := &s.resSlab[0]
+	s.resSlab = s.resSlab[1:]
+	r.id, r.name, r.capacity, r.baseCapacity = len(s.resources), name, capacity, capacity
 	s.resources = append(s.resources, r)
 	s.shardsValid = false
 	return r
@@ -152,7 +182,12 @@ func (s *Sim) NewResource(name string, capacity float64) *Resource {
 
 // NewEngine adds an exclusive serial executor.
 func (s *Sim) NewEngine(name string) *Engine {
-	e := &Engine{id: len(s.engines), name: name}
+	if len(s.engSlab) == 0 {
+		s.engSlab = make([]Engine, 64)
+	}
+	e := &s.engSlab[0]
+	s.engSlab = s.engSlab[1:]
+	e.id, e.name = len(s.engines), name
 	s.engines = append(s.engines, e)
 	s.shardsValid = false
 	return e
@@ -160,11 +195,34 @@ func (s *Sim) NewEngine(name string) *Engine {
 
 // NewMemPool adds a finite memory pool with the given capacity in bytes.
 func (s *Sim) NewMemPool(name string, capacity float64) *MemPool {
-	p := &MemPool{id: len(s.pools), name: name, capacity: capacity, baseCapacity: capacity}
+	if len(s.poolSlab) == 0 {
+		s.poolSlab = make([]MemPool, 64)
+	}
+	p := &s.poolSlab[0]
+	s.poolSlab = s.poolSlab[1:]
+	p.id, p.name, p.capacity, p.baseCapacity = len(s.pools), name, capacity, capacity
 	s.pools = append(s.pools, p)
 	s.shardsValid = false
 	return p
 }
+
+// NumTasks reports how many tasks the DAG holds.
+func (s *Sim) NumTasks() int { return len(s.tasks) }
+
+// ShardCount reports the number of independent shards in the cached
+// partition, or 0 when no partition has been computed since the topology
+// last changed.
+func (s *Sim) ShardCount() int {
+	if !s.shardsValid {
+		return 0
+	}
+	return s.nShards
+}
+
+// Steals reports how many chunks were stolen between workers during the
+// last parallel run. It is a throughput diagnostic only: the schedule is
+// bitwise-identical whatever the count.
+func (s *Sim) Steals() int { return s.steals }
 
 // allocTask carves a Task from the arena: DAG construction allocates one
 // 256-task chunk at a time instead of one object per task.
@@ -175,6 +233,36 @@ func (s *Sim) allocTask() *Task {
 	t := &s.taskSlab[0]
 	s.taskSlab = s.taskSlab[1:]
 	return t
+}
+
+// succCarve cuts a zero-length, cap-n successor slice from the shared
+// slab; growth beyond succHeapCap falls back to ordinary heap appends
+// (rare wide fan-out), keeping slab waste bounded.
+const succHeapCap = 16
+
+func (s *Sim) succCarve(n int) []*Task {
+	if len(s.succSlab) < n {
+		s.succSlab = make([]*Task, 2048)
+	}
+	out := s.succSlab[:0:n]
+	s.succSlab = s.succSlab[n:]
+	return out
+}
+
+// appendSucc records t as a successor of d. Small successor lists are
+// carved from the slab (one allocation per 2048 edges instead of one per
+// task with successors); lists past succHeapCap grow on the heap.
+func (s *Sim) appendSucc(d, t *Task) {
+	if len(d.succs) == cap(d.succs) && cap(d.succs) < succHeapCap {
+		nc := cap(d.succs) * 2
+		if nc == 0 {
+			nc = 2
+		}
+		ns := s.succCarve(nc)
+		ns = append(ns, d.succs...)
+		d.succs = ns
+	}
+	d.succs = append(d.succs, t)
 }
 
 func (s *Sim) newTask(name string, kind TaskKind, deps []*Task) *Task {
@@ -189,7 +277,7 @@ func (s *Sim) newTask(name string, kind TaskKind, deps []*Task) *Task {
 		if d.state == stateFinished {
 			continue
 		}
-		d.succs = append(d.succs, t)
+		s.appendSucc(d, t)
 		t.waiting++
 	}
 	t.initWaiting = t.waiting
@@ -340,8 +428,14 @@ func (s *Sim) dispatchEvents() {
 	}
 	evs := s.eventScratch[:0]
 	for _, sh := range s.active {
+		if n := len(sh.events); n > sh.eventsHWM {
+			sh.eventsHWM = n
+		}
 		evs = append(evs, sh.events...)
 		sh.events = sh.events[:0]
+	}
+	if len(evs) > s.eventScratchHWM {
+		s.eventScratchHWM = len(evs)
 	}
 	sort.Slice(evs, func(i, j int) bool {
 		a, b := evs[i], evs[j]
